@@ -1,0 +1,107 @@
+// Figure 11: Motifs runtime — Fractal vs Arabesque(-like BFS) vs
+// MRSUB(-like MapReduce) on Mico-SL and Youtube-SL analogs, k = 3..5.
+// Paper shape: Arabesque wins the smallest configuration (Fractal pays a
+// work-stealing setup overhead), Fractal pulls ahead as k or the graph
+// grows (up to 1.6x on Mico, 3.1x on Youtube), MRSUB is worst across the
+// board and runs out of memory in one instance.
+#include "apps/motifs.h"
+#include "baselines/bfs_engine.h"
+#include "bench/bench_util.h"
+
+using namespace fractal;
+
+namespace {
+
+struct Row {
+  std::string graph;
+  uint32_t k;
+  double fractal = 0, arabesque = 0, mrsub = 0;
+  bool mrsub_oom = false;
+  uint64_t fractal_count = 0, arabesque_count = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 11: Motifs runtime (Fractal vs Arabesque vs MRSUB)",
+                "paper Figure 11");
+
+  struct Workload {
+    const char* name;
+    Graph graph;
+    std::vector<uint32_t> ks;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"Mico-SL(small)", bench::SmallMico(), {3, 4, 5}});
+  workloads.push_back({"Youtube-SL(small)", bench::SmallYoutube(), {3, 4}});
+
+  const ExecutionConfig config = bench::DefaultCluster();
+  std::vector<Row> rows;
+  for (Workload& workload : workloads) {
+    FractalContext fctx;
+    FractalGraph graph = fctx.FromGraph(Graph(workload.graph));
+    for (const uint32_t k : workload.ks) {
+      Row row;
+      row.graph = workload.name;
+      row.k = k;
+      {
+        WallTimer timer;
+        const MotifsResult result = CountMotifs(graph, k, config);
+        row.fractal = timer.ElapsedSeconds();
+        row.fractal_count = result.total;
+      }
+      {
+        baselines::BfsOptions options;
+        options.shuffle_micros_per_embedding = 0.05;
+        baselines::BfsEngine engine(workload.graph, options);
+        const auto result = engine.Motifs(k);
+        row.arabesque = result.seconds;
+        row.arabesque_count = result.count;
+      }
+      {
+        baselines::BfsOptions options;
+        options.disable_pattern_cache = true;  // MRSUB: no pattern cache
+        options.shuffle_micros_per_embedding = 0.3;
+        options.state_replication = 3.0;       // map-output duplication
+        options.memory_budget_bytes = 1ull << 30;
+        baselines::BfsEngine engine(workload.graph, options);
+        const auto result = engine.Motifs(k);
+        row.mrsub = result.seconds;
+        row.mrsub_oom = result.out_of_memory;
+      }
+      rows.push_back(row);
+      FRACTAL_CHECK(row.fractal_count == row.arabesque_count);
+    }
+  }
+
+  std::printf("%-18s %3s %14s | %10s %12s %12s\n", "graph", "k", "#motifs",
+              "Fractal", "Arabesque~", "MRSUB~");
+  for (const Row& row : rows) {
+    std::printf("%-18s %3u %14s | %10s %12s %12s\n", row.graph.c_str(),
+                row.k, WithThousands(row.fractal_count).c_str(),
+                bench::Secs(row.fractal).c_str(),
+                bench::Secs(row.arabesque).c_str(),
+                row.mrsub_oom ? "    OOM" : bench::Secs(row.mrsub).c_str());
+  }
+
+  bench::Claim(
+      "Fractal beats the BFS system on the larger configurations; MRSUB is "
+      "worst across the board (or OOM)");
+  const Row& deepest_mico = rows[2];   // Mico k=5
+  const Row& small_mico = rows[0];     // Mico k=3
+  bool mrsub_worst = true;
+  for (const Row& row : rows) {
+    if (!row.mrsub_oom && row.mrsub < std::min(row.fractal, row.arabesque)) {
+      mrsub_worst = false;
+    }
+  }
+  bench::Verdict(deepest_mico.arabesque > deepest_mico.fractal,
+                 StrFormat("Mico k=5 speedup over BFS baseline: %.2fx",
+                           deepest_mico.arabesque / deepest_mico.fractal));
+  bench::Verdict(mrsub_worst, "MRSUB-like never wins a configuration");
+  std::printf("   [info] smallest configuration (Mico k=3): Fractal %.3fs "
+              "vs BFS %.3fs — the paper reports the BFS system ahead here "
+              "due to Fractal's setup overhead\n",
+              small_mico.fractal, small_mico.arabesque);
+  return 0;
+}

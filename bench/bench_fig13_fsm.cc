@@ -1,0 +1,114 @@
+// Figure 13: FSM runtime vs minimum support — Fractal vs Arabesque(-like
+// BFS) vs ScaleMine(-like two-phase). Paper shape: Fractal scales better
+// than Arabesque as support falls (up to 4.57x at 20k); ScaleMine's fixed
+// estimation phase makes it lose at HIGH supports (Fractal up to 4.12x at
+// 24k) while its sampling-guided approximate counting wins at LOW supports.
+#include "apps/fsm.h"
+#include "baselines/bfs_engine.h"
+#include "baselines/scalemine_like.h"
+#include "bench/bench_util.h"
+
+using namespace fractal;
+
+int main() {
+  bench::Header("Figure 13: FSM runtime vs support (Fractal vs Arabesque "
+                "vs ScaleMine)",
+                "paper Figure 13");
+
+  struct Workload {
+    const char* name;
+    Graph graph;
+    std::vector<uint32_t> supports;  // descending, like the paper's x-axis
+    uint32_t max_edges;
+  };
+  std::vector<Workload> workloads;
+  {
+    PowerLawParams params;  // labeled Mico-like
+    params.num_vertices = 700;
+    params.edges_per_vertex = 7;
+    params.num_vertex_labels = 6;
+    params.label_skew = 1.8;
+    params.triangle_closure = 0.4;
+    params.seed = 0xA11CE;
+    workloads.push_back({"Mico-ML(small)", GeneratePowerLaw(params),
+                         {230, 180, 130}, 3});
+  }
+  {
+    PowerLawParams params;  // labeled Patents-like (sparser)
+    params.num_vertices = 2500;
+    params.edges_per_vertex = 3;
+    params.num_vertex_labels = 8;
+    params.label_skew = 1.8;
+    params.triangle_closure = 0.25;
+    params.seed = 0xBEEF1;
+    workloads.push_back({"Patents-ML(small)", GeneratePowerLaw(params),
+                         {260, 200, 150}, 3});
+  }
+
+  const ExecutionConfig config = bench::DefaultCluster();
+  baselines::ScaleMineOptions scalemine_options;
+  scalemine_options.sample_walks = 60000;  // the fixed phase-1 effort
+
+  std::printf("%-20s %8s %6s | %10s %12s %12s (ph1+ph2)\n", "graph",
+              "support", "#freq", "Fractal", "Arabesque~", "ScaleMine~");
+  double high_support_vs_scalemine = 0;
+  double low_support_vs_scalemine = 0;
+  double best_vs_arabesque = 0;
+  for (Workload& workload : workloads) {
+    FractalContext fctx;
+    FractalGraph graph = fctx.FromGraph(Graph(workload.graph));
+    for (size_t i = 0; i < workload.supports.size(); ++i) {
+      const uint32_t support = workload.supports[i];
+      WallTimer fractal_timer;
+      const FsmResult fractal =
+          RunFsm(graph, support, workload.max_edges, config);
+      const double fractal_seconds = fractal_timer.ElapsedSeconds();
+
+      baselines::BfsOptions bfs_options;
+      bfs_options.shuffle_micros_per_embedding = 1.0;
+      baselines::BfsEngine engine(workload.graph, bfs_options);
+      const auto arabesque = engine.Fsm(support, workload.max_edges);
+      FRACTAL_CHECK(arabesque.pattern_counts.size() ==
+                    fractal.frequent.size());
+
+      const auto scalemine = baselines::RunScaleMineFsm(
+          workload.graph, support, workload.max_edges, scalemine_options);
+      FRACTAL_CHECK(scalemine.frequent.size() == fractal.frequent.size());
+
+      std::printf("%-20s %8u %6zu | %10s %12s %12s (%.2f+%.2f)\n",
+                  workload.name, support, fractal.frequent.size(),
+                  bench::Secs(fractal_seconds).c_str(),
+                  bench::Secs(arabesque.seconds).c_str(),
+                  bench::Secs(scalemine.seconds).c_str(),
+                  scalemine.phase1_seconds, scalemine.phase2_seconds);
+      best_vs_arabesque =
+          std::max(best_vs_arabesque, arabesque.seconds / fractal_seconds);
+      if (i == 0) {
+        high_support_vs_scalemine = std::max(
+            high_support_vs_scalemine, scalemine.seconds / fractal_seconds);
+      }
+      if (i + 1 == workload.supports.size()) {
+        low_support_vs_scalemine =
+            std::max(low_support_vs_scalemine,
+                     scalemine.seconds / fractal_seconds);
+      }
+    }
+  }
+
+  bench::Claim(
+      "Fractal's stateless execution beats the BFS system; it also beats "
+      "ScaleMine at high supports (fixed phase-1 cost) while ScaleMine "
+      "closes in (or wins) at low supports");
+  bench::Verdict(best_vs_arabesque > 1.0,
+                 StrFormat("best speedup vs BFS FSM: %.2fx",
+                           best_vs_arabesque));
+  bench::Verdict(high_support_vs_scalemine > 1.0,
+                 StrFormat("at the highest support ScaleMine-like is %.2fx "
+                           "slower than Fractal",
+                           high_support_vs_scalemine));
+  bench::Verdict(low_support_vs_scalemine < high_support_vs_scalemine,
+                 StrFormat("ScaleMine's relative cost drops to %.2fx at the "
+                           "lowest support (crossover direction)",
+                           low_support_vs_scalemine));
+  return 0;
+}

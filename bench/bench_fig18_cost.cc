@@ -1,0 +1,162 @@
+// Figure 18: COST analysis — the number of Fractal execution threads needed
+// to beat efficient single-thread implementations (Gtries for motifs,
+// cliques and queries q2/q3; Grami for FSM). Paper shape: COST is typically
+// 3-4 threads.
+//
+// On this 1-core host, multi-thread wall time cannot show real speedup, so
+// Fractal's T-thread time is modeled from measured single-thread wall time
+// scaled by the measured work-unit makespan ratio (DESIGN.md section 1):
+//   time(T) = time(1) * makespan_units(T) / total_units.
+#include "apps/cliques.h"
+#include "apps/fsm.h"
+#include "apps/motifs.h"
+#include "apps/queries.h"
+#include "baselines/single_thread.h"
+#include "bench/bench_util.h"
+
+using namespace fractal;
+
+namespace {
+
+struct CostResult {
+  double baseline_seconds = 0;
+  double fractal_one_thread = 0;
+  std::vector<double> modeled;  // modeled T-thread seconds, T = 1..8
+  int cost = -1;                // first T beating the baseline
+};
+
+/// Runs `fractal_run(config)` at 1 thread for wall time, then at each T for
+/// work-unit telemetry, and assembles the modeled time curve.
+template <typename Run>
+CostResult ComputeCost(double baseline_seconds, Run fractal_run) {
+  CostResult result;
+  result.baseline_seconds = baseline_seconds;
+
+  WallTimer timer;
+  ExecutionTelemetry telemetry_1 =
+      fractal_run(bench::SingleThreadConfig());
+  result.fractal_one_thread = timer.ElapsedSeconds();
+  const double total_units =
+      static_cast<double>(telemetry_1.TotalWorkUnits());
+
+  for (uint32_t threads = 1; threads <= 8; ++threads) {
+    ExecutionConfig config = bench::VirtualCores(1, threads);
+    const ExecutionTelemetry telemetry = fractal_run(config);
+    uint64_t makespan = 0;
+    for (const StepTelemetry& step : telemetry.steps) {
+      makespan += step.SimulatedMakespanUnits(/*steal_cost_units=*/200);
+    }
+    const double modeled =
+        result.fractal_one_thread * makespan / std::max(total_units, 1.0);
+    result.modeled.push_back(modeled);
+    if (result.cost < 0 && modeled < baseline_seconds) {
+      result.cost = static_cast<int>(threads);
+    }
+  }
+  return result;
+}
+
+void PrintCost(const char* kernel, const char* baseline_name,
+               const CostResult& result) {
+  std::printf("%-18s vs %-12s baseline %s | modeled:", kernel, baseline_name,
+              bench::Secs(result.baseline_seconds).c_str());
+  for (const double seconds : result.modeled) {
+    std::printf(" %.2f", seconds);
+  }
+  if (result.cost > 0) {
+    std::printf("  -> COST = %d threads\n", result.cost);
+  } else {
+    std::printf("  -> COST > 8 threads\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 18: COST analysis (threads to beat single-thread "
+                "baselines)",
+                "paper Figure 18 + section 5.2.4");
+  std::printf("modeled T-thread time = 1-thread wall x work-unit makespan "
+              "ratio (1-core host)\n\n");
+
+  Graph mico = bench::SmallMico();
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(mico));
+
+  std::vector<int> costs;
+
+  {  // Motifs vs Gtries.
+    WallTimer timer;
+    const auto counts = baselines::TunedMotifCounts(mico, 4);
+    const double baseline = timer.ElapsedSeconds();
+    FRACTAL_CHECK(!counts.empty());
+    const CostResult result =
+        ComputeCost(baseline, [&](const ExecutionConfig& config) {
+          return CountMotifs(graph, 4, config).execution.telemetry;
+        });
+    PrintCost("Motifs k=4", "Gtries~", result);
+    costs.push_back(result.cost);
+  }
+  {  // Cliques vs Gtries.
+    WallTimer timer;
+    const uint64_t count = baselines::TunedCliqueCount(mico, 5);
+    const double baseline = timer.ElapsedSeconds();
+    (void)count;
+    const CostResult result =
+        ComputeCost(baseline, [&](const ExecutionConfig& config) {
+          return CliquesFractoid(graph, 5).Execute(config).telemetry;
+        });
+    PrintCost("Cliques k=5", "Gtries~", result);
+    costs.push_back(result.cost);
+  }
+  for (const uint32_t q : {2u, 3u}) {  // Queries vs Gtries.
+    const Pattern query = SeedQuery(q);
+    WallTimer timer;
+    const uint64_t count = baselines::TunedQueryCount(mico, query);
+    const double baseline = timer.ElapsedSeconds();
+    (void)count;
+    const CostResult result =
+        ComputeCost(baseline, [&](const ExecutionConfig& config) {
+          return QueryFractoid(graph, query).Execute(config).telemetry;
+        });
+    PrintCost(SeedQueryName(q).c_str(), "Gtries~", result);
+    costs.push_back(result.cost);
+  }
+  {  // FSM vs Grami.
+    PowerLawParams params;
+    params.num_vertices = 700;
+    params.edges_per_vertex = 7;
+    params.num_vertex_labels = 6;
+    params.label_skew = 1.8;
+    params.triangle_closure = 0.4;
+    params.seed = 0xA11CE;
+    Graph labeled = GeneratePowerLaw(params);
+    FractalContext labeled_ctx;
+    FractalGraph labeled_graph = labeled_ctx.FromGraph(Graph(labeled));
+    WallTimer timer;
+    const auto frequent = baselines::TunedFsm(labeled, 140, 3);
+    const double baseline = timer.ElapsedSeconds();
+    FRACTAL_CHECK(!frequent.empty());
+    const CostResult result =
+        ComputeCost(baseline, [&](const ExecutionConfig& config) {
+          const FsmResult fsm = RunFsm(labeled_graph, 140, 3, config);
+          ExecutionTelemetry telemetry;
+          telemetry.steps = fsm.step_telemetry;
+          return telemetry;
+        });
+    PrintCost("FSM supp=140", "Grami~", result);
+    costs.push_back(result.cost);
+  }
+
+  bench::Claim("COST typically ranges around 3-4 threads (lower for "
+               "enumeration-dominated kernels)");
+  int reasonable = 0;
+  for (const int cost : costs) {
+    if (cost > 0 && cost <= 8) ++reasonable;
+  }
+  bench::Verdict(reasonable >= 3,
+                 StrFormat("%d of %zu kernels reach the baseline within 8 "
+                           "threads",
+                           reasonable, costs.size()));
+  return 0;
+}

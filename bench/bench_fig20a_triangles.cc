@@ -1,0 +1,102 @@
+// Figure 20a (Appendix C): triangle counting — Fractal vs Arabesque(-like
+// BFS) vs GraphFrames(-like joins) vs GraphX(-like edge-relation joins)
+// across four graphs including Orkut. Paper shape: Fractal significantly
+// outperforms the competing frameworks on the three larger datasets (up to
+// an order of magnitude) and is slightly slower than Arabesque on the
+// smallest one (setup overhead). Also reports Doulion-style sampled
+// counting as the approximate alternative the appendix cites.
+#include "apps/cliques.h"
+#include "baselines/bfs_engine.h"
+#include "baselines/join_matcher.h"
+#include "baselines/single_thread.h"
+#include "bench/bench_util.h"
+
+using namespace fractal;
+
+int main() {
+  bench::Header("Figure 20a: triangle counting across datasets",
+                "paper Figure 20a (Appendix C)");
+
+  struct Workload {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"Mico-SL", bench::SmallMico()});
+  {
+    DatasetInfo patents =
+        MakeDataset(DatasetId::kPatents, LabelMode::kSingleLabel);
+    workloads.push_back({patents.name, std::move(patents.graph)});
+  }
+  workloads.push_back({"Youtube-SL", bench::CliqueRichYoutube()});
+  {
+    DatasetInfo orkut = MakeDataset(DatasetId::kOrkut,
+                                    LabelMode::kSingleLabel);
+    workloads.push_back({orkut.name, std::move(orkut.graph)});
+  }
+
+  const ExecutionConfig config = bench::DefaultCluster();
+  std::printf("%-12s %12s | %10s %12s %14s %10s | %12s\n", "graph",
+              "#triangles", "Fractal", "Arabesque~", "GraphFrames~",
+              "GraphX~", "Doulion p=.3");
+  int fractal_wins = 0;
+  for (Workload& workload : workloads) {
+    WallTimer fractal_timer;
+    const uint64_t count = CountTriangles(
+        FractalContext().FromGraph(Graph(workload.graph)), config);
+    const double fractal = fractal_timer.ElapsedSeconds();
+
+    baselines::BfsOptions bfs_options;
+    bfs_options.shuffle_micros_per_embedding = 1.0;
+    baselines::BfsEngine engine(workload.graph, bfs_options);
+    const auto arabesque = engine.Cliques(3);
+    FRACTAL_CHECK(arabesque.out_of_memory || arabesque.count == count);
+
+    baselines::JoinOptions graphframes_options;
+    graphframes_options.use_triangle_seed = false;
+    graphframes_options.use_symmetry_breaking = false;
+    graphframes_options.shuffle_micros_per_tuple = 0.4;
+    graphframes_options.fixed_overhead_seconds = 0.6;  // Spark stages
+    const auto graphframes = baselines::JoinCountTriangles(
+        workload.graph, graphframes_options);
+
+    baselines::JoinOptions graphx_options;  // symmetry-broken edge joins
+    graphx_options.use_triangle_seed = false;
+    graphx_options.shuffle_micros_per_tuple = 0.8;  // RDD-join heavier
+    graphx_options.fixed_overhead_seconds = 0.8;      // Spark stages
+    const auto graphx =
+        baselines::JoinCountTriangles(workload.graph, graphx_options);
+
+    WallTimer doulion_timer;
+    const uint64_t estimate =
+        baselines::DoulionTriangleEstimate(workload.graph, 0.3, 99);
+    const double doulion = doulion_timer.ElapsedSeconds();
+
+    std::printf("%-12s %12s | %10s %12s %14s %10s | %9s~%s\n",
+                workload.name.c_str(), WithThousands(count).c_str(),
+                bench::Secs(fractal).c_str(),
+                arabesque.out_of_memory
+                    ? "   OOM"
+                    : bench::Secs(arabesque.seconds).c_str(),
+                graphframes.out_of_memory
+                    ? "     OOM"
+                    : bench::Secs(graphframes.seconds).c_str(),
+                graphx.out_of_memory ? "  OOM"
+                                     : bench::Secs(graphx.seconds).c_str(),
+                bench::Secs(doulion).c_str(),
+                WithThousands(estimate).c_str());
+    const double best_other =
+        std::min({arabesque.out_of_memory ? 1e30 : arabesque.seconds,
+                  graphframes.out_of_memory ? 1e30 : graphframes.seconds,
+                  graphx.out_of_memory ? 1e30 : graphx.seconds});
+    if (fractal < best_other) ++fractal_wins;
+  }
+
+  bench::Claim(
+      "Fractal outperforms the competing frameworks on most datasets "
+      "(the paper: 3 of 4, slightly slower on the smallest)");
+  bench::Verdict(fractal_wins >= 2,
+                 StrFormat("Fractal fastest on %d of %zu datasets",
+                           fractal_wins, workloads.size()));
+  return 0;
+}

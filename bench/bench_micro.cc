@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the engine:
+// extension computation per strategy, canonicalization with and without the
+// quick-pattern cache, subgraph push/pop, and the stolen-work codec.
+#include <benchmark/benchmark.h>
+
+#include "enumerate/enumerator.h"
+#include "enumerate/extension.h"
+#include "graph/generators.h"
+#include "pattern/canonical.h"
+#include "runtime/codec.h"
+
+namespace fractal {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* graph = [] {
+    PowerLawParams params;
+    params.num_vertices = 2000;
+    params.edges_per_vertex = 8;
+    params.triangle_closure = 0.4;
+    params.seed = 17;
+    return new Graph(GeneratePowerLaw(params));
+  }();
+  return *graph;
+}
+
+void BM_VertexExtensions(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  VertexInducedStrategy strategy;
+  ExtensionContext ctx;
+  Subgraph subgraph;
+  subgraph.PushVertexInduced(graph, 10);
+  subgraph.PushVertexInduced(graph, *graph.Neighbors(10).begin());
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    strategy.ComputeExtensions(graph, subgraph, ctx, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ctx.extension_tests /
+                          std::max<uint64_t>(state.iterations(), 1));
+}
+BENCHMARK(BM_VertexExtensions);
+
+void BM_EdgeExtensions(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  EdgeInducedStrategy strategy;
+  ExtensionContext ctx;
+  Subgraph subgraph;
+  subgraph.PushEdgeInduced(graph, 0);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    strategy.ComputeExtensions(graph, subgraph, ctx, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_EdgeExtensions);
+
+void BM_KClistExtensions(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  KClistStrategy strategy;
+  ExtensionContext ctx;
+  Subgraph subgraph;
+  subgraph.PushVertexInduced(graph, 3);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    strategy.ComputeExtensions(graph, subgraph, ctx, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KClistExtensions);
+
+void BM_CanonicalFormUncached(benchmark::State& state) {
+  const Pattern pattern = [] {
+    Pattern p = Pattern::CyclePattern(5);
+    p.AddEdge(0, 2);
+    p.AddEdge(1, 3);
+    return p;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanonicalForm(pattern));
+  }
+}
+BENCHMARK(BM_CanonicalFormUncached);
+
+void BM_CanonicalFormCached(benchmark::State& state) {
+  CanonicalPatternCache cache;
+  const Pattern pattern = [] {
+    Pattern p = Pattern::CyclePattern(5);
+    p.AddEdge(0, 2);
+    p.AddEdge(1, 3);
+    return p;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&cache.Canonicalize(pattern));
+  }
+}
+BENCHMARK(BM_CanonicalFormCached);
+
+void BM_SubgraphPushPop(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  Subgraph subgraph;
+  subgraph.PushVertexInduced(graph, 5);
+  const VertexId neighbor = graph.Neighbors(5)[0];
+  for (auto _ : state) {
+    subgraph.PushVertexInduced(graph, neighbor);
+    subgraph.Pop();
+  }
+}
+BENCHMARK(BM_SubgraphPushPop);
+
+void BM_StolenWorkCodec(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  SubgraphEnumerator::StolenWork work;
+  work.prefix.PushVertexInduced(graph, 5);
+  work.prefix.PushVertexInduced(graph, graph.Neighbors(5)[0]);
+  work.prefix.PushVertexInduced(graph, graph.Neighbors(5)[1]);
+  work.extension = 77;
+  work.primitive_index = 3;
+  SubgraphEnumerator::StolenWork decoded;
+  for (auto _ : state) {
+    const auto bytes = SubgraphCodec::EncodeStolenWork(work);
+    benchmark::DoNotOptimize(
+        SubgraphCodec::DecodeStolenWork(bytes, &decoded));
+  }
+}
+BENCHMARK(BM_StolenWorkCodec);
+
+}  // namespace
+}  // namespace fractal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Paper section 4.3 motivating example: keyword queries over the Wikidata
+// knowledge graph, executed on the original graph G and the reduced graph
+// G' that keeps only query-keyword elements. The paper reports, for Q1,
+// reductions of 54.97% (vertices), 65.27% (edges) and 92.54% (extension
+// cost EC); Q2 reaches 99.87% EC reduction.
+#include "apps/keyword_search.h"
+#include "bench/bench_util.h"
+
+using namespace fractal;
+
+int main() {
+  bench::Header("Section 4.3: graph reduction example (keyword search)",
+                "paper section 4.3 motivating example (Q1/Q2 on Wikidata)");
+
+  Graph wikidata = MakeWikidataWithKeywords();
+  const uint32_t full_vertices = wikidata.NumVertices();
+  const uint32_t full_edges = wikidata.NumEdges();
+  std::printf("graph: %s\n\n", wikidata.DebugString().c_str());
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(std::move(wikidata));
+  const ExecutionConfig config = bench::DefaultCluster();
+
+  // Q1-like: three mid-frequency keywords ({paris, revolution, author});
+  // Q2-like: rarer keywords ({tom, cruise, drama}).
+  const std::vector<std::pair<std::string, std::vector<uint32_t>>> queries = {
+      {"Q1 {paris, revolution, author}", {4, 11, 23}},
+      {"Q2 {tom, cruise, drama}", {35, 60, 92}},
+  };
+
+  std::printf("%-32s %10s %10s %14s %9s\n", "query / graph", "|V|", "|E|",
+              "EC", "matches");
+  double worst_ec_reduction = 1.0;
+  for (const auto& [name, keywords] : queries) {
+    KeywordSearchResult on_g =
+        RunKeywordSearch(graph, keywords, /*use_graph_reduction=*/false,
+                         config);
+    KeywordSearchResult on_reduced =
+        RunKeywordSearch(graph, keywords, /*use_graph_reduction=*/true,
+                         config);
+    std::printf("%-32s %10u %10u %14s %9llu\n", (name + " on G").c_str(),
+                full_vertices, full_edges,
+                WithThousands(on_g.extension_cost).c_str(),
+                (unsigned long long)on_g.num_matches);
+    std::printf("%-32s %10u %10u %14s %9llu\n", "   on G'",
+                on_reduced.graph_vertices, on_reduced.graph_edges,
+                WithThousands(on_reduced.extension_cost).c_str(),
+                (unsigned long long)on_reduced.num_matches);
+    const double v_reduction =
+        100.0 * (1.0 - static_cast<double>(on_reduced.graph_vertices) /
+                           full_vertices);
+    const double e_reduction =
+        100.0 * (1.0 - static_cast<double>(on_reduced.graph_edges) /
+                           full_edges);
+    const double ec_reduction =
+        100.0 * (1.0 - static_cast<double>(on_reduced.extension_cost) /
+                           on_g.extension_cost);
+    std::printf("   reduction: V %.2f%%  E %.2f%%  EC %.2f%%   "
+                "(paper Q1: 54.97%% / 65.27%% / 92.54%%)\n\n",
+                v_reduction, e_reduction, ec_reduction);
+    worst_ec_reduction = std::min(worst_ec_reduction, ec_reduction / 100.0);
+    FRACTAL_CHECK(on_g.num_matches == on_reduced.num_matches)
+        << "reduction must preserve results";
+  }
+
+  bench::Claim("graph reduction removes most of the graph AND most of the "
+               "extension cost for selective keyword queries");
+  bench::Verdict(worst_ec_reduction > 0.5,
+                 StrFormat("worst-case EC reduction %.1f%% across queries",
+                           100.0 * worst_ec_reduction));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Table 2: Memory per worker — Arabesque's materialized embedding state vs
+// Fractal's enumerator state, for cliques on Youtube-ML (k = 3..6) and
+// motifs on Mico-ML (k = 3..5). Paper shape: Arabesque's memory grows with
+// depth (2.1x -> 17.6x Fractal's on cliques; 49.9x on motifs at k = 5)
+// while Fractal stays roughly constant.
+#include "apps/cliques.h"
+#include "apps/motifs.h"
+#include "baselines/bfs_engine.h"
+#include "bench/bench_util.h"
+
+using namespace fractal;
+
+int main() {
+  bench::Header("Table 2: memory per worker (Arabesque vs Fractal)",
+                "paper Table 2");
+
+  const ExecutionConfig config = bench::DefaultCluster();
+  std::printf("%-22s %3s %14s %14s %9s\n", "workload", "|V|", "Arab.~ state",
+              "Frac. state", "ratio");
+
+  double first_clique_ratio = 0, last_clique_ratio = 0;
+  {
+    // Clique counts must grow with k (as on the real Youtube-ML, where
+    // Arabesque needed 204 GB per worker at k = 6): dense communities.
+    CommunityParams community;
+    community.num_communities = 40;
+    community.community_size = 30;
+    community.intra_probability = 0.85;
+    community.inter_edges_per_vertex = 2;
+    community.seed = 0xCAFE2;
+    Graph youtube = GenerateCommunityGraph(community);
+    FractalContext fctx;
+    FractalGraph graph = fctx.FromGraph(Graph(youtube));
+    for (const uint32_t k : {3u, 4u, 5u, 6u}) {
+      baselines::BfsEngine engine(youtube);
+      const auto bfs = engine.Cliques(k);
+      const auto fractal = CliquesFractoid(graph, k).Execute(config);
+      const double ratio = static_cast<double>(bfs.peak_state_bytes) /
+                           std::max<uint64_t>(fractal.peak_state_bytes, 1);
+      std::printf("%-22s %3u %14s %14s %8.1fx\n", "Cliques Youtube-ML", k,
+                  HumanBytes(bfs.peak_state_bytes).c_str(),
+                  HumanBytes(fractal.peak_state_bytes).c_str(), ratio);
+      if (k == 3) first_clique_ratio = ratio;
+      if (k == 6) last_clique_ratio = ratio;
+    }
+  }
+  double motif_ratio_3 = 0, motif_ratio_5 = 0;
+  {
+    // Multi-labeled motifs: the labeled-pattern space grows with labels^k,
+    // so this row uses a smaller analog (8 labels) to stay in budget.
+    PowerLawParams params;
+    params.num_vertices = 220;
+    params.edges_per_vertex = 6;
+    params.num_vertex_labels = 8;
+    params.label_skew = 1.6;
+    params.triangle_closure = 0.5;
+    params.seed = 0xA11CE;
+    Graph mico = GeneratePowerLaw(params);
+    FractalContext fctx;
+    FractalGraph graph = fctx.FromGraph(Graph(mico));
+    for (const uint32_t k : {3u, 4u, 5u}) {
+      baselines::BfsEngine engine(mico);
+      const auto bfs = engine.Motifs(k);
+      const auto fractal = MotifsFractoid(graph, k).Execute(config);
+      const double ratio = static_cast<double>(bfs.peak_state_bytes) /
+                           std::max<uint64_t>(fractal.peak_state_bytes, 1);
+      std::printf("%-22s %3u %14s %14s %8.1fx\n", "Motifs Mico-ML", k,
+                  HumanBytes(bfs.peak_state_bytes).c_str(),
+                  HumanBytes(fractal.peak_state_bytes).c_str(), ratio);
+      if (k == 3) motif_ratio_3 = ratio;
+      if (k == 5) motif_ratio_5 = ratio;
+    }
+  }
+
+  bench::Claim(
+      "Fractal's state stays ~constant while the BFS system's grows with "
+      "enumeration depth (paper: 2.1x->17.6x on cliques, up to 49.9x on "
+      "motifs)");
+  bench::Verdict(last_clique_ratio > 3 * first_clique_ratio,
+                 StrFormat("clique state ratio grows %.1fx -> %.1fx from "
+                           "k=3 to k=6",
+                           first_clique_ratio, last_clique_ratio));
+  bench::Verdict(motif_ratio_5 > 10 * motif_ratio_3,
+                 StrFormat("motif state ratio grows %.1fx -> %.1fx from "
+                           "k=3 to k=5",
+                           motif_ratio_3, motif_ratio_5));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Approximate motif counting with a custom sampling enumerator (the
+// Appendix B use case): each extension survives with probability p, so a
+// k-vertex subgraph is sampled with probability p^k and counts are scaled
+// by 1/p^k. Compares exact vs estimated distributions and the work saved.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/estimation.h"
+#include "apps/motifs.h"
+#include "core/context.h"
+#include "graph/generators.h"
+#include "pattern/catalog.h"
+
+int main() {
+  using namespace fractal;
+
+  PowerLawParams params;
+  params.num_vertices = 1200;
+  params.edges_per_vertex = 7;
+  params.triangle_closure = 0.45;
+  params.seed = 31;
+  Graph input = GeneratePowerLaw(params);
+  std::printf("input: %s\n", input.DebugString().c_str());
+
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 4;
+  FractalContext fctx(config);
+  FractalGraph graph = fctx.FromGraph(std::move(input));
+
+  const uint32_t k = 4;
+  const MotifsResult exact = CountMotifs(graph, k, config);
+  const double p = 0.5;
+  const EstimationResult estimate =
+      EstimateMotifCounts(graph, k, p, /*seed=*/7, config);
+
+  std::printf("\n%u-vertex motifs, sampling p=%.2f (sampled %llu of %llu "
+              "subgraphs, %.1f%% of the work):\n",
+              k, p, (unsigned long long)estimate.sampled_subgraphs,
+              (unsigned long long)exact.total,
+              100.0 * estimate.sampled_subgraphs / exact.total);
+  std::printf("%-12s %14s %14s %8s\n", "shape", "exact", "estimate", "err%");
+  std::vector<std::pair<Pattern, uint64_t>> sorted(exact.counts.begin(),
+                                                   exact.counts.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [pattern, count] : sorted) {
+    const auto it = estimate.estimated_counts.find(pattern);
+    const uint64_t estimated = it == estimate.estimated_counts.end()
+                                   ? 0
+                                   : it->second;
+    std::printf("%-12s %14llu %14llu %7.1f%%\n",
+                PatternShapeName(pattern).c_str(),
+                (unsigned long long)count, (unsigned long long)estimated,
+                100.0 * (static_cast<double>(estimated) - count) / count);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Frequent subgraph mining on a labeled network: the iterative Listing 3
+// workflow — bootstrap frequent edges, then repeatedly filter by the
+// previous frequent set, expand one edge, and re-aggregate MNI supports.
+// Each iteration only executes the newly appended fractal step thanks to
+// aggregation-result caching (paper §4.1).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/fsm.h"
+#include "core/context.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace fractal;
+
+  DatasetInfo patents =
+      MakeDataset(DatasetId::kPatents, LabelMode::kMultiLabel);
+  std::printf("graph %s: %s\n", patents.name.c_str(),
+              patents.graph.DebugString().c_str());
+
+  ExecutionConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 2;
+  FractalContext fctx(config);
+  FractalGraph graph = fctx.FromGraph(std::move(patents.graph));
+
+  const uint32_t min_support = 120;
+  const uint32_t max_edges = 3;
+  const FsmResult result = RunFsm(graph, min_support, max_edges, config);
+
+  std::vector<std::pair<Pattern, uint64_t>> sorted = result.frequent;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf(
+      "\n%zu frequent patterns (MNI support >= %u, <= %u edges), "
+      "%u rounds in %.2fs:\n",
+      sorted.size(), min_support, max_edges, result.iterations,
+      result.seconds);
+  for (const auto& [pattern, support] : sorted) {
+    std::printf("  support %8llu : %s\n", (unsigned long long)support,
+                pattern.ToString().c_str());
+  }
+  return 0;
+}

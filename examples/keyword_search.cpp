@@ -1,0 +1,48 @@
+// Keyword search over an attributed knowledge graph (the Wikidata analog),
+// with and without the graph-reduction optimization of paper §4.3: the
+// reduced graph keeps only vertices/edges carrying query keywords, cutting
+// the extension cost (EC) by orders of magnitude for selective queries.
+#include <cstdio>
+
+#include "apps/keyword_search.h"
+#include "core/context.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace fractal;
+
+  Graph wikidata = MakeWikidataWithKeywords();
+  std::printf("graph: %s (vocabulary %u keywords)\n",
+              wikidata.DebugString().c_str(),
+              wikidata.KeywordVocabularySize());
+
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 4;
+  FractalContext fctx(config);
+  FractalGraph graph = fctx.FromGraph(std::move(wikidata));
+
+  // Keyword ids play the role of words ("paris", "revolution", ...): mid-
+  // frequency ids make selective but satisfiable queries.
+  const std::vector<std::vector<uint32_t>> queries = {
+      {2, 9}, {1, 5, 12}, {0, 3, 7}};
+
+  for (const auto& query : queries) {
+    std::printf("\nquery {");
+    for (size_t i = 0; i < query.size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", query[i]);
+    }
+    std::printf("}:\n");
+    for (const bool reduce : {false, true}) {
+      const KeywordSearchResult result =
+          RunKeywordSearch(graph, query, reduce, config);
+      std::printf(
+          "  %-12s matches=%-8llu EC=%-12llu |V'|=%-6u |E'|=%-6u %.3fs\n",
+          reduce ? "reduced G'" : "original G",
+          (unsigned long long)result.num_matches,
+          (unsigned long long)result.extension_cost, result.graph_vertices,
+          result.graph_edges, result.seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Motif analysis: extract the distribution of 3- and 4-vertex motifs from a
+// co-authorship-style network (the Mico analog), as a bioinformatics or
+// social-network analyst would (paper §2.2, Listing 1).
+//
+// Demonstrates the aggregation primitive: subgraphs are mapped to their
+// canonical pattern and counted with a sum reduction.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/motifs.h"
+#include "core/context.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace fractal;
+
+  DatasetInfo mico = MakeDataset(DatasetId::kMico, LabelMode::kSingleLabel);
+  std::printf("graph %s: %s\n", mico.name.c_str(),
+              mico.graph.DebugString().c_str());
+
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 4;
+  FractalContext fctx(config);
+  FractalGraph graph = fctx.FromGraph(std::move(mico.graph));
+
+  for (uint32_t k = 3; k <= 4; ++k) {
+    const MotifsResult result = CountMotifs(graph, k, config);
+    std::vector<std::pair<Pattern, uint64_t>> sorted(result.counts.begin(),
+                                                     result.counts.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::printf("\n%u-vertex motifs (%llu subgraphs, %zu shapes):\n", k,
+                (unsigned long long)result.total, sorted.size());
+    for (const auto& [pattern, count] : sorted) {
+      std::printf("  %10llu  x  %s\n", (unsigned long long)count,
+                  pattern.ToString().c_str());
+    }
+  }
+  return 0;
+}

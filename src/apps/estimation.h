@@ -1,0 +1,36 @@
+// Approximate GPM via the sampling custom enumerator (paper Appendix B):
+// unbiased estimators for subgraph and motif counts obtained by keeping
+// each extension with probability p and scaling counts by 1/p^k.
+#ifndef FRACTAL_APPS_ESTIMATION_H_
+#define FRACTAL_APPS_ESTIMATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/context.h"
+#include "pattern/pattern.h"
+
+namespace fractal {
+
+struct EstimationResult {
+  /// Scaled estimates: canonical pattern -> estimated occurrence count.
+  std::unordered_map<Pattern, uint64_t, PatternHash> estimated_counts;
+  uint64_t estimated_total = 0;
+  uint64_t sampled_subgraphs = 0;  // raw (unscaled) sampled count
+  double keep_probability = 1.0;
+};
+
+/// Estimates k-vertex motif counts by sampled vertex-induced enumeration.
+/// keep_probability = 1 degenerates to the exact Listing-1 computation.
+EstimationResult EstimateMotifCounts(const FractalGraph& graph, uint32_t k,
+                                     double keep_probability, uint64_t seed,
+                                     const ExecutionConfig& config = {});
+
+/// Estimates the number of connected induced k-vertex subgraphs.
+uint64_t EstimateSubgraphCount(const FractalGraph& graph, uint32_t k,
+                               double keep_probability, uint64_t seed,
+                               const ExecutionConfig& config = {});
+
+}  // namespace fractal
+
+#endif  // FRACTAL_APPS_ESTIMATION_H_

@@ -1,0 +1,102 @@
+#include "apps/keyword_search.h"
+
+#include "core/computation.h"
+#include "graph/graph_reduce.h"
+#include "util/timer.h"
+
+namespace fractal {
+namespace {
+
+/// Listing 4's lastEdgeIsValid: the newest edge must contribute at least
+/// one query keyword that no earlier edge of the candidate contains.
+bool LastEdgeIsValid(const Subgraph& subgraph, const InvertedIndex& index,
+                     std::span<const uint32_t> keywords) {
+  const auto edges = subgraph.Edges();
+  const EdgeId last_edge = edges.back();
+  for (const uint32_t keyword : keywords) {
+    if (!index.EdgeContains(keyword, last_edge)) continue;
+    bool covered_before = false;
+    for (size_t i = 0; i + 1 < edges.size(); ++i) {
+      if (index.EdgeContains(keyword, edges[i])) {
+        covered_before = true;
+        break;
+      }
+    }
+    if (!covered_before) return true;
+  }
+  return false;
+}
+
+/// Full cover: every query keyword appears in some edge of the subgraph.
+bool CoversQuery(const Subgraph& subgraph, const InvertedIndex& index,
+                 std::span<const uint32_t> keywords) {
+  for (const uint32_t keyword : keywords) {
+    bool covered = false;
+    for (const EdgeId edge : subgraph.Edges()) {
+      if (index.EdgeContains(keyword, edge)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Fractoid KeywordSearchFractoid(const FractalGraph& graph,
+                               std::shared_ptr<const InvertedIndex> index,
+                               std::vector<uint32_t> keywords) {
+  FRACTAL_CHECK(!keywords.empty());
+  auto keywords_shared =
+      std::make_shared<const std::vector<uint32_t>>(std::move(keywords));
+
+  LocalFilterFn last_edge_valid =
+      [index, keywords_shared](const Subgraph& subgraph, Computation&) {
+        return LastEdgeIsValid(subgraph, *index, *keywords_shared);
+      };
+  LocalFilterFn covers =
+      [index, keywords_shared](const Subgraph& subgraph, Computation&) {
+        return CoversQuery(subgraph, *index, *keywords_shared);
+      };
+
+  // Listing 4: explore the (expand, filter) fragment |K| times, then keep
+  // complete covers.
+  return graph.EFractoid()
+      .Expand(1)
+      .Filter(last_edge_valid)
+      .Explore(static_cast<uint32_t>(keywords_shared->size()) - 1)
+      .Filter(covers);
+}
+
+KeywordSearchResult RunKeywordSearch(const FractalGraph& graph,
+                                     std::span<const uint32_t> keywords,
+                                     bool use_graph_reduction,
+                                     const ExecutionConfig& config) {
+  WallTimer timer;
+  FractalGraph search_graph =
+      use_graph_reduction
+          ? FractalGraph(std::make_shared<const Graph>(ReduceToKeywords(
+                             graph.graph(), keywords)),
+                         graph.config())
+          : graph;
+  auto index = std::make_shared<const InvertedIndex>(search_graph.graph());
+
+  Fractoid fractoid = KeywordSearchFractoid(
+      search_graph, index,
+      std::vector<uint32_t>(keywords.begin(), keywords.end()));
+  ExecutionResult execution = fractoid.Execute(config);
+
+  KeywordSearchResult result;
+  result.num_matches = execution.num_subgraphs;
+  for (const auto& step : execution.telemetry.steps) {
+    result.extension_cost += step.TotalExtensionTests();
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.graph_vertices = search_graph.graph().NumActiveVertices();
+  result.graph_edges = search_graph.graph().NumEdges();
+  return result;
+}
+
+}  // namespace fractal

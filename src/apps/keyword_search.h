@@ -1,0 +1,49 @@
+// Keyword-based subgraph search over an attributed graph (paper §2.2 and
+// Listing 4): given a keyword query K = {w1..wC}, retrieve connected
+// subgraphs whose keywords cover K and where every edge is responsible for
+// at least one cover. The edge-induced pipeline grows candidates one edge at
+// a time; the Listing 4 filter keeps a candidate only if its newest edge
+// contributes a keyword no earlier edge contains — bounding candidates to
+// |K| edges. A final cover filter keeps complete answers.
+//
+// This kernel is the paper's showcase for graph reduction (§4.3): run it on
+// ReduceToKeywords(G, K) and both the enumeration cost (EC) and the runtime
+// collapse by orders of magnitude.
+#ifndef FRACTAL_APPS_KEYWORD_SEARCH_H_
+#define FRACTAL_APPS_KEYWORD_SEARCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/context.h"
+#include "graph/inverted_index.h"
+
+namespace fractal {
+
+struct KeywordSearchResult {
+  uint64_t num_matches = 0;        // subgraphs fully covering the query
+  uint64_t extension_cost = 0;     // EC: candidate tests during enumeration
+  double seconds = 0;
+  uint32_t graph_vertices = 0;     // size of the graph actually searched
+  uint32_t graph_edges = 0;
+};
+
+/// Builds the Listing 4 fractoid over `graph` (which must carry keywords).
+/// The inverted index must be built over the same graph.
+Fractoid KeywordSearchFractoid(const FractalGraph& graph,
+                               std::shared_ptr<const InvertedIndex> index,
+                               std::vector<uint32_t> keywords);
+
+/// Runs keyword search. When `use_graph_reduction` is set, the graph is
+/// first reduced to elements carrying query keywords (paper §4.3) and the
+/// search runs on the reduced graph.
+KeywordSearchResult RunKeywordSearch(const FractalGraph& graph,
+                                     std::span<const uint32_t> keywords,
+                                     bool use_graph_reduction,
+                                     const ExecutionConfig& config = {});
+
+}  // namespace fractal
+
+#endif  // FRACTAL_APPS_KEYWORD_SEARCH_H_

@@ -1,0 +1,98 @@
+#include "apps/queries.h"
+
+namespace fractal {
+namespace {
+
+Pattern Diamond() {
+  Pattern p = Pattern::CyclePattern(4);  // 0-1-2-3-0
+  p.AddEdge(0, 2);                       // chord
+  return p;
+}
+
+}  // namespace
+
+Pattern SeedQuery(uint32_t index) {
+  switch (index) {
+    case 1:
+      return Pattern::Clique(3);
+    case 2:
+      return Pattern::CyclePattern(4);
+    case 3:
+      return Diamond();
+    case 4:
+      return Pattern::Clique(4);
+    case 5:
+      return Pattern::Clique(5);
+    case 6: {
+      // House: 5-cycle with one chord closing a triangle on the "roof".
+      Pattern p = Pattern::CyclePattern(5);
+      p.AddEdge(0, 2);
+      return p;
+    }
+    case 7: {
+      // Double-diamond: two diamonds sharing the chord edge (join-friendly:
+      // SEED assembles it from two q3 matches).
+      Pattern p;
+      for (int i = 0; i < 6; ++i) p.AddVertex(0);
+      // Shared chord (0,1); diamond A adds 2,3; diamond B adds 4,5.
+      p.AddEdge(0, 1);
+      p.AddEdge(0, 2);
+      p.AddEdge(1, 2);
+      p.AddEdge(0, 3);
+      p.AddEdge(1, 3);
+      p.AddEdge(0, 4);
+      p.AddEdge(1, 4);
+      p.AddEdge(0, 5);
+      p.AddEdge(1, 5);
+      return p;
+    }
+    case 8: {
+      // Near-5-clique: K5 minus one edge.
+      Pattern p = Pattern::Clique(5);
+      Pattern q;
+      for (int i = 0; i < 5; ++i) q.AddVertex(0);
+      for (const PatternEdge& e : p.Edges()) {
+        if (e.src == 0 && e.dst == 1) continue;
+        q.AddEdge(e.src, e.dst);
+      }
+      return q;
+    }
+    default:
+      FRACTAL_CHECK(false) << "SEED queries are q1..q8";
+      return Pattern();
+  }
+}
+
+std::string SeedQueryName(uint32_t index) {
+  switch (index) {
+    case 1:
+      return "q1(triangle)";
+    case 2:
+      return "q2(square)";
+    case 3:
+      return "q3(diamond)";
+    case 4:
+      return "q4(4-clique)";
+    case 5:
+      return "q5(5-clique)";
+    case 6:
+      return "q6(house)";
+    case 7:
+      return "q7(double-diamond)";
+    case 8:
+      return "q8(near-5-clique)";
+    default:
+      return "q?";
+  }
+}
+
+Fractoid QueryFractoid(const FractalGraph& graph, const Pattern& query) {
+  return graph.PFractoid(query).Expand(query.NumVertices());
+}
+
+uint64_t CountQueryMatches(const FractalGraph& graph, const Pattern& query,
+                           const ExecutionConfig& config) {
+  return QueryFractoid(graph, query).CountSubgraphs(config);
+}
+
+}  // namespace fractal

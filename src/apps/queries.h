@@ -1,0 +1,33 @@
+// Subgraph querying (paper §2.2, Listing 5): lists/counts all subgraphs of
+// the input graph isomorphic to a user-defined pattern, using the
+// pattern-induced fractoid with symmetry breaking. Also defines the SEED
+// query set q1..q8 the paper evaluates in Fig. 14/15.
+#ifndef FRACTAL_APPS_QUERIES_H_
+#define FRACTAL_APPS_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/context.h"
+#include "pattern/pattern.h"
+
+namespace fractal {
+
+/// The SEED benchmark queries (paper Fig. 14; shapes documented in
+/// DESIGN.md §2): 1 = triangle, 2 = square, 3 = chordal square (diamond),
+/// 4 = 4-clique, 5 = 5-clique, 6 = house, 7 = double-diamond,
+/// 8 = near-5-clique. All unlabeled.
+Pattern SeedQuery(uint32_t index);
+std::string SeedQueryName(uint32_t index);
+inline constexpr uint32_t kNumSeedQueries = 8;
+
+/// Listing 5: pfractoid(query).expand(|V(query)|).
+Fractoid QueryFractoid(const FractalGraph& graph, const Pattern& query);
+
+/// Number of subgraphs of `graph` isomorphic to `query`.
+uint64_t CountQueryMatches(const FractalGraph& graph, const Pattern& query,
+                           const ExecutionConfig& config = {});
+
+}  // namespace fractal
+
+#endif  // FRACTAL_APPS_QUERIES_H_

@@ -1,0 +1,79 @@
+// Arabesque-style BFS (level-synchronous) GPM engine: the first-generation
+// general-purpose design the paper compares against. The engine materializes
+// *every* embedding of each enumeration level before expanding to the next
+// — the source of the intermediate-state explosion of Table 2 and the
+// synchronization overheads of Figs 11-13/20a. Extension rules are shared
+// with the library (identical result sets); the *execution model* is the
+// baseline's.
+//
+// A memory budget models the OOM failures the paper reports for Arabesque
+// and GraphFrames: when materialized state exceeds the budget the run stops
+// and reports out_of_memory (counts are then invalid).
+#ifndef FRACTAL_BASELINES_BFS_ENGINE_H_
+#define FRACTAL_BASELINES_BFS_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "enumerate/extension.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace fractal {
+namespace baselines {
+
+struct BfsOptions {
+  /// Materialized-state budget; beyond it the engine reports OOM.
+  uint64_t memory_budget_bytes = 1ull << 31;  // 2 GB
+  /// Charge per-embedding canonicalization without quick-pattern caching
+  /// (MRSUB-style): slows pattern aggregation dramatically.
+  bool disable_pattern_cache = false;
+  /// Simulated per-level synchronization/shuffle cost in microseconds per
+  /// materialized embedding (models the BSP shuffle between supersteps).
+  double shuffle_micros_per_embedding = 0.0;
+  /// Accounting multiplier on materialized state: MapReduce-style engines
+  /// (MRSUB) replicate candidate lists across the shuffle before reduction.
+  double state_replication = 1.0;
+};
+
+struct BfsResult {
+  bool out_of_memory = false;
+  uint64_t count = 0;  // embeddings at the final level
+  std::unordered_map<Pattern, uint64_t, PatternHash> pattern_counts;
+  uint64_t peak_state_bytes = 0;  // max materialized level size
+  double seconds = 0;
+};
+
+/// Level-synchronous engine over one input graph.
+class BfsEngine {
+ public:
+  explicit BfsEngine(const Graph& graph, BfsOptions options = {})
+      : graph_(graph), options_(options) {}
+
+  /// All connected induced k-vertex subgraphs (no aggregation).
+  BfsResult CountVertexInduced(uint32_t k);
+
+  /// Motif counting: patterns of all k-vertex induced subgraphs.
+  BfsResult Motifs(uint32_t k);
+
+  /// k-cliques via level filtering (Arabesque's cliques program).
+  BfsResult Cliques(uint32_t k);
+
+  /// Matches of `query` (edge-grown, canonical edge words, final
+  /// isomorphism check) — Arabesque's edge-induced querying, the reason it
+  /// OOMs on larger queries in Fig. 15.
+  BfsResult Query(const Pattern& query);
+
+  /// FSM with MNI support; returns frequent pattern count in `count` and
+  /// patterns in `pattern_counts` (value = support).
+  BfsResult Fsm(uint32_t min_support, uint32_t max_edges);
+
+ private:
+  const Graph& graph_;
+  BfsOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace fractal
+
+#endif  // FRACTAL_BASELINES_BFS_ENGINE_H_

@@ -1,0 +1,63 @@
+// SEED/GraphFrames-style join-based subgraph matching: partial matches are
+// materialized *relations* grown by hash joins against the edge relation
+// (one pattern vertex per join step), with symmetry-breaking conditions
+// applied as join predicates. SEED's signature optimization — growing by
+// whole triangle units for clique-like queries — is modeled by seeding the
+// relation with the triangle list when the join plan's first three vertices
+// form a triangle.
+//
+// Like the BFS engine, the matcher carries a memory budget and reports OOM
+// when intermediate relations outgrow it (the GraphFrames failures of
+// Fig. 12/20a).
+#ifndef FRACTAL_BASELINES_JOIN_MATCHER_H_
+#define FRACTAL_BASELINES_JOIN_MATCHER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace fractal {
+namespace baselines {
+
+struct JoinOptions {
+  uint64_t memory_budget_bytes = 1ull << 31;  // 2 GB
+  /// Seed with the triangle relation when the plan starts with a triangle
+  /// (SEED-style multi-edge join units). Disable for the plain
+  /// GraphFrames-like edge-at-a-time behaviour.
+  bool use_triangle_seed = true;
+  /// Simulated materialization/shuffle cost per intermediate tuple, in
+  /// microseconds (SEED runs on Hadoop: every join round writes and
+  /// shuffles its relation). Added to JoinResult::seconds.
+  double shuffle_micros_per_tuple = 0.0;
+  /// Fixed job overhead in seconds (Spark/Hadoop stage scheduling, task
+  /// dispatch, JVM warm-up — independent of data size). Added once.
+  double fixed_overhead_seconds = 0.0;
+  /// Apply symmetry-breaking conditions during the joins (SEED). When off
+  /// (GraphFrames-style motif joins), every automorphic ordering of a match
+  /// is materialized and deduplication happens at the end — inflating the
+  /// intermediate relations by the automorphism factor.
+  bool use_symmetry_breaking = true;
+};
+
+struct JoinResult {
+  bool out_of_memory = false;
+  uint64_t count = 0;              // distinct subgraph matches
+  uint64_t peak_state_bytes = 0;   // largest materialized relation chain
+  uint64_t tuples_materialized = 0;
+  double seconds = 0;
+};
+
+/// Counts distinct subgraphs of `graph` isomorphic to `query`.
+JoinResult JoinCountMatches(const Graph& graph, const Pattern& query,
+                            const JoinOptions& options = {});
+
+/// Triangle counting via the join matcher (the GraphFrames benchmark of
+/// Fig. 20a).
+JoinResult JoinCountTriangles(const Graph& graph,
+                              const JoinOptions& options = {});
+
+}  // namespace baselines
+}  // namespace fractal
+
+#endif  // FRACTAL_BASELINES_JOIN_MATCHER_H_

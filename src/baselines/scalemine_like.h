@@ -1,0 +1,42 @@
+// ScaleMine-style two-phase FSM (paper §5.1, reference [1]): phase 1 builds
+// an approximate view of the search space by sampling embeddings (the paper
+// notes this phase "can be quite expensive especially when there is less
+// overall work"); phase 2 mines exactly which patterns are frequent but —
+// unlike Fractal — does not retain exact support counts: domain counting
+// stops as soon as a pattern provably reaches the threshold, so reported
+// supports are clamped at the threshold ("approximate counts").
+#ifndef FRACTAL_BASELINES_SCALEMINE_LIKE_H_
+#define FRACTAL_BASELINES_SCALEMINE_LIKE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace fractal {
+namespace baselines {
+
+struct ScaleMineOptions {
+  /// Phase-1 sampling effort: random embedding walks performed per level.
+  uint32_t sample_walks = 20000;
+  uint64_t seed = 7;
+};
+
+struct ScaleMineResult {
+  /// Frequent patterns; support values are clamped at the threshold
+  /// (the pattern set matches exact FSM, the counts are approximate).
+  std::unordered_map<Pattern, uint64_t, PatternHash> frequent;
+  double phase1_seconds = 0;
+  double phase2_seconds = 0;
+  double seconds = 0;
+};
+
+ScaleMineResult RunScaleMineFsm(const Graph& graph, uint32_t min_support,
+                                uint32_t max_edges,
+                                const ScaleMineOptions& options = {});
+
+}  // namespace baselines
+}  // namespace fractal
+
+#endif  // FRACTAL_BASELINES_SCALEMINE_LIKE_H_

@@ -1,0 +1,265 @@
+#include "baselines/single_thread.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "enumerate/extension.h"
+#include "enumerate/subgraph.h"
+#include "pattern/canonical.h"
+#include "util/random.h"
+
+namespace fractal {
+namespace baselines {
+namespace {
+
+/// Degeneracy (smallest-last) vertex ordering; rank[v] = position.
+std::vector<uint32_t> DegeneracyRank(const Graph& graph) {
+  const uint32_t n = graph.NumVertices();
+  std::vector<uint32_t> degree(n), rank(n, 0);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket queue.
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+  std::vector<uint8_t> removed(n, 0);
+  uint32_t position = 0;
+  uint32_t current = 0;
+  while (position < n) {
+    while (current <= max_degree && buckets[current].empty()) ++current;
+    if (current > max_degree) break;
+    const VertexId v = buckets[current].back();
+    buckets[current].pop_back();
+    if (removed[v] || degree[v] != current) {
+      // Stale entry: re-bucket if needed.
+      if (!removed[v] && degree[v] < current) {
+        buckets[degree[v]].push_back(v);
+        current = degree[v];
+      }
+      continue;
+    }
+    removed[v] = 1;
+    rank[v] = position++;
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (!removed[u] && degree[u] > 0) {
+        --degree[u];
+        buckets[degree[u]].push_back(u);
+        if (degree[u] < current) current = degree[u];
+      }
+    }
+  }
+  return rank;
+}
+
+}  // namespace
+
+uint64_t TunedTriangleCount(const Graph& graph) {
+  // Forward adjacency by vertex id: for each edge (u, v) with u < v, count
+  // common forward neighbors via two-pointer merge.
+  uint64_t count = 0;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    const auto u_neighbors = graph.Neighbors(u);
+    for (const VertexId v : u_neighbors) {
+      if (v <= u) continue;
+      const auto v_neighbors = graph.Neighbors(v);
+      auto i = std::upper_bound(u_neighbors.begin(), u_neighbors.end(), v);
+      auto j = std::upper_bound(v_neighbors.begin(), v_neighbors.end(), v);
+      while (i != u_neighbors.end() && j != v_neighbors.end()) {
+        if (*i == *j) {
+          ++count;
+          ++i;
+          ++j;
+        } else if (*i < *j) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+uint64_t TunedCliqueCount(const Graph& graph, uint32_t k) {
+  if (k == 1) return graph.NumActiveVertices();
+  if (k == 2) return graph.NumEdges();
+  const std::vector<uint32_t> rank = DegeneracyRank(graph);
+  // DAG adjacency: out-neighbors by increasing degeneracy rank.
+  std::vector<std::vector<VertexId>> out(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (rank[u] > rank[v]) out[v].push_back(u);
+    }
+    std::sort(out[v].begin(), out[v].end());
+  }
+  uint64_t count = 0;
+  std::vector<VertexId> scratch;
+  // Recursive candidate-set intersection over the DAG.
+  std::function<void(const std::vector<VertexId>&, uint32_t)> expand =
+      [&](const std::vector<VertexId>& candidates, uint32_t remaining) {
+        if (remaining == 0) {
+          ++count;
+          return;
+        }
+        for (const VertexId v : candidates) {
+          if (remaining == 1) {
+            ++count;
+            continue;
+          }
+          scratch.clear();
+          std::set_intersection(candidates.begin(), candidates.end(),
+                                out[v].begin(), out[v].end(),
+                                std::back_inserter(scratch));
+          if (scratch.size() + 1 >= remaining) {
+            std::vector<VertexId> next = scratch;
+            expand(next, remaining - 1);
+          }
+        }
+      };
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!graph.IsVertexActive(v)) continue;
+    expand(out[v], k - 1);
+  }
+  return count;
+}
+
+std::unordered_map<Pattern, uint64_t, PatternHash> TunedMotifCounts(
+    const Graph& graph, uint32_t k) {
+  std::unordered_map<Pattern, uint64_t, PatternHash> counts;
+  VertexInducedStrategy strategy;
+  ExtensionContext ctx;
+  CanonicalPatternCache cache;
+  Subgraph subgraph;
+  std::vector<std::vector<uint32_t>> scratch(k + 1);
+  std::function<void(uint32_t)> recurse = [&](uint32_t depth) {
+    if (depth == k) {
+      ++counts[cache.Canonicalize(subgraph.QuickPattern(graph)).pattern];
+      return;
+    }
+    auto& extensions = scratch[depth];
+    strategy.ComputeExtensions(graph, subgraph, ctx, &extensions);
+    const std::vector<uint32_t> local = extensions;
+    for (const uint32_t extension : local) {
+      subgraph.PushVertexInduced(graph, extension);
+      recurse(depth + 1);
+      subgraph.Pop();
+    }
+  };
+  recurse(0);
+  return counts;
+}
+
+uint64_t TunedQueryCount(const Graph& graph, const Pattern& query) {
+  const PatternInducedStrategy strategy(query);
+  ExtensionContext ctx;
+  Subgraph subgraph;
+  uint64_t count = 0;
+  const uint32_t target = query.NumVertices();
+  std::function<void(uint32_t)> recurse = [&](uint32_t depth) {
+    if (depth == target) {
+      ++count;
+      return;
+    }
+    std::vector<uint32_t> extensions;
+    strategy.ComputeExtensions(graph, subgraph, ctx, &extensions);
+    for (const uint32_t extension : extensions) {
+      strategy.Apply(graph, extension, &subgraph);
+      recurse(depth + 1);
+      strategy.Undo(graph, &subgraph);
+    }
+  };
+  recurse(0);
+  return count;
+}
+
+std::unordered_map<Pattern, uint64_t, PatternHash> TunedFsm(
+    const Graph& graph, uint32_t min_support, uint32_t max_edges) {
+  EdgeInducedStrategy strategy;
+  ExtensionContext ctx;
+  CanonicalPatternCache cache;
+  // Domain maps per canonical pattern, rebuilt per level (pattern growth).
+  struct Domains {
+    std::vector<std::unordered_map<VertexId, bool>> sets;
+  };
+  std::unordered_map<Pattern, uint64_t, PatternHash> frequent_all;
+  std::unordered_map<Pattern, uint64_t, PatternHash> frequent_level;
+
+  Subgraph subgraph;
+  for (uint32_t level = 1; level <= max_edges; ++level) {
+    std::unordered_map<Pattern, std::vector<std::unordered_map<VertexId, bool>>,
+                       PatternHash>
+        domains;
+    // Enumerate all level-edge subgraphs whose (level-1)-prefix pattern was
+    // frequent (anti-monotone pruning).
+    std::function<void(uint32_t)> recurse = [&](uint32_t depth) {
+      if (depth > 0) {
+        const CanonicalResult& canonical =
+            cache.Canonicalize(subgraph.QuickPattern(graph));
+        if (depth < level) {
+          if (depth >= 1 && !frequent_all.count(canonical.pattern) &&
+              depth < level) {
+            // Prefix pattern infrequent: prune (only from level 2 on).
+            if (level > 1) return;
+          }
+        } else {
+          auto& pattern_domains = domains[canonical.pattern];
+          pattern_domains.resize(subgraph.NumVertices());
+          for (uint32_t i = 0; i < subgraph.NumVertices(); ++i) {
+            pattern_domains[canonical.orbit[canonical.permutation[i]]]
+                           [subgraph.VertexAt(i)] = true;
+          }
+          return;
+        }
+      }
+      std::vector<uint32_t> extensions;
+      strategy.ComputeExtensions(graph, subgraph, ctx, &extensions);
+      for (const uint32_t extension : extensions) {
+        subgraph.PushEdgeInduced(graph, extension);
+        recurse(depth + 1);
+        subgraph.Pop();
+      }
+    };
+    recurse(0);
+
+    frequent_level.clear();
+    for (const auto& [pattern, pattern_domains] : domains) {
+      uint64_t support = UINT64_MAX;
+      bool any = false;
+      for (const auto& domain : pattern_domains) {
+        if (domain.empty()) continue;
+        support = std::min<uint64_t>(support, domain.size());
+        any = true;
+      }
+      if (any && support >= min_support) frequent_level[pattern] = support;
+    }
+    if (frequent_level.empty()) break;
+    for (const auto& [pattern, support] : frequent_level) {
+      frequent_all[pattern] = support;
+    }
+  }
+  return frequent_all;
+}
+
+uint64_t DoulionTriangleEstimate(const Graph& graph, double p, uint64_t seed) {
+  FRACTAL_CHECK(p > 0 && p <= 1.0);
+  SplitMix64 rng(seed);
+  // Sparsify: keep each edge with probability p.
+  GraphBuilder builder;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    builder.AddVertex(graph.VertexLabel(v));
+  }
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    if (rng.NextDouble() < p) {
+      const EdgeEndpoints& ends = graph.Endpoints(e);
+      builder.AddEdge(ends.src, ends.dst, graph.GetEdgeLabel(e));
+    }
+  }
+  const Graph sparse = std::move(builder).Build();
+  const double scale = 1.0 / (p * p * p);
+  return static_cast<uint64_t>(TunedTriangleCount(sparse) * scale + 0.5);
+}
+
+}  // namespace baselines
+}  // namespace fractal

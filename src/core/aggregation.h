@@ -1,0 +1,178 @@
+// The Aggregation primitive (paper §3, W2): maps each subgraph to a
+// key/value entry and reduces values sharing a key. An AggregationSpec packs
+// the user's key/value/reduce/post-filter functions; each execution thread
+// accumulates into its own AggregationStorage, and the executor merges the
+// thread-local storages into the step's final result (then applies the
+// optional aggregation filter `aggFilter`).
+//
+// Typed K/V with std::function user hooks; the executor manipulates
+// storages through the type-erased base classes.
+#ifndef FRACTAL_CORE_AGGREGATION_H_
+#define FRACTAL_CORE_AGGREGATION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "enumerate/subgraph.h"
+#include "util/check.h"
+
+namespace fractal {
+
+class Computation;
+
+/// Type-erased view of an aggregation result / accumulator.
+class AggregationStorageBase {
+ public:
+  virtual ~AggregationStorageBase() = default;
+
+  /// Maps `subgraph` to a key/value entry and reduces it in.
+  virtual void Accumulate(const Subgraph& subgraph, Computation& comp) = 0;
+
+  /// Merges (and consumes) another storage created by the same spec.
+  virtual void MergeFrom(AggregationStorageBase& other) = 0;
+
+  /// Applies the spec's post-filter (aggFilter), dropping failing entries.
+  virtual void ApplyPostFilter() = 0;
+
+  virtual size_t NumEntries() const = 0;
+
+  /// Rough heap footprint in bytes (for memory drilldowns).
+  virtual uint64_t ApproxBytes() const = 0;
+};
+
+/// Type-erased aggregation descriptor (the payload of an A primitive).
+class AggregationSpecBase {
+ public:
+  explicit AggregationSpecBase(std::string name) : name_(std::move(name)) {}
+  virtual ~AggregationSpecBase() = default;
+
+  const std::string& name() const { return name_; }
+
+  virtual std::unique_ptr<AggregationStorageBase> CreateStorage() const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// Typed aggregation storage: an unordered_map<K, V> plus the user hooks.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class AggregationStorage : public AggregationStorageBase {
+ public:
+  /// Key extractor (paper: `key: (Subgraph, Computation) => K`).
+  using KeyFn = std::function<K(const Subgraph&, Computation&)>;
+  /// Value extractor (paper: `value: (Subgraph, Computation) => V`).
+  using ValueFn = std::function<V(const Subgraph&, Computation&)>;
+  /// In-place reduction: folds `from` into `into` (paper: `(V, V) => V`).
+  using ReduceFn = std::function<void(V& into, V&& from)>;
+  /// Final filter on reduced entries (paper: `aggFilter: (K, V) => Boolean`).
+  using PostFilterFn = std::function<bool(const K&, const V&)>;
+
+  AggregationStorage(KeyFn key_fn, ValueFn value_fn, ReduceFn reduce_fn,
+                     PostFilterFn post_filter)
+      : key_fn_(std::move(key_fn)),
+        value_fn_(std::move(value_fn)),
+        reduce_fn_(std::move(reduce_fn)),
+        post_filter_(std::move(post_filter)) {}
+
+  void Accumulate(const Subgraph& subgraph, Computation& comp) override {
+    K key = key_fn_(subgraph, comp);
+    V value = value_fn_(subgraph, comp);
+    auto [it, inserted] = entries_.try_emplace(std::move(key));
+    if (inserted) {
+      it->second = std::move(value);
+    } else {
+      reduce_fn_(it->second, std::move(value));
+    }
+  }
+
+  void MergeFrom(AggregationStorageBase& other_base) override {
+    auto* other = dynamic_cast<AggregationStorage*>(&other_base);
+    FRACTAL_CHECK(other != nullptr) << "merging incompatible aggregations";
+    for (auto& [key, value] : other->entries_) {
+      auto [it, inserted] = entries_.try_emplace(key);
+      if (inserted) {
+        it->second = std::move(value);
+      } else {
+        reduce_fn_(it->second, std::move(value));
+      }
+    }
+    other->entries_.clear();
+  }
+
+  void ApplyPostFilter() override {
+    if (!post_filter_) return;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (post_filter_(it->first, it->second)) {
+        ++it;
+      } else {
+        it = entries_.erase(it);
+      }
+    }
+  }
+
+  size_t NumEntries() const override { return entries_.size(); }
+
+  uint64_t ApproxBytes() const override {
+    return entries_.size() * (sizeof(K) + sizeof(V) + 2 * sizeof(void*));
+  }
+
+  const std::unordered_map<K, V, Hash>& entries() const { return entries_; }
+
+  bool Contains(const K& key) const { return entries_.count(key) > 0; }
+
+  const V* Find(const K& key) const {
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<K, V, Hash> entries_;
+  KeyFn key_fn_;
+  ValueFn value_fn_;
+  ReduceFn reduce_fn_;
+  PostFilterFn post_filter_;
+};
+
+/// Typed aggregation descriptor.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class AggregationSpec : public AggregationSpecBase {
+ public:
+  using Storage = AggregationStorage<K, V, Hash>;
+
+  AggregationSpec(std::string name, typename Storage::KeyFn key_fn,
+                  typename Storage::ValueFn value_fn,
+                  typename Storage::ReduceFn reduce_fn,
+                  typename Storage::PostFilterFn post_filter = nullptr)
+      : AggregationSpecBase(std::move(name)),
+        key_fn_(std::move(key_fn)),
+        value_fn_(std::move(value_fn)),
+        reduce_fn_(std::move(reduce_fn)),
+        post_filter_(std::move(post_filter)) {}
+
+  std::unique_ptr<AggregationStorageBase> CreateStorage() const override {
+    return std::make_unique<Storage>(key_fn_, value_fn_, reduce_fn_,
+                                     post_filter_);
+  }
+
+ private:
+  typename Storage::KeyFn key_fn_;
+  typename Storage::ValueFn value_fn_;
+  typename Storage::ReduceFn reduce_fn_;
+  typename Storage::PostFilterFn post_filter_;
+};
+
+/// Downcasts a completed storage to its typed form (CHECKs on mismatch).
+template <typename K, typename V, typename Hash = std::hash<K>>
+const AggregationStorage<K, V, Hash>& TypedStorage(
+    const AggregationStorageBase& base) {
+  const auto* typed = dynamic_cast<const AggregationStorage<K, V, Hash>*>(&base);
+  FRACTAL_CHECK(typed != nullptr) << "aggregation type mismatch";
+  return *typed;
+}
+
+}  // namespace fractal
+
+#endif  // FRACTAL_CORE_AGGREGATION_H_

@@ -1,0 +1,87 @@
+// FractalContext / FractalGraph: the entry points of a Fractal application
+// (paper §3.1, Figs. 2-3). The context configures the simulated cluster; a
+// fractal graph wraps an input graph and hands out fractoids:
+//
+//   FractalContext fctx(config);
+//   FractalGraph graph = fctx.AdjacencyList(path);        // or FromGraph
+//   Fractoid vfrac = graph.VFractoid();                    // B1
+//   Fractoid efrac = graph.EFractoid();                    // B2
+//   Fractoid pfrac = graph.PFractoid(pattern);             // B3
+//
+// Graph reduction (paper §4.3, Fig. 10) is exposed as VFilter/EFilter,
+// returning a new FractalGraph over the materialized reduced graph.
+#ifndef FRACTAL_CORE_CONTEXT_H_
+#define FRACTAL_CORE_CONTEXT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/executor.h"
+#include "core/fractoid.h"
+#include "graph/graph_reduce.h"
+#include "util/status.h"
+
+namespace fractal {
+
+class FractalGraph;
+
+/// Configures and initializes the resources of a Fractal application
+/// (paper C1). Owns the default ExecutionConfig used by fractoids created
+/// through it.
+class FractalContext {
+ public:
+  explicit FractalContext(ExecutionConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// I1: loads a graph in the adjacency-list text format.
+  StatusOr<FractalGraph> AdjacencyList(const std::string& path) const;
+
+  /// Builds a fractal graph from an in-memory graph.
+  FractalGraph FromGraph(Graph graph) const;
+
+  const ExecutionConfig& config() const { return config_; }
+  ExecutionConfig* mutable_config() { return &config_; }
+
+ private:
+  ExecutionConfig config_;
+};
+
+/// A (possibly reduced) input graph from which fractoids are derived.
+/// Cheap to copy (shares the underlying immutable graph).
+class FractalGraph {
+ public:
+  FractalGraph(std::shared_ptr<const Graph> graph, ExecutionConfig config)
+      : graph_(std::move(graph)), config_(std::move(config)) {}
+
+  /// B1: vertex-induced fractoid.
+  Fractoid VFractoid() const;
+  /// B2: edge-induced fractoid.
+  Fractoid EFractoid() const;
+  /// B3: pattern-induced fractoid guided by `pattern`.
+  Fractoid PFractoid(Pattern pattern) const;
+
+  /// Advanced (paper Appendix B): fractoid with a custom extension
+  /// strategy, e.g. KClistStrategy for optimized clique listing.
+  Fractoid CustomFractoid(
+      std::shared_ptr<const ExtensionStrategy> strategy) const;
+
+  /// R1: reduced fractal graph keeping only vertices passing the filter.
+  FractalGraph VFilter(const VertexPredicate& keep) const;
+  /// R2: reduced fractal graph keeping only edges passing the filter.
+  FractalGraph EFilter(const EdgePredicate& keep) const;
+  /// R1+R2 in one materialization pass.
+  FractalGraph Reduce(const VertexPredicate& vertex_keep,
+                      const EdgePredicate& edge_keep) const;
+
+  const Graph& graph() const { return *graph_; }
+  const std::shared_ptr<const Graph>& shared_graph() const { return graph_; }
+  const ExecutionConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  ExecutionConfig config_;
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_CORE_CONTEXT_H_

@@ -1,0 +1,111 @@
+// Shared execution types: configuration, results, and the cached
+// aggregation state a fractoid carries between executions (the paper's
+// "fractoid holds ... any aggregation result required for computation").
+#ifndef FRACTAL_CORE_EXECUTION_TYPES_H_
+#define FRACTAL_CORE_EXECUTION_TYPES_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "enumerate/subgraph.h"
+#include "runtime/message_bus.h"
+#include "runtime/telemetry.h"
+
+namespace fractal {
+
+/// How a fractoid is executed on the simulated cluster (paper §4/5.2.2
+/// work-stealing configurations map to the two stealing flags).
+struct ExecutionConfig {
+  /// Simulated worker processes (paper: machines/executors).
+  uint32_t num_workers = 1;
+  /// Execution threads ("cores") per worker.
+  uint32_t threads_per_worker = 2;
+
+  /// WS_int: stealing between cores of the same worker.
+  bool internal_work_stealing = true;
+  /// WS_ext: stealing between workers through the message bus.
+  bool external_work_stealing = true;
+
+  /// Simulated network parameters for WS_ext.
+  NetworkConfig network;
+
+  /// Collect matched subgraphs of the final step (otherwise only counted).
+  bool collect_subgraphs = false;
+  /// Cap on collected subgraphs (protects memory on huge result sets).
+  uint64_t max_collected_subgraphs = UINT64_MAX;
+
+  /// Reuse aggregations cached on the fractoid from earlier executions
+  /// (paper §4.1: W4 aggregation results are never recomputed).
+  bool reuse_cached_aggregations = true;
+
+  /// Fault injection for resilience testing: worker `crash_worker` "dies"
+  /// (abandons its threads' state) once it has consumed
+  /// `crash_after_work_units` extensions during a step. The from-scratch
+  /// execution model makes recovery trivial: the step is simply re-executed
+  /// (the paper inherits this resilience from Spark's lineage; here the
+  /// executor retries directly). The injection fires at most once.
+  int32_t crash_worker = -1;
+  uint64_t crash_after_work_units = 0;
+  /// Step re-execution attempts after a worker failure.
+  uint32_t max_step_retries = 2;
+
+  uint32_t TotalThreads() const { return num_workers * threads_per_worker; }
+};
+
+/// Completed aggregation of one A-primitive occurrence. `spec` is kept for
+/// identity checking when fractoid branches share cached state.
+struct CompletedAggregation {
+  const AggregationSpecBase* spec = nullptr;
+  std::shared_ptr<AggregationStorageBase> storage;
+};
+
+/// Aggregation results cached across executions of derived fractoids.
+struct ExecutionState {
+  std::mutex mu;
+  std::unordered_map<uint32_t, CompletedAggregation> completed;
+};
+
+/// Everything one fractoid execution produced.
+struct ExecutionResult {
+  /// Subgraphs reaching the end of the final step's pipeline.
+  uint64_t num_subgraphs = 0;
+  /// Collected subgraphs (when ExecutionConfig::collect_subgraphs).
+  std::vector<Subgraph> subgraphs;
+  /// Completed aggregations by A-primitive index.
+  std::unordered_map<uint32_t, std::shared_ptr<AggregationStorageBase>>
+      aggregations;
+  /// Last A-primitive index per aggregation name.
+  std::unordered_map<std::string, uint32_t> last_aggregate_by_name;
+  /// Telemetry of all executed steps.
+  ExecutionTelemetry telemetry;
+  /// Peak enumerator-state bytes across threads (Fractal's intermediate
+  /// state — contrast with the BFS baseline's embedding lists, Table 2).
+  uint64_t peak_state_bytes = 0;
+  /// Number of fractal steps the workflow compiled into / actually ran.
+  uint32_t num_steps = 0;
+  uint32_t steps_executed = 0;
+  /// Step executions abandoned due to (injected) worker failures and
+  /// recovered by re-execution.
+  uint32_t steps_retried = 0;
+
+  /// Typed view of the final aggregation registered under `name`.
+  template <typename K, typename V, typename Hash = std::hash<K>>
+  const AggregationStorage<K, V, Hash>& Aggregation(
+      const std::string& name) const {
+    const auto name_it = last_aggregate_by_name.find(name);
+    FRACTAL_CHECK(name_it != last_aggregate_by_name.end())
+        << "no aggregation named '" << name << "'";
+    const auto it = aggregations.find(name_it->second);
+    FRACTAL_CHECK(it != aggregations.end());
+    return TypedStorage<K, V, Hash>(*it->second);
+  }
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_CORE_EXECUTION_TYPES_H_

@@ -1,0 +1,37 @@
+// Parallel fractoid execution on the simulated cluster (paper §4):
+//   * Algorithm 2: the workflow is compiled into fractal steps; each step
+//     re-enumerates from scratch (DFS), reusing aggregations computed by
+//     earlier steps.
+//   * Algorithm 1: within a step, every core runs a recursive DFS over
+//     subgraph enumerators, one enumerator per extension level, reused
+//     across siblings (bounded memory).
+//   * §4.2: hierarchical work stealing — idle cores first steal from
+//     enumerators of sibling cores in the same worker (WS_int), then issue
+//     steal requests to other workers over the message bus (WS_ext), where
+//     stolen work crosses the boundary serialized.
+#ifndef FRACTAL_CORE_EXECUTOR_H_
+#define FRACTAL_CORE_EXECUTOR_H_
+
+#include "core/execution_types.h"
+#include "core/fractoid.h"
+
+namespace fractal {
+
+/// Executes all (non-cached) steps of `fractoid` under `config`.
+/// Thread-safe with respect to distinct fractoids; executing the same
+/// fractoid concurrently is not supported.
+ExecutionResult ExecuteFractoid(const Fractoid& fractoid,
+                                const ExecutionConfig& config);
+
+/// Streaming variant of the O1 output operator: `sink` is invoked for every
+/// subgraph reaching the end of the final step, from the execution threads
+/// as results are found (no materialization). The sink MUST be thread-safe;
+/// the Subgraph reference is only valid during the call.
+using SubgraphSink = std::function<void(const Subgraph&)>;
+ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
+                                         const ExecutionConfig& config,
+                                         const SubgraphSink& sink);
+
+}  // namespace fractal
+
+#endif  // FRACTAL_CORE_EXECUTOR_H_

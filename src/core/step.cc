@@ -1,0 +1,32 @@
+#include "core/step.h"
+
+#include "util/check.h"
+
+namespace fractal {
+
+std::vector<StepPlan> CompileSteps(const std::vector<Primitive>& workflow) {
+  FRACTAL_CHECK(!workflow.empty()) << "empty workflow";
+  FRACTAL_CHECK(workflow[0].kind == Primitive::Kind::kExpand)
+      << "workflows must start with Expand";
+
+  std::vector<StepPlan> steps;
+  uint32_t previous_end = 0;
+  for (uint32_t index = 0; index < workflow.size(); ++index) {
+    const Primitive& primitive = workflow[index];
+    if (primitive.kind != Primitive::Kind::kAggregationFilter) continue;
+    FRACTAL_CHECK(primitive.source_primitive >= 0);
+    const uint32_t source = static_cast<uint32_t>(primitive.source_primitive);
+    // Synchronization point: the filter reads an aggregation not yet
+    // computed by an already-emitted step.
+    if (source >= previous_end) {
+      FRACTAL_CHECK(source < index);
+      steps.push_back({previous_end, index});
+      previous_end = index;
+    }
+  }
+  steps.push_back({previous_end,
+                   static_cast<uint32_t>(workflow.size())});
+  return steps;
+}
+
+}  // namespace fractal

@@ -1,0 +1,30 @@
+// Fractal-step compilation (paper §4.1, Algorithm 2, FROM-SCRATCH-EXECUTION):
+// a workflow is cut at synchronization points — aggregation-reading filters
+// (W4) whose source aggregation is not yet computed — into steps. Steps
+// accumulate their ancestors' primitives, so each step re-enumerates from
+// scratch; aggregation results computed by earlier steps are reused.
+#ifndef FRACTAL_CORE_STEP_H_
+#define FRACTAL_CORE_STEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/primitives.h"
+
+namespace fractal {
+
+/// One fractal step: executes workflow primitives [0, end); the aggregation
+/// primitives in [new_begin, end) are the ones this step computes (earlier
+/// ones were computed by ancestor steps and are reused).
+struct StepPlan {
+  uint32_t new_begin = 0;
+  uint32_t end = 0;
+};
+
+/// Implements Algorithm 2's step construction. The workflow must start with
+/// an E primitive (every fractoid begins by extending the empty subgraph).
+std::vector<StepPlan> CompileSteps(const std::vector<Primitive>& workflow);
+
+}  // namespace fractal
+
+#endif  // FRACTAL_CORE_STEP_H_

@@ -1,0 +1,34 @@
+#include "enumerate/enumerator.h"
+
+namespace fractal {
+
+void SubgraphEnumerator::Refill(const Subgraph& prefix,
+                                uint32_t primitive_index,
+                                std::vector<uint32_t>&& extensions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prefix_ = prefix;
+  primitive_index_ = primitive_index;
+  extensions_.swap(extensions);
+  size_hint_ = static_cast<uint32_t>(extensions_.size());
+  cursor_.store(0, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_release);
+}
+
+void SubgraphEnumerator::Deactivate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.store(false, std::memory_order_release);
+}
+
+std::optional<SubgraphEnumerator::StolenWork> SubgraphEnumerator::TrySteal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.load(std::memory_order_acquire)) return std::nullopt;
+  const uint32_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= extensions_.size()) return std::nullopt;
+  StolenWork work;
+  work.prefix = prefix_;
+  work.extension = extensions_[index];
+  work.primitive_index = primitive_index_;
+  return work;
+}
+
+}  // namespace fractal

@@ -1,0 +1,87 @@
+// SubgraphEnumerator (paper §4.1, Fig. 7): holds an enumeration prefix (the
+// subgraph under extension) plus its precomputed extension candidates and a
+// consumption cursor. One enumerator lives at each DFS level of each
+// execution thread and is *reused* across siblings at that level.
+//
+// Work stealing (paper §4.2) is implemented directly on this structure: the
+// extension cursor is atomic and consumption is thread-safe, so an idle
+// thread can claim one pending extension together with a snapshot of the
+// prefix — a self-contained piece of work that can also be serialized and
+// shipped to another worker (external stealing).
+//
+// Concurrency contract:
+//   * the owner thread Refill()s and Deactivate()s the enumerator and
+//     consumes extensions lock-free (only the owner mutates storage);
+//   * thieves TrySteal() under the mutex, which guarantees the prefix and
+//     extension storage stay valid while they copy.
+#ifndef FRACTAL_ENUMERATE_ENUMERATOR_H_
+#define FRACTAL_ENUMERATE_ENUMERATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "enumerate/subgraph.h"
+
+namespace fractal {
+
+class SubgraphEnumerator {
+ public:
+  SubgraphEnumerator() = default;
+
+  SubgraphEnumerator(const SubgraphEnumerator&) = delete;
+  SubgraphEnumerator& operator=(const SubgraphEnumerator&) = delete;
+
+  /// Owner: installs a new prefix and extension set; resets the cursor and
+  /// activates the enumerator. `extensions` is consumed (swap).
+  void Refill(const Subgraph& prefix, uint32_t primitive_index,
+              std::vector<uint32_t>&& extensions);
+
+  /// Owner: marks the enumerator empty. Blocks until in-flight steals
+  /// finish copying, after which the prefix may be invalidated.
+  void Deactivate();
+
+  /// Owner: claims the next extension, or nullopt when exhausted.
+  /// Lock-free (storage is only mutated by the owner itself).
+  std::optional<uint32_t> ConsumeNext() {
+    if (!active_.load(std::memory_order_acquire)) return std::nullopt;
+    const uint32_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= extensions_.size()) return std::nullopt;
+    return extensions_[index];
+  }
+
+  /// One unit of stolen work: prefix + a single claimed extension, plus the
+  /// primitive index at which processing of the extended subgraph resumes.
+  struct StolenWork {
+    Subgraph prefix;
+    uint32_t extension = 0;
+    uint32_t primitive_index = 0;
+  };
+
+  /// Thief: claims one extension and snapshots the prefix. Returns nullopt
+  /// when inactive or exhausted.
+  std::optional<StolenWork> TrySteal();
+
+  /// Racy hint for victim selection: whether unclaimed extensions remain.
+  bool LooksNonEmpty() const {
+    return active_.load(std::memory_order_relaxed) &&
+           cursor_.load(std::memory_order_relaxed) < size_hint_;
+  }
+
+  uint32_t primitive_index() const { return primitive_index_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<uint32_t> cursor_{0};
+  std::atomic<bool> active_{false};
+  uint32_t size_hint_ = 0;  // extensions_.size(), readable without lock
+  uint32_t primitive_index_ = 0;
+  std::vector<uint32_t> extensions_;
+  Subgraph prefix_;
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_ENUMERATE_ENUMERATOR_H_

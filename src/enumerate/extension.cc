@@ -1,0 +1,331 @@
+#include "enumerate/extension.h"
+
+#include <algorithm>
+
+namespace fractal {
+namespace {
+
+/// Arabesque canonical check for vertex words: candidate u extends the word
+/// canonically iff u > word[0] and u > word[i] for every position i after
+/// u's first attachment point. Returns false when u is not connected at all.
+bool CanonicalVertexExtension(const Graph& graph,
+                              std::span<const VertexId> word, VertexId u) {
+  if (u < word[0]) return false;
+  bool found_neighbor = false;
+  for (const VertexId w : word) {
+    if (!found_neighbor) {
+      if (graph.IsAdjacent(w, u)) found_neighbor = true;
+    } else if (u < w) {
+      return false;
+    }
+  }
+  return found_neighbor;
+}
+
+/// First position in the vertex word adjacent to u, or word size if none.
+uint32_t FirstAttachment(const Graph& graph, std::span<const VertexId> word,
+                         VertexId u) {
+  for (uint32_t i = 0; i < word.size(); ++i) {
+    if (graph.IsAdjacent(word[i], u)) return i;
+  }
+  return static_cast<uint32_t>(word.size());
+}
+
+/// Whether edges a and b share an endpoint.
+bool EdgesTouch(const Graph& graph, EdgeId a, EdgeId b) {
+  const EdgeEndpoints& ea = graph.Endpoints(a);
+  const EdgeEndpoints& eb = graph.Endpoints(b);
+  return ea.src == eb.src || ea.src == eb.dst || ea.dst == eb.src ||
+         ea.dst == eb.dst;
+}
+
+}  // namespace
+
+void VertexInducedStrategy::ComputeExtensions(const Graph& graph,
+                                              const Subgraph& subgraph,
+                                              ExtensionContext& ctx,
+                                              std::vector<uint32_t>* out) const {
+  out->clear();
+  if (subgraph.Empty()) {
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      ++ctx.extension_tests;
+      if (graph.IsVertexActive(v)) out->push_back(v);
+    }
+    return;
+  }
+  const auto word = subgraph.Vertices();
+  // Emit each candidate exactly once: from its first attachment position.
+  for (uint32_t position = 0; position < word.size(); ++position) {
+    for (const VertexId u : graph.Neighbors(word[position])) {
+      ++ctx.extension_tests;
+      if (subgraph.ContainsVertex(u)) continue;
+      if (FirstAttachment(graph, word, u) != position) continue;
+      if (!CanonicalVertexExtension(graph, word, u)) continue;
+      out->push_back(u);
+    }
+  }
+}
+
+void VertexInducedStrategy::Apply(const Graph& graph, uint32_t extension,
+                                  Subgraph* subgraph) const {
+  subgraph->PushVertexInduced(graph, extension);
+}
+
+void EdgeInducedStrategy::ComputeExtensions(const Graph& graph,
+                                            const Subgraph& subgraph,
+                                            ExtensionContext& ctx,
+                                            std::vector<uint32_t>* out) const {
+  out->clear();
+  if (subgraph.Empty()) {
+    for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+      ++ctx.extension_tests;
+      out->push_back(e);
+    }
+    return;
+  }
+  const auto word = subgraph.Edges();
+  // Candidates: edges incident to any subgraph vertex. Emit a candidate
+  // only while scanning its first touching word position; then apply the
+  // canonical word check (the edge analog of the vertex rule).
+  for (uint32_t position = 0; position < word.size(); ++position) {
+    const EdgeEndpoints& base = graph.Endpoints(word[position]);
+    for (const VertexId endpoint : {base.src, base.dst}) {
+      for (const EdgeId candidate : graph.IncidentEdges(endpoint)) {
+        ++ctx.extension_tests;
+        if (candidate < word[0]) continue;
+        if (subgraph.ContainsEdge(candidate)) continue;
+        // First touching position must be `position` (dedup across the two
+        // endpoint scans is handled below: a candidate touching base.src is
+        // also seen from base.dst only if it touches both, in which case we
+        // keep the src scan occurrence).
+        uint32_t first_touch = UINT32_MAX;
+        for (uint32_t i = 0; i <= position; ++i) {
+          if (EdgesTouch(graph, word[i], candidate)) {
+            first_touch = i;
+            break;
+          }
+        }
+        if (first_touch != position) continue;
+        if (endpoint == base.dst && EdgesTouch(graph, word[position], candidate) &&
+            [&] {
+              const EdgeEndpoints& ec = graph.Endpoints(candidate);
+              return ec.src == base.src || ec.dst == base.src;
+            }()) {
+          continue;  // already emitted from the src endpoint scan
+        }
+        // Canonical word check: candidate must exceed every word element
+        // after its first touching position.
+        bool canonical = true;
+        for (uint32_t i = position + 1; i < word.size(); ++i) {
+          if (candidate < word[i]) {
+            canonical = false;
+            break;
+          }
+        }
+        if (canonical) out->push_back(candidate);
+      }
+    }
+  }
+}
+
+void EdgeInducedStrategy::Apply(const Graph& graph, uint32_t extension,
+                                Subgraph* subgraph) const {
+  subgraph->PushEdgeInduced(graph, extension);
+}
+
+PatternInducedStrategy::PatternInducedStrategy(Pattern pattern,
+                                               MatchSemantics semantics)
+    : pattern_(std::move(pattern)), semantics_(semantics) {
+  const uint32_t n = pattern_.NumVertices();
+  FRACTAL_CHECK(n >= 1);
+  FRACTAL_CHECK(pattern_.IsConnected())
+      << "pattern-induced extension needs a connected pattern";
+
+  // Matching order: highest-degree position first, then greedily the
+  // position with most edges into the ordered prefix (ties: lower index).
+  std::vector<uint8_t> placed(n, 0);
+  uint32_t start = 0;
+  for (uint32_t v = 1; v < n; ++v) {
+    if (pattern_.Degree(v) > pattern_.Degree(start)) start = v;
+  }
+  plan_order_.push_back(start);
+  placed[start] = 1;
+  while (plan_order_.size() < n) {
+    uint32_t best = UINT32_MAX;
+    uint32_t best_links = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      uint32_t links = 0;
+      for (const uint32_t u : plan_order_) {
+        if (pattern_.IsAdjacent(u, v)) ++links;
+      }
+      if (links == 0) continue;
+      if (best == UINT32_MAX || links > best_links ||
+          (links == best_links && pattern_.Degree(v) > pattern_.Degree(best))) {
+        best = v;
+        best_links = links;
+      }
+    }
+    FRACTAL_CHECK(best != UINT32_MAX);  // connected pattern
+    plan_order_.push_back(best);
+    placed[best] = 1;
+  }
+  plan_index_.assign(n, 0);
+  for (uint32_t step = 0; step < n; ++step) {
+    plan_index_[plan_order_[step]] = step;
+  }
+
+  for (const SymmetryCondition& condition :
+       SymmetryBreakingConditions(pattern_)) {
+    plan_conditions_.push_back(
+        {plan_index_[condition.smaller], plan_index_[condition.larger]});
+  }
+
+  required_neighbors_.resize(n);
+  for (uint32_t step = 1; step < n; ++step) {
+    const uint32_t position = plan_order_[step];
+    for (uint32_t earlier = 0; earlier < step; ++earlier) {
+      const uint32_t earlier_position = plan_order_[earlier];
+      if (pattern_.IsAdjacent(position, earlier_position)) {
+        required_neighbors_[step].push_back(
+            {earlier,
+             pattern_.EdgeLabelBetween(position, earlier_position)});
+      }
+    }
+    FRACTAL_CHECK(!required_neighbors_[step].empty());
+  }
+}
+
+void PatternInducedStrategy::ComputeExtensions(const Graph& graph,
+                                               const Subgraph& subgraph,
+                                               ExtensionContext& ctx,
+                                               std::vector<uint32_t>* out) const {
+  out->clear();
+  const uint32_t step = subgraph.NumVertices();
+  if (step >= pattern_.NumVertices()) return;  // complete match
+
+  if (step == 0) {
+    const Label wanted = FirstLabel();
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      ++ctx.extension_tests;
+      if (!graph.IsVertexActive(v)) continue;
+      if (graph.VertexLabel(v) != wanted) continue;
+      bool ok = true;
+      // Conditions where step 0 must be larger can never involve an earlier
+      // step; nothing to check yet.
+      if (ok) out->push_back(v);
+    }
+    return;
+  }
+
+  const auto matched = subgraph.Vertices();
+  const Label wanted = pattern_.VertexLabel(plan_order_[step]);
+  const auto& required = required_neighbors_[step];
+
+  // Scan the neighbor list of the required neighbor with smallest degree.
+  uint32_t pivot = 0;
+  for (uint32_t i = 1; i < required.size(); ++i) {
+    if (graph.Degree(matched[required[i].step]) <
+        graph.Degree(matched[required[pivot].step])) {
+      pivot = i;
+    }
+  }
+
+  for (const VertexId u : graph.Neighbors(matched[required[pivot].step])) {
+    ++ctx.extension_tests;
+    if (graph.VertexLabel(u) != wanted) continue;
+    if (subgraph.ContainsVertex(u)) continue;
+    bool ok = true;
+    for (const RequiredNeighbor& req : required) {
+      const auto edge = graph.EdgeBetween(matched[req.step], u);
+      if (!edge || graph.GetEdgeLabel(*edge) != req.edge_label) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && semantics_ == MatchSemantics::kInduced) {
+      // Induced: no graph edge may exist where the pattern has none.
+      for (uint32_t earlier = 0; earlier < step && ok; ++earlier) {
+        if (!pattern_.IsAdjacent(plan_order_[earlier], plan_order_[step]) &&
+            graph.IsAdjacent(matched[earlier], u)) {
+          ok = false;
+        }
+      }
+    }
+    if (!ok) continue;
+    for (const SymmetryCondition& condition : plan_conditions_) {
+      if (condition.larger == step && condition.smaller < step &&
+          u <= matched[condition.smaller]) {
+        ok = false;
+        break;
+      }
+      if (condition.smaller == step && condition.larger < step &&
+          u >= matched[condition.larger]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out->push_back(u);
+  }
+}
+
+void PatternInducedStrategy::Apply(const Graph& graph, uint32_t extension,
+                                   Subgraph* subgraph) const {
+  const uint32_t step = subgraph->NumVertices();
+  std::vector<EdgeId> edges;
+  if (step > 0) {
+    const auto matched = subgraph->Vertices();
+    for (const RequiredNeighbor& req : required_neighbors_[step]) {
+      const auto edge = graph.EdgeBetween(matched[req.step], extension);
+      FRACTAL_DCHECK(edge.has_value());
+      edges.push_back(*edge);
+    }
+  }
+  subgraph->PushVertexWithEdges(extension, edges);
+}
+
+void KClistStrategy::ComputeExtensions(const Graph& graph,
+                                       const Subgraph& subgraph,
+                                       ExtensionContext& ctx,
+                                       std::vector<uint32_t>* out) const {
+  out->clear();
+  if (subgraph.Empty()) {
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      ++ctx.extension_tests;
+      if (graph.IsVertexActive(v)) out->push_back(v);
+    }
+    return;
+  }
+  const auto word = subgraph.Vertices();
+  const VertexId last = word.back();
+  // Pivot on the smallest-degree clique vertex; candidates must be > last
+  // (increasing order gives each clique once) and adjacent to all.
+  uint32_t pivot = 0;
+  for (uint32_t i = 1; i < word.size(); ++i) {
+    if (graph.Degree(word[i]) < graph.Degree(word[pivot])) pivot = i;
+  }
+  const auto neighbors = graph.Neighbors(word[pivot]);
+  const auto begin =
+      std::upper_bound(neighbors.begin(), neighbors.end(), last);
+  for (auto it = begin; it != neighbors.end(); ++it) {
+    const VertexId u = *it;
+    bool ok = true;
+    for (uint32_t i = 0; i < word.size(); ++i) {
+      if (i == pivot) continue;
+      ++ctx.extension_tests;
+      if (!graph.IsAdjacent(word[i], u)) {
+        ok = false;
+        break;
+      }
+    }
+    if (word.size() == 1) ++ctx.extension_tests;
+    if (ok) out->push_back(u);
+  }
+}
+
+void KClistStrategy::Apply(const Graph& graph, uint32_t extension,
+                           Subgraph* subgraph) const {
+  subgraph->PushVertexInduced(graph, extension);
+}
+
+}  // namespace fractal

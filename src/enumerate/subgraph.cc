@@ -1,0 +1,110 @@
+#include "enumerate/subgraph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fractal {
+
+void Subgraph::Clear() {
+  vertices_.clear();
+  edges_.clear();
+  records_.clear();
+}
+
+bool Subgraph::ContainsVertex(VertexId v) const {
+  return std::find(vertices_.begin(), vertices_.end(), v) != vertices_.end();
+}
+
+bool Subgraph::ContainsEdge(EdgeId e) const {
+  return std::find(edges_.begin(), edges_.end(), e) != edges_.end();
+}
+
+void Subgraph::PushVertexInduced(const Graph& graph, VertexId v) {
+  FRACTAL_DCHECK(!ContainsVertex(v));
+  PushRecord record;
+  record.vertices_added = 1;
+  // Add edges in the order of the existing vertex word so that the edge word
+  // is a deterministic function of the vertex word.
+  for (const VertexId existing : vertices_) {
+    if (const auto edge = graph.EdgeBetween(existing, v)) {
+      edges_.push_back(*edge);
+      ++record.edges_added;
+    }
+  }
+  vertices_.push_back(v);
+  records_.push_back(record);
+}
+
+void Subgraph::PushEdgeInduced(const Graph& graph, EdgeId e) {
+  FRACTAL_DCHECK(!ContainsEdge(e));
+  const EdgeEndpoints& endpoints = graph.Endpoints(e);
+  PushRecord record;
+  record.edges_added = 1;
+  edges_.push_back(e);
+  if (!ContainsVertex(endpoints.src)) {
+    vertices_.push_back(endpoints.src);
+    ++record.vertices_added;
+  }
+  if (!ContainsVertex(endpoints.dst)) {
+    vertices_.push_back(endpoints.dst);
+    ++record.vertices_added;
+  }
+  records_.push_back(record);
+}
+
+void Subgraph::PushVertexWithEdges(VertexId v, std::span<const EdgeId> edges) {
+  FRACTAL_DCHECK(!ContainsVertex(v));
+  PushRecord record;
+  record.vertices_added = 1;
+  for (const EdgeId e : edges) {
+    FRACTAL_DCHECK(!ContainsEdge(e));
+    edges_.push_back(e);
+    ++record.edges_added;
+  }
+  vertices_.push_back(v);
+  records_.push_back(record);
+}
+
+void Subgraph::Pop() {
+  FRACTAL_CHECK(!records_.empty()) << "Pop on empty subgraph";
+  const PushRecord record = records_.back();
+  records_.pop_back();
+  vertices_.resize(vertices_.size() - record.vertices_added);
+  edges_.resize(edges_.size() - record.edges_added);
+}
+
+Pattern Subgraph::QuickPattern(const Graph& graph) const {
+  Pattern pattern;
+  for (const VertexId v : vertices_) {
+    pattern.AddVertex(graph.VertexLabel(v));
+  }
+  for (const EdgeId e : edges_) {
+    const EdgeEndpoints& endpoints = graph.Endpoints(e);
+    uint32_t src_position = 0;
+    uint32_t dst_position = 0;
+    for (uint32_t i = 0; i < vertices_.size(); ++i) {
+      if (vertices_[i] == endpoints.src) src_position = i;
+      if (vertices_[i] == endpoints.dst) dst_position = i;
+    }
+    pattern.AddEdge(src_position, dst_position, graph.GetEdgeLabel(e));
+  }
+  return pattern;
+}
+
+std::string Subgraph::ToString() const {
+  std::ostringstream out;
+  out << "V[";
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (i) out << ' ';
+    out << vertices_[i];
+  }
+  out << "] E[";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i) out << ' ';
+    out << edges_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace fractal

@@ -1,0 +1,85 @@
+// Subgraph: the unit of GPM computation (paper Definition 2) — a connected
+// subgraph of the input graph represented by its vertex word and edge word
+// in *addition order*. Designed for DFS enumeration: Push/Pop operations are
+// O(k) and every push is recorded so it can be undone exactly.
+#ifndef FRACTAL_ENUMERATE_SUBGRAPH_H_
+#define FRACTAL_ENUMERATE_SUBGRAPH_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace fractal {
+
+/// Mutable subgraph with push/pop growth. Not thread-safe (one per
+/// execution thread); enumerator prefixes snapshot it by copy.
+class Subgraph {
+ public:
+  Subgraph() = default;
+
+  void Clear();
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(vertices_.size());
+  }
+  uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
+  bool Empty() const { return vertices_.empty() && edges_.empty(); }
+
+  std::span<const VertexId> Vertices() const { return vertices_; }
+  std::span<const EdgeId> Edges() const { return edges_; }
+
+  VertexId VertexAt(uint32_t position) const { return vertices_[position]; }
+  EdgeId EdgeAt(uint32_t position) const { return edges_[position]; }
+  VertexId LastVertex() const { return vertices_.back(); }
+  EdgeId LastEdge() const { return edges_.back(); }
+
+  bool ContainsVertex(VertexId v) const;
+  bool ContainsEdge(EdgeId e) const;
+
+  /// Vertex-induced push: appends v plus every edge connecting v to the
+  /// current vertices (Fig. 1, vertex-induced extension).
+  void PushVertexInduced(const Graph& graph, VertexId v);
+
+  /// Edge-induced push: appends edge e plus its endpoints that are not yet
+  /// in the subgraph (Fig. 1, edge-induced extension).
+  void PushEdgeInduced(const Graph& graph, EdgeId e);
+
+  /// Pattern-induced push: appends v plus exactly the given incident edges
+  /// (the ones the reference pattern requires).
+  void PushVertexWithEdges(VertexId v, std::span<const EdgeId> edges);
+
+  /// Undoes the most recent push (any kind).
+  void Pop();
+
+  /// Number of pushes currently applied.
+  uint32_t Depth() const { return static_cast<uint32_t>(records_.size()); }
+
+  /// The labeled pattern of this subgraph over positions in addition order
+  /// — the "quick pattern" memoization key for canonicalization.
+  Pattern QuickPattern(const Graph& graph) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Subgraph& a, const Subgraph& b) {
+    return a.vertices_ == b.vertices_ && a.edges_ == b.edges_;
+  }
+
+ private:
+  friend class SubgraphCodec;
+
+  struct PushRecord {
+    uint8_t vertices_added = 0;
+    uint8_t edges_added = 0;
+  };
+
+  std::vector<VertexId> vertices_;
+  std::vector<EdgeId> edges_;
+  std::vector<PushRecord> records_;
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_ENUMERATE_SUBGRAPH_H_

@@ -1,0 +1,130 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+
+namespace fractal {
+
+ComponentsResult ConnectedComponents(const Graph& graph) {
+  ComponentsResult result;
+  const uint32_t n = graph.NumVertices();
+  result.component.assign(n, UINT32_MAX);
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (result.component[root] != UINT32_MAX) continue;
+    const uint32_t id = result.num_components++;
+    result.component[root] = id;
+    uint32_t size = 1;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const VertexId u : graph.Neighbors(v)) {
+        if (result.component[u] == UINT32_MAX) {
+          result.component[u] = id;
+          ++size;
+          stack.push_back(u);
+        }
+      }
+    }
+    result.largest_size = std::max(result.largest_size, size);
+  }
+  return result;
+}
+
+CoreResult CoreDecomposition(const Graph& graph) {
+  CoreResult result;
+  const uint32_t n = graph.NumVertices();
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort vertices by degree (classic Batagelj-Zaversnik layout).
+  std::vector<uint32_t> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v]];
+  uint32_t start = 0;
+  for (uint32_t d = 0; d <= max_degree; ++d) {
+    const uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<VertexId> order(n);
+  std::vector<uint32_t> position(n);
+  for (VertexId v = 0; v < n; ++v) {
+    position[v] = bin[degree[v]];
+    order[position[v]] = v;
+    ++bin[degree[v]];
+  }
+  for (uint32_t d = max_degree + 1; d > 0; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    result.core[v] = degree[v];
+    result.degeneracy = std::max(result.degeneracy, degree[v]);
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Move u one bucket down: swap it with the first vertex of its
+        // current bucket.
+        const uint32_t du = degree[u];
+        const uint32_t pu = position[u];
+        const uint32_t pw = bin[du];
+        const VertexId w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          position[u] = pw;
+          position[w] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return result;
+}
+
+GraphStats ComputeStats(const Graph& graph) {
+  GraphStats stats;
+  const uint32_t n = graph.NumVertices();
+  if (n == 0) return stats;
+  uint64_t degree_sum = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t d = graph.Degree(v);
+    degree_sum += d;
+    stats.max_degree = std::max<uint32_t>(stats.max_degree, d);
+    stats.wedges += d * (d - 1) / 2;
+  }
+  stats.mean_degree = static_cast<double>(degree_sum) / n;
+  // Triangles via forward neighbor intersection.
+  for (VertexId u = 0; u < n; ++u) {
+    const auto u_neighbors = graph.Neighbors(u);
+    for (const VertexId v : u_neighbors) {
+      if (v <= u) continue;
+      const auto v_neighbors = graph.Neighbors(v);
+      auto i = std::upper_bound(u_neighbors.begin(), u_neighbors.end(), v);
+      auto j = std::upper_bound(v_neighbors.begin(), v_neighbors.end(), v);
+      while (i != u_neighbors.end() && j != v_neighbors.end()) {
+        if (*i == *j) {
+          ++stats.triangles;
+          ++i;
+          ++j;
+        } else if (*i < *j) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+  if (stats.wedges > 0) {
+    stats.clustering_coefficient =
+        3.0 * stats.triangles / static_cast<double>(stats.wedges);
+  }
+  return stats;
+}
+
+}  // namespace fractal

@@ -1,0 +1,45 @@
+// Classic graph algorithms used as utilities by benches, reductions and
+// analyses: connected components, degeneracy (k-core) decomposition, and
+// basic statistics.
+#ifndef FRACTAL_GRAPH_ALGORITHMS_H_
+#define FRACTAL_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fractal {
+
+/// component[v] = id of v's connected component (ids dense from 0, in
+/// order of first discovery). Inactive vertices get their own singleton
+/// components.
+struct ComponentsResult {
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+  uint32_t largest_size = 0;
+};
+ComponentsResult ConnectedComponents(const Graph& graph);
+
+/// core[v] = core number of v (largest k such that v belongs to a subgraph
+/// of minimum degree k). Computed by the O(E) smallest-last peeling.
+struct CoreResult {
+  std::vector<uint32_t> core;
+  uint32_t degeneracy = 0;  // max core number
+};
+CoreResult CoreDecomposition(const Graph& graph);
+
+/// Degree distribution statistics (max/mean) plus the global clustering
+/// coefficient estimated exactly from triangle and wedge counts.
+struct GraphStats {
+  uint32_t max_degree = 0;
+  double mean_degree = 0;
+  uint64_t triangles = 0;
+  uint64_t wedges = 0;  // paths of length 2
+  double clustering_coefficient = 0;  // 3*triangles / wedges
+};
+GraphStats ComputeStats(const Graph& graph);
+
+}  // namespace fractal
+
+#endif  // FRACTAL_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,93 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "graph/generators.h"
+#include "util/strings.h"
+
+namespace fractal {
+namespace {
+
+struct Spec {
+  const char* base_name;
+  const char* paper_stats;
+  uint32_t num_vertices;
+  uint32_t edges_per_vertex;
+  uint32_t num_vertex_labels;
+  uint32_t num_edge_labels;
+  double triangle_closure;  // clustering knob (Holme-Kim)
+  uint64_t seed;
+};
+
+Spec GetSpec(DatasetId id) {
+  // |V| and m are scaled-down stand-ins; the vertex/edge label counts match
+  // the paper's Table 1 exactly.
+  switch (id) {
+    case DatasetId::kMico:
+      return {"Mico", "paper: 100K/1.08M/29", 1200, 9, 29, 1, 0.5, 0xA11CE};
+    case DatasetId::kPatents:
+      return {"Patents", "paper: 2.74M/13.96M/37", 6000, 3, 37, 1, 0.25, 0xBEEF1};
+    case DatasetId::kYoutube:
+      return {"Youtube", "paper: 4.58M/43.96M/80", 8000, 6, 80, 1, 0.45, 0xCAFE2};
+    case DatasetId::kWikidata:
+      return {"Wikidata", "paper: 15.51M/18.55M/2569", 12000, 1, 64, 200,
+              0.05, 0xD00D3};
+    case DatasetId::kOrkut:
+      return {"Orkut", "paper: 3.07M/117.18M/1", 2500, 24, 1, 1, 0.5, 0x0B44};
+  }
+  FRACTAL_CHECK(false) << "unknown dataset";
+  return {};
+}
+
+}  // namespace
+
+double BenchScale() {
+  const char* env = std::getenv("FRACTAL_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return std::clamp(scale, 0.1, 10.0);
+}
+
+DatasetInfo MakeDataset(DatasetId id, LabelMode mode) {
+  Spec spec = GetSpec(id);
+  PowerLawParams params;
+  params.num_vertices = static_cast<uint32_t>(spec.num_vertices * BenchScale());
+  params.num_vertices = std::max<uint32_t>(params.num_vertices, 64);
+  params.edges_per_vertex = spec.edges_per_vertex;
+  params.num_vertex_labels =
+      mode == LabelMode::kSingleLabel ? 1 : spec.num_vertex_labels;
+  params.num_edge_labels =
+      mode == LabelMode::kSingleLabel ? 1 : spec.num_edge_labels;
+  params.label_skew = 1.6;
+  params.triangle_closure = spec.triangle_closure;
+  params.seed = spec.seed;
+
+  DatasetInfo info;
+  info.id = id;
+  info.name = StrFormat("%s-%s", spec.base_name,
+                        mode == LabelMode::kSingleLabel ? "SL" : "ML");
+  info.paper_name = spec.paper_stats;
+  info.graph = GeneratePowerLaw(params);
+  return info;
+}
+
+std::vector<DatasetInfo> MakeTable1Datasets(LabelMode mode) {
+  std::vector<DatasetInfo> datasets;
+  for (const DatasetId id : {DatasetId::kMico, DatasetId::kPatents,
+                             DatasetId::kYoutube, DatasetId::kWikidata}) {
+    datasets.push_back(MakeDataset(id, mode));
+  }
+  return datasets;
+}
+
+Graph MakeWikidataWithKeywords() {
+  DatasetInfo info = MakeDataset(DatasetId::kWikidata, LabelMode::kMultiLabel);
+  // ~4K keyword vocabulary (paper: ~4M unique keywords at 15.5M vertices;
+  // the vocabulary-to-vertex ratio is preserved at the scaled size).
+  return AttachKeywords(std::move(info.graph), /*vocabulary_size=*/4000,
+                        /*min_keywords=*/1, /*max_keywords=*/4,
+                        /*skew=*/2.5, /*seed=*/0x5EED5);
+}
+
+}  // namespace fractal

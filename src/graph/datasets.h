@@ -1,0 +1,48 @@
+// Deterministic synthetic analogs of the paper's Table 1 evaluation graphs
+// (plus Orkut from Appendix C). Scaled down to single-machine bench budgets;
+// the degree skew, relative density, and label multiplicity track the
+// originals so that the paper's qualitative results reproduce (DESIGN.md §1).
+//
+// Suffix semantics follow the paper: -SL (single-labeled) variants carry one
+// uniform vertex label (labels ignored, as in motifs/cliques), -ML
+// (multi-labeled) variants carry the full label distribution (used by FSM and
+// the Table 2 memory drilldown).
+#ifndef FRACTAL_GRAPH_DATASETS_H_
+#define FRACTAL_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fractal {
+
+enum class DatasetId { kMico, kPatents, kYoutube, kWikidata, kOrkut };
+
+enum class LabelMode { kSingleLabel, kMultiLabel };
+
+struct DatasetInfo {
+  DatasetId id;
+  std::string name;       // e.g. "Mico-SL"
+  std::string paper_name; // e.g. "Mico (100K/1.08M/29 labels)"
+  Graph graph;
+};
+
+/// Builds one dataset analog. Deterministic: same id/mode -> same graph.
+DatasetInfo MakeDataset(DatasetId id, LabelMode mode);
+
+/// All Table 1 analogs (Mico, Patents, Youtube, Wikidata) in the given mode.
+std::vector<DatasetInfo> MakeTable1Datasets(LabelMode mode);
+
+/// The Wikidata analog with keyword sets attached (used by keyword search
+/// and the §4.3 graph-reduction experiments). Vocabulary ~4000 keywords,
+/// Zipf-distributed, mirroring the ~4M-unique-keyword original at scale.
+Graph MakeWikidataWithKeywords();
+
+/// Bench scale factor: reads FRACTAL_BENCH_SCALE (default 1.0) so the bench
+/// suite can be grown/shrunk without recompiling. Clamped to [0.1, 10].
+double BenchScale();
+
+}  // namespace fractal
+
+#endif  // FRACTAL_GRAPH_DATASETS_H_

@@ -1,0 +1,197 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace fractal {
+namespace {
+
+/// Skewed label in [0, num_labels): density concentrated on low ids.
+Label SkewedLabel(SplitMix64& rng, uint32_t num_labels, double skew) {
+  if (num_labels <= 1) return 0;
+  const double u = rng.NextDouble();
+  const double x = std::pow(u, skew);  // skew > 1 pushes mass toward 0
+  Label label = static_cast<Label>(x * num_labels);
+  return std::min(label, num_labels - 1);
+}
+
+}  // namespace
+
+Graph GeneratePowerLaw(const PowerLawParams& params) {
+  FRACTAL_CHECK(params.num_vertices >= 2);
+  FRACTAL_CHECK(params.edges_per_vertex >= 1);
+  SplitMix64 rng(params.seed);
+  GraphBuilder builder;
+  for (uint32_t v = 0; v < params.num_vertices; ++v) {
+    builder.AddVertex(
+        SkewedLabel(rng, params.num_vertex_labels, params.label_skew));
+  }
+
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // implements preferential attachment. `adjacency` mirrors the growing
+  // graph for triadic closure lookups.
+  std::vector<VertexId> targets;
+  targets.reserve(2ull * params.num_vertices * params.edges_per_vertex);
+  std::vector<std::vector<VertexId>> adjacency(params.num_vertices);
+  auto builder_neighbors = [&adjacency](VertexId v) -> const std::vector<VertexId>& {
+    return adjacency[v];
+  };
+  auto add_edge = [&](VertexId u, VertexId v) {
+    builder.AddEdge(u, v,
+                    SkewedLabel(rng, params.num_edge_labels,
+                                params.label_skew));
+    targets.push_back(u);
+    targets.push_back(v);
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  };
+
+  const uint32_t m = params.edges_per_vertex;
+  // Seed clique over the first m+1 vertices so attachment has targets.
+  const uint32_t seed_size = std::min(m + 1, params.num_vertices);
+  for (uint32_t u = 0; u < seed_size; ++u) {
+    for (uint32_t v = u + 1; v < seed_size; ++v) {
+      add_edge(u, v);
+    }
+  }
+
+  std::vector<VertexId> chosen;
+  for (uint32_t v = seed_size; v < params.num_vertices; ++v) {
+    chosen.clear();
+    // Pick m distinct attachment targets (retry on duplicates; m is small
+    // relative to the prefix so retries are rare). With probability
+    // `triangle_closure`, an attachment closes a triangle by picking a
+    // neighbor of the previously chosen target (Holme-Kim model).
+    uint32_t attempts = 0;
+    while (chosen.size() < m && attempts < 64 * m) {
+      ++attempts;
+      VertexId candidate = kInvalidVertex;
+      if (!chosen.empty() && params.triangle_closure > 0 &&
+          rng.NextDouble() < params.triangle_closure) {
+        const VertexId previous = chosen.back();
+        const auto neighbors = builder_neighbors(previous);
+        if (!neighbors.empty()) {
+          candidate = neighbors[rng.NextBounded(neighbors.size())];
+        }
+      }
+      if (candidate == kInvalidVertex) {
+        candidate = targets[rng.NextBounded(targets.size())];
+      }
+      if (candidate != v &&
+          std::find(chosen.begin(), chosen.end(), candidate) ==
+              chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    for (const VertexId target : chosen) {
+      add_edge(v, target);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph GenerateCommunityGraph(const CommunityParams& params) {
+  FRACTAL_CHECK(params.num_communities >= 1);
+  FRACTAL_CHECK(params.community_size >= 2);
+  SplitMix64 rng(params.seed);
+  GraphBuilder builder;
+  const uint32_t num_vertices =
+      params.num_communities * params.community_size;
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    builder.AddVertex(
+        SkewedLabel(rng, params.num_vertex_labels, params.label_skew));
+  }
+  // Dense intra-community edges.
+  for (uint32_t c = 0; c < params.num_communities; ++c) {
+    const uint32_t base = c * params.community_size;
+    for (uint32_t i = 0; i < params.community_size; ++i) {
+      for (uint32_t j = i + 1; j < params.community_size; ++j) {
+        if (rng.NextDouble() < params.intra_probability) {
+          builder.AddEdge(base + i, base + j);
+        }
+      }
+    }
+  }
+  // Sparse random inter-community edges.
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    for (uint32_t i = 0; i < params.inter_edges_per_vertex; ++i) {
+      const VertexId u =
+          static_cast<VertexId>(rng.NextBounded(num_vertices));
+      if (u != v && u / params.community_size != v / params.community_size &&
+          !builder.HasEdge(u, v)) {
+        builder.AddEdge(u, v);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph GenerateRandomGraph(uint32_t num_vertices, uint32_t num_edges,
+                          uint32_t num_vertex_labels, uint32_t num_edge_labels,
+                          uint64_t seed) {
+  FRACTAL_CHECK(num_vertices >= 2);
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  FRACTAL_CHECK(num_edges <= max_edges)
+      << "requested more edges than the complete graph has";
+  SplitMix64 rng(seed);
+  GraphBuilder builder;
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    builder.AddVertex(num_vertex_labels <= 1
+                          ? 0
+                          : static_cast<Label>(
+                                rng.NextBounded(num_vertex_labels)));
+  }
+  uint32_t added = 0;
+  while (added < num_edges) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v || builder.HasEdge(u, v)) continue;
+    builder.AddEdge(u, v,
+                    num_edge_labels <= 1
+                        ? 0
+                        : static_cast<Label>(rng.NextBounded(num_edge_labels)));
+    ++added;
+  }
+  return std::move(builder).Build();
+}
+
+Graph AttachKeywords(Graph graph, uint32_t vocabulary_size,
+                     uint32_t min_keywords, uint32_t max_keywords, double skew,
+                     uint64_t seed) {
+  FRACTAL_CHECK(vocabulary_size >= 1);
+  FRACTAL_CHECK(min_keywords <= max_keywords);
+  SplitMix64 rng(seed);
+  // Rebuild through a builder to attach keyword sets.
+  GraphBuilder builder;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    builder.AddVertex(graph.VertexLabel(v));
+  }
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const EdgeEndpoints& endpoints = graph.Endpoints(e);
+    builder.AddEdge(endpoints.src, endpoints.dst, graph.GetEdgeLabel(e));
+  }
+  auto draw_keywords = [&]() {
+    const uint32_t count =
+        min_keywords +
+        static_cast<uint32_t>(rng.NextBounded(max_keywords - min_keywords + 1));
+    std::vector<uint32_t> keywords;
+    keywords.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      keywords.push_back(SkewedLabel(rng, vocabulary_size, skew));
+    }
+    return keywords;
+  };
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    builder.SetVertexKeywords(v, draw_keywords());
+  }
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    builder.SetEdgeKeywords(e, draw_keywords());
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace fractal

@@ -1,0 +1,69 @@
+// Synthetic graph generators. Real GPM evaluation graphs (Mico, Patents,
+// Youtube, Wikidata, Orkut) are not redistributable inside this container, so
+// every experiment runs on deterministic synthetic analogs whose *shape*
+// (power-law degree skew, density, label multiplicity, keyword vocabulary)
+// matches the paper's Table 1 datasets; see DESIGN.md §1 for the mapping.
+#ifndef FRACTAL_GRAPH_GENERATORS_H_
+#define FRACTAL_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace fractal {
+
+/// Barabási–Albert-style preferential-attachment generator: each new vertex
+/// attaches to `edges_per_vertex` distinct existing vertices chosen with
+/// probability proportional to degree. Produces the heavy-tailed degree
+/// distributions that make GPM load balancing hard (paper §1, §4.2).
+struct PowerLawParams {
+  uint32_t num_vertices = 1000;
+  uint32_t edges_per_vertex = 4;
+  uint32_t num_vertex_labels = 1;
+  uint32_t num_edge_labels = 1;
+  /// Skew exponent for label assignment; larger -> more mass on label 0.
+  double label_skew = 2.0;
+  /// Holme-Kim triadic closure: probability that each attachment after the
+  /// first connects to a neighbor of the previous target, creating the
+  /// clustered communities (triangles/cliques) real GPM graphs have.
+  double triangle_closure = 0.0;
+  uint64_t seed = 1;
+};
+Graph GeneratePowerLaw(const PowerLawParams& params);
+
+/// Community-structured generator: vertices grouped into dense communities
+/// (intra-community edges drawn i.i.d. with `intra_probability`) plus a few
+/// random inter-community edges per vertex. Models co-authorship-style
+/// graphs (the paper's Mico) whose dense pockets hold most cliques and
+/// near-clique query matches.
+struct CommunityParams {
+  uint32_t num_communities = 20;
+  uint32_t community_size = 24;
+  double intra_probability = 0.5;
+  uint32_t inter_edges_per_vertex = 2;
+  uint32_t num_vertex_labels = 1;
+  double label_skew = 2.0;
+  uint64_t seed = 1;
+};
+Graph GenerateCommunityGraph(const CommunityParams& params);
+
+/// Erdős–Rényi G(n, m): exactly m distinct uniform random edges. Used by
+/// property tests (brute-force cross-checks on small random graphs).
+Graph GenerateRandomGraph(uint32_t num_vertices, uint32_t num_edges,
+                          uint32_t num_vertex_labels, uint32_t num_edge_labels,
+                          uint64_t seed);
+
+/// Attaches Zipf-distributed keyword sets to every vertex and edge of
+/// `graph` (consumes and returns it). Each element receives between
+/// `min_keywords` and `max_keywords` keywords from a vocabulary of
+/// `vocabulary_size`; keyword k is chosen with probability ~ 1/(k+1)^skew so
+/// that low-id keywords are common and high-id keywords are rare — matching
+/// the frequency spread of real knowledge-graph keywords that the §4.3
+/// reduction experiments rely on.
+Graph AttachKeywords(Graph graph, uint32_t vocabulary_size,
+                     uint32_t min_keywords, uint32_t max_keywords, double skew,
+                     uint64_t seed);
+
+}  // namespace fractal
+
+#endif  // FRACTAL_GRAPH_GENERATORS_H_

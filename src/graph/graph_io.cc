@@ -1,0 +1,162 @@
+#include "graph/graph_io.h"
+
+#include <charconv>
+#include <unordered_map>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace fractal {
+namespace {
+
+StatusOr<uint32_t> ParseU32(std::string_view token) {
+  uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return InvalidArgumentError(
+        StrFormat("bad integer token '%.*s'", (int)token.size(), token.data()));
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<Graph> ParseAdjacencyList(const std::string& text) {
+  GraphBuilder builder;
+  // (u, v, edge label) triples seen from u's line, validated against v's.
+  struct PendingEdge {
+    VertexId u, v;
+    Label label;
+  };
+  std::vector<PendingEdge> pending;
+
+  size_t line_number = 0;
+  std::istringstream input(text);
+  std::string line;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto tokens = SplitString(line, " \t\r");
+    if (tokens.empty()) continue;
+    if (tokens.size() < 2) {
+      return InvalidArgumentError(
+          StrFormat("line %zu: expected '<id> <label> ...'", line_number));
+    }
+    auto id = ParseU32(tokens[0]);
+    if (!id.ok()) return id.status();
+    auto label = ParseU32(tokens[1]);
+    if (!label.ok()) return label.status();
+    if (*id != builder.NumVertices()) {
+      return InvalidArgumentError(
+          StrFormat("line %zu: vertex ids must be dense and in order "
+                    "(expected %u, got %u)",
+                    line_number, builder.NumVertices(), *id));
+    }
+    const VertexId vertex = builder.AddVertex(*label);
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      std::string_view token = tokens[i];
+      Label edge_label = 0;
+      const size_t colon = token.find(':');
+      if (colon != std::string_view::npos) {
+        auto parsed_label = ParseU32(token.substr(colon + 1));
+        if (!parsed_label.ok()) return parsed_label.status();
+        edge_label = *parsed_label;
+        token = token.substr(0, colon);
+      }
+      auto neighbor = ParseU32(token);
+      if (!neighbor.ok()) return neighbor.status();
+      pending.push_back({vertex, *neighbor, edge_label});
+    }
+  }
+
+  // Each undirected edge appears twice (once per endpoint line); add it once.
+  for (const PendingEdge& edge : pending) {
+    if (edge.v >= builder.NumVertices()) {
+      return InvalidArgumentError(
+          StrFormat("edge (%u,%u): neighbor id out of range", edge.u, edge.v));
+    }
+    if (edge.u == edge.v) {
+      return InvalidArgumentError(
+          StrFormat("self-loop on vertex %u is not allowed", edge.u));
+    }
+    if (edge.u < edge.v) {
+      builder.AddEdge(edge.u, edge.v, edge.label);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<Graph> LoadAdjacencyListFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return NotFoundError("cannot open " + path);
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ParseAdjacencyList(contents.str());
+}
+
+std::string WriteAdjacencyList(const Graph& graph) {
+  std::ostringstream out;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    out << v << ' ' << graph.VertexLabel(v);
+    const auto neighbors = graph.Neighbors(v);
+    const auto edges = graph.IncidentEdges(v);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      out << ' ' << neighbors[i];
+      const Label label = graph.GetEdgeLabel(edges[i]);
+      if (label != 0) out << ':' << label;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+StatusOr<Graph> ParseEdgeList(const std::string& text) {
+  GraphBuilder builder;
+  std::unordered_map<uint32_t, VertexId> id_map;
+  auto intern = [&](uint32_t raw) {
+    const auto [it, inserted] = id_map.try_emplace(raw, builder.NumVertices());
+    if (inserted) builder.AddVertex(0);
+    return it->second;
+  };
+  size_t line_number = 0;
+  std::istringstream input(text);
+  std::string line;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto tokens = SplitString(line, " \t\r");
+    if (tokens.empty()) continue;
+    if (tokens.size() != 2) {
+      return InvalidArgumentError(
+          StrFormat("line %zu: expected '<u> <v>'", line_number));
+    }
+    auto u = ParseU32(tokens[0]);
+    if (!u.ok()) return u.status();
+    auto v = ParseU32(tokens[1]);
+    if (!v.ok()) return v.status();
+    if (*u == *v) continue;  // skip self-loops
+    const VertexId a = intern(*u);
+    const VertexId b = intern(*v);
+    if (!builder.HasEdge(a, b)) builder.AddEdge(a, b);
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<Graph> LoadEdgeListFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return NotFoundError("cannot open " + path);
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ParseEdgeList(contents.str());
+}
+
+Status SaveAdjacencyListFile(const Graph& graph, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return InternalError("cannot write " + path);
+  file << WriteAdjacencyList(graph);
+  return file ? Status::Ok() : InternalError("write failed for " + path);
+}
+
+}  // namespace fractal

@@ -1,0 +1,44 @@
+// Reading and writing graphs in the Arabesque/Fractal adjacency-list text
+// format, the on-disk format the original system consumes (paper §4, "Input
+// graphs may be stored on the local file system or on HDFS"):
+//
+//   <vertex id> <vertex label> [<neighbor id>[:<edge label>]]*
+//
+// One line per vertex; vertex ids must be 0..V-1 in order; every undirected
+// edge appears on both endpoint lines (with matching edge labels). Edge
+// labels default to 0 when omitted. Lines starting with '#' are comments.
+#ifndef FRACTAL_GRAPH_GRAPH_IO_H_
+#define FRACTAL_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace fractal {
+
+/// Parses a graph from the adjacency-list text format.
+StatusOr<Graph> ParseAdjacencyList(const std::string& text);
+
+/// Loads a graph from a file in the adjacency-list text format.
+StatusOr<Graph> LoadAdjacencyListFile(const std::string& path);
+
+/// Serializes a graph to the adjacency-list text format (keywords are not
+/// part of this format and are dropped).
+std::string WriteAdjacencyList(const Graph& graph);
+
+/// Saves a graph to a file in the adjacency-list text format.
+Status SaveAdjacencyListFile(const Graph& graph, const std::string& path);
+
+/// Parses a graph from the SNAP-style edge-list format: one "<u> <v>" pair
+/// per line, '#' comments, ids need not be dense (they are compacted in
+/// first-appearance order). Duplicate pairs and self-loops are skipped.
+/// All labels are 0.
+StatusOr<Graph> ParseEdgeList(const std::string& text);
+
+/// Loads a SNAP-style edge-list file.
+StatusOr<Graph> LoadEdgeListFile(const std::string& path);
+
+}  // namespace fractal
+
+#endif  // FRACTAL_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,108 @@
+#include "graph/graph_reduce.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fractal {
+namespace {
+
+bool AnyKeywordMatches(std::span<const uint32_t> have,
+                       std::span<const uint32_t> want) {
+  // Both spans are sorted; linear merge scan.
+  size_t i = 0, j = 0;
+  while (i < have.size() && j < want.size()) {
+    if (have[i] == want[j]) return true;
+    if (have[i] < want[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph ReduceGraph(const Graph& graph, const VertexPredicate& vertex_filter,
+                  const EdgePredicate& edge_filter) {
+  const uint32_t num_vertices = graph.NumVertices();
+  std::vector<uint8_t> keep_vertex(num_vertices, 1);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (!graph.IsVertexActive(v) ||
+        (vertex_filter && !vertex_filter(graph, v))) {
+      keep_vertex[v] = 0;
+    }
+  }
+
+  GraphBuilder builder;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    builder.AddVertex(graph.VertexLabel(v));
+    if (graph.HasKeywords()) {
+      const auto keywords = graph.VertexKeywords(v);
+      if (!keywords.empty()) {
+        builder.SetVertexKeywords(
+            v, std::vector<uint32_t>(keywords.begin(), keywords.end()));
+      }
+    }
+  }
+  std::vector<uint8_t> has_incident_edge(num_vertices, 0);
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const EdgeEndpoints& endpoints = graph.Endpoints(e);
+    if (!keep_vertex[endpoints.src] || !keep_vertex[endpoints.dst]) continue;
+    if (edge_filter && !edge_filter(graph, e)) continue;
+    const EdgeId new_edge = builder.AddEdge(endpoints.src, endpoints.dst,
+                                            graph.GetEdgeLabel(e));
+    has_incident_edge[endpoints.src] = 1;
+    has_incident_edge[endpoints.dst] = 1;
+    if (graph.HasKeywords()) {
+      const auto keywords = graph.EdgeKeywords(e);
+      if (!keywords.empty()) {
+        builder.SetEdgeKeywords(
+            new_edge, std::vector<uint32_t>(keywords.begin(), keywords.end()));
+      }
+    }
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (!keep_vertex[v]) builder.MarkVertexInactive(v);
+  }
+  return std::move(builder).Build();
+}
+
+Graph ReduceToKeywords(const Graph& graph,
+                       std::span<const uint32_t> query_keywords) {
+  FRACTAL_CHECK(graph.HasKeywords())
+      << "ReduceToKeywords requires an attributed graph";
+  std::vector<uint32_t> sorted(query_keywords.begin(), query_keywords.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  // An edge survives iff it (or one of its endpoints) carries a query
+  // keyword; a vertex survives iff it has at least one surviving incident
+  // edge or carries a query keyword itself.
+  const uint32_t num_edges = graph.NumEdges();
+  std::vector<uint8_t> keep_edge(num_edges, 0);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    const EdgeEndpoints& endpoints = graph.Endpoints(e);
+    if (AnyKeywordMatches(graph.EdgeKeywords(e), sorted) ||
+        AnyKeywordMatches(graph.VertexKeywords(endpoints.src), sorted) ||
+        AnyKeywordMatches(graph.VertexKeywords(endpoints.dst), sorted)) {
+      keep_edge[e] = 1;
+    }
+  }
+  std::vector<uint8_t> keep_vertex(graph.NumVertices(), 0);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    if (!keep_edge[e]) continue;
+    keep_vertex[graph.Endpoints(e).src] = 1;
+    keep_vertex[graph.Endpoints(e).dst] = 1;
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (AnyKeywordMatches(graph.VertexKeywords(v), sorted)) keep_vertex[v] = 1;
+  }
+  return ReduceGraph(
+      graph,
+      [&keep_vertex](const Graph&, VertexId v) {
+        return keep_vertex[v] != 0;
+      },
+      [&keep_edge](const Graph&, EdgeId e) { return keep_edge[e] != 0; });
+}
+
+}  // namespace fractal

@@ -1,0 +1,39 @@
+// Graph reduction (paper §4.3, Fig. 10): materialize a reduced view of the
+// input graph by filtering vertices (R1, `vfilter`) and/or edges (R2,
+// `efilter`). The reduced graph keeps the original vertex-id space — dropped
+// vertices are masked inactive with empty adjacency — so that subgraphs found
+// on the reduced graph refer to the same vertex ids as the original graph.
+// Edge ids ARE renumbered (the edge set shrinks); callers that need to map
+// reduced edge ids back can use Graph::Endpoints + Graph::EdgeBetween on the
+// original graph.
+#ifndef FRACTAL_GRAPH_GRAPH_REDUCE_H_
+#define FRACTAL_GRAPH_GRAPH_REDUCE_H_
+
+#include <functional>
+
+#include "graph/graph.h"
+
+namespace fractal {
+
+/// Keeps vertex v iff the predicate returns true. nullptr == keep all.
+using VertexPredicate = std::function<bool(const Graph&, VertexId)>;
+/// Keeps edge e iff the predicate returns true. nullptr == keep all.
+using EdgePredicate = std::function<bool(const Graph&, EdgeId)>;
+
+/// Builds the reduced graph G' from G: drops every vertex failing
+/// `vertex_filter`, every edge failing `edge_filter`, and every edge with a
+/// dropped endpoint. Labels and keyword sets of surviving elements are
+/// preserved.
+Graph ReduceGraph(const Graph& graph, const VertexPredicate& vertex_filter,
+                  const EdgePredicate& edge_filter);
+
+/// Convenience: the keyword-search reduction the paper's §4.3 motivating
+/// example uses — keep only vertices/edges carrying at least one of the
+/// query keywords (a vertex also survives if one of its incident edges
+/// does, so that surviving edges keep their endpoints).
+Graph ReduceToKeywords(const Graph& graph,
+                       std::span<const uint32_t> query_keywords);
+
+}  // namespace fractal
+
+#endif  // FRACTAL_GRAPH_GRAPH_REDUCE_H_

@@ -1,0 +1,58 @@
+#include "graph/inverted_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fractal {
+
+InvertedIndex::InvertedIndex(const Graph& graph) {
+  FRACTAL_CHECK(graph.HasKeywords())
+      << "InvertedIndex requires an attributed graph";
+  const uint32_t vocabulary = graph.KeywordVocabularySize();
+  edge_postings_.resize(vocabulary);
+  vertex_postings_.resize(vocabulary);
+
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (const uint32_t keyword : graph.VertexKeywords(v)) {
+      vertex_postings_[keyword].push_back(v);
+    }
+  }
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const EdgeEndpoints& endpoints = graph.Endpoints(e);
+    // Document of an edge = its own keywords plus both endpoints'.
+    std::unordered_set<uint32_t> document;
+    for (const uint32_t keyword : graph.EdgeKeywords(e)) {
+      document.insert(keyword);
+    }
+    for (const uint32_t keyword : graph.VertexKeywords(endpoints.src)) {
+      document.insert(keyword);
+    }
+    for (const uint32_t keyword : graph.VertexKeywords(endpoints.dst)) {
+      document.insert(keyword);
+    }
+    for (const uint32_t keyword : document) {
+      edge_postings_[keyword].push_back(e);
+    }
+  }
+  for (auto& postings : edge_postings_) {
+    std::sort(postings.begin(), postings.end());
+  }
+  // Vertex postings are already sorted (vertices visited in order).
+}
+
+bool InvertedIndex::EdgeContains(uint32_t keyword, EdgeId e) const {
+  if (keyword >= edge_postings_.size()) return false;
+  const auto& postings = edge_postings_[keyword];
+  return std::binary_search(postings.begin(), postings.end(), e);
+}
+
+uint32_t InvertedIndex::CountEdgesWithAnyKeyword(
+    std::span<const uint32_t> keywords) const {
+  std::unordered_set<EdgeId> edges;
+  for (const uint32_t keyword : keywords) {
+    for (const EdgeId e : EdgesWithKeyword(keyword)) edges.insert(e);
+  }
+  return static_cast<uint32_t>(edges.size());
+}
+
+}  // namespace fractal

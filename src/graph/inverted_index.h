@@ -1,0 +1,52 @@
+// Inverted keyword index: keyword id -> sorted lists of edge ids (and vertex
+// ids) carrying that keyword. This is the `invIdxs` structure the paper's
+// keyword-search application (Listing 4) broadcasts to all workers.
+#ifndef FRACTAL_GRAPH_INVERTED_INDEX_H_
+#define FRACTAL_GRAPH_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fractal {
+
+/// Immutable keyword -> posting-list index over an attributed graph. An edge
+/// "contains" a keyword if the edge itself or either endpoint carries it
+/// (document = edge plus endpoints, matching the RDF keyword-cover semantics
+/// of §2.2).
+class InvertedIndex {
+ public:
+  /// Builds the index. The graph must have keywords.
+  explicit InvertedIndex(const Graph& graph);
+
+  uint32_t VocabularySize() const {
+    return static_cast<uint32_t>(edge_postings_.size());
+  }
+
+  /// Edge ids whose "document" contains `keyword`, sorted ascending.
+  std::span<const EdgeId> EdgesWithKeyword(uint32_t keyword) const {
+    if (keyword >= edge_postings_.size()) return {};
+    return edge_postings_[keyword];
+  }
+
+  /// Vertex ids carrying `keyword` directly, sorted ascending.
+  std::span<const VertexId> VerticesWithKeyword(uint32_t keyword) const {
+    if (keyword >= vertex_postings_.size()) return {};
+    return vertex_postings_[keyword];
+  }
+
+  /// True iff edge `e`'s document contains `keyword`. O(log |postings|).
+  bool EdgeContains(uint32_t keyword, EdgeId e) const;
+
+  /// Number of edges containing at least one of `keywords`.
+  uint32_t CountEdgesWithAnyKeyword(std::span<const uint32_t> keywords) const;
+
+ private:
+  std::vector<std::vector<EdgeId>> edge_postings_;
+  std::vector<std::vector<VertexId>> vertex_postings_;
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_GRAPH_INVERTED_INDEX_H_

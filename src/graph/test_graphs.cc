@@ -1,0 +1,106 @@
+#include "graph/test_graphs.h"
+
+namespace fractal {
+namespace testgraphs {
+
+Graph Path(uint32_t n) {
+  FRACTAL_CHECK(n >= 1);
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < n; ++i) builder.AddVertex(0);
+  for (uint32_t i = 0; i + 1 < n; ++i) builder.AddEdge(i, i + 1);
+  return std::move(builder).Build();
+}
+
+Graph Cycle(uint32_t n) {
+  FRACTAL_CHECK(n >= 3);
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < n; ++i) builder.AddVertex(0);
+  for (uint32_t i = 0; i < n; ++i) builder.AddEdge(i, (i + 1) % n);
+  return std::move(builder).Build();
+}
+
+Graph Complete(uint32_t n) {
+  FRACTAL_CHECK(n >= 1);
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < n; ++i) builder.AddVertex(0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) builder.AddEdge(i, j);
+  }
+  return std::move(builder).Build();
+}
+
+Graph Star(uint32_t n) {
+  FRACTAL_CHECK(n >= 2);
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < n; ++i) builder.AddVertex(0);
+  for (uint32_t i = 1; i < n; ++i) builder.AddEdge(0, i);
+  return std::move(builder).Build();
+}
+
+Graph Grid(uint32_t rows, uint32_t cols) {
+  FRACTAL_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < rows * cols; ++i) builder.AddVertex(0);
+  auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph Petersen() {
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < 10; ++i) builder.AddVertex(0);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  for (uint32_t i = 0; i < 5; ++i) {
+    builder.AddEdge(i, (i + 1) % 5);
+    builder.AddEdge(5 + i, 5 + (i + 2) % 5);
+    builder.AddEdge(i, 5 + i);
+  }
+  return std::move(builder).Build();
+}
+
+Graph PaperFigure1() {
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < 7; ++i) builder.AddVertex(0);
+  builder.AddEdge(0, 1);  // e1
+  builder.AddEdge(1, 2);  // e2
+  builder.AddEdge(2, 3);  // e3
+  builder.AddEdge(0, 3);  // e4
+  builder.AddEdge(4, 0);  // e5
+  builder.AddEdge(4, 1);  // e6
+  builder.AddEdge(4, 2);  // e7
+  builder.AddEdge(5, 2);  // e8
+  builder.AddEdge(5, 3);  // e9
+  builder.AddEdge(6, 3);  // e10
+  return std::move(builder).Build();
+}
+
+Graph LabeledFsmExample() {
+  GraphBuilder builder;
+  // Triangle A: vertices 0(label 0), 1(label 0), 2(label 1).
+  builder.AddVertex(0);
+  builder.AddVertex(0);
+  builder.AddVertex(1);
+  // Triangle B: vertices 3(label 0), 4(label 0), 5(label 1).
+  builder.AddVertex(0);
+  builder.AddVertex(0);
+  builder.AddVertex(1);
+  // Bridge: vertex 6(label 2).
+  builder.AddVertex(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(3, 5);
+  builder.AddEdge(2, 6);
+  builder.AddEdge(5, 6);
+  return std::move(builder).Build();
+}
+
+}  // namespace testgraphs
+}  // namespace fractal

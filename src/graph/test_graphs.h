@@ -1,0 +1,46 @@
+// Small fixed graphs with known pattern-mining answers, used throughout the
+// test suite and docs: paths, cycles, cliques, stars, grids, the Petersen
+// graph, and the running-example graph from the paper's Figure 1.
+#ifndef FRACTAL_GRAPH_TEST_GRAPHS_H_
+#define FRACTAL_GRAPH_TEST_GRAPHS_H_
+
+#include "graph/graph.h"
+
+namespace fractal {
+namespace testgraphs {
+
+/// Path v0 - v1 - ... - v{n-1}.
+Graph Path(uint32_t n);
+
+/// Cycle on n >= 3 vertices.
+Graph Cycle(uint32_t n);
+
+/// Complete graph K_n. Known answers: C(n,k) k-cliques, C(n,3) triangles.
+Graph Complete(uint32_t n);
+
+/// Star: center v0 connected to n-1 leaves.
+Graph Star(uint32_t n);
+
+/// rows x cols grid graph.
+Graph Grid(uint32_t rows, uint32_t cols);
+
+/// The Petersen graph: 10 vertices, 15 edges, vertex-transitive, girth 5,
+/// exactly 0 triangles and 12 five-cycles.
+Graph Petersen();
+
+/// The running example of the paper's Figure 1: a 4-cycle v0-v1-v2-v3 (the
+/// "current subgraph", edges e1..e4), plus v4 adjacent to {v0,v1,v2}
+/// (e5,e6,e7), v5 adjacent to {v2,v3} (e8,e9) and v6 adjacent to {v3} (e10).
+/// From the 4-cycle there are exactly 6 edge-induced extensions and 3
+/// vertex-induced extensions, as in the figure.
+Graph PaperFigure1();
+
+/// A small labeled graph for FSM tests: two triangle "communities" with
+/// labels (0,0,1) each, connected by a label-2 bridge vertex. Single-edge
+/// patterns and their MNI supports are easy to verify by hand.
+Graph LabeledFsmExample();
+
+}  // namespace testgraphs
+}  // namespace fractal
+
+#endif  // FRACTAL_GRAPH_TEST_GRAPHS_H_

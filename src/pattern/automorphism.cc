@@ -1,0 +1,112 @@
+#include "pattern/automorphism.h"
+
+#include <algorithm>
+
+namespace fractal {
+namespace {
+
+/// Depth-first search over partial position assignments with pruning on
+/// labels, degrees and adjacency consistency.
+class AutomorphismSearch {
+ public:
+  explicit AutomorphismSearch(const Pattern& pattern) : pattern_(pattern) {
+    n_ = pattern.NumVertices();
+    mapping_.assign(n_, UINT32_MAX);
+    used_.assign(n_, 0);
+  }
+
+  std::vector<std::vector<uint32_t>> Run() {
+    Assign(0);
+    return std::move(results_);
+  }
+
+ private:
+  void Assign(uint32_t position) {
+    if (position == n_) {
+      results_.push_back(mapping_);
+      return;
+    }
+    for (uint32_t image = 0; image < n_; ++image) {
+      if (used_[image]) continue;
+      if (pattern_.VertexLabel(image) != pattern_.VertexLabel(position)) {
+        continue;
+      }
+      if (pattern_.Degree(image) != pattern_.Degree(position)) continue;
+      if (!ConsistentWithEarlier(position, image)) continue;
+      mapping_[position] = image;
+      used_[image] = 1;
+      Assign(position + 1);
+      used_[image] = 0;
+      mapping_[position] = UINT32_MAX;
+    }
+  }
+
+  bool ConsistentWithEarlier(uint32_t position, uint32_t image) const {
+    for (uint32_t earlier = 0; earlier < position; ++earlier) {
+      const bool adjacent = pattern_.IsAdjacent(earlier, position);
+      const bool image_adjacent =
+          pattern_.IsAdjacent(mapping_[earlier], image);
+      if (adjacent != image_adjacent) return false;
+      if (adjacent &&
+          pattern_.EdgeLabelBetween(earlier, position) !=
+              pattern_.EdgeLabelBetween(mapping_[earlier], image)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const Pattern& pattern_;
+  uint32_t n_ = 0;
+  std::vector<uint32_t> mapping_;
+  std::vector<uint8_t> used_;
+  std::vector<std::vector<uint32_t>> results_;
+};
+
+}  // namespace
+
+std::vector<std::vector<uint32_t>> Automorphisms(const Pattern& pattern) {
+  return AutomorphismSearch(pattern).Run();
+}
+
+std::vector<SymmetryCondition> SymmetryBreakingConditions(
+    const Pattern& pattern) {
+  std::vector<std::vector<uint32_t>> automorphisms = Automorphisms(pattern);
+  std::vector<SymmetryCondition> conditions;
+  const uint32_t n = pattern.NumVertices();
+
+  while (automorphisms.size() > 1) {
+    // Smallest position moved by some remaining automorphism.
+    uint32_t anchor = UINT32_MAX;
+    for (uint32_t v = 0; v < n && anchor == UINT32_MAX; ++v) {
+      for (const auto& a : automorphisms) {
+        if (a[v] != v) {
+          anchor = v;
+          break;
+        }
+      }
+    }
+    FRACTAL_CHECK(anchor != UINT32_MAX);
+
+    // Orbit of the anchor under the remaining automorphisms.
+    std::vector<uint32_t> orbit;
+    for (const auto& a : automorphisms) {
+      if (std::find(orbit.begin(), orbit.end(), a[anchor]) == orbit.end()) {
+        orbit.push_back(a[anchor]);
+      }
+    }
+    for (const uint32_t member : orbit) {
+      if (member != anchor) conditions.push_back({anchor, member});
+    }
+
+    // Keep only automorphisms fixing the anchor.
+    std::vector<std::vector<uint32_t>> remaining;
+    for (auto& a : automorphisms) {
+      if (a[anchor] == anchor) remaining.push_back(std::move(a));
+    }
+    automorphisms = std::move(remaining);
+  }
+  return conditions;
+}
+
+}  // namespace fractal

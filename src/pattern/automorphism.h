@@ -1,0 +1,40 @@
+// Pattern automorphisms and Grochow–Kellis symmetry breaking (paper §3,
+// reference [24]): pattern-induced extension must enumerate each subgraph
+// instance exactly once even when the pattern has symmetries. The classic
+// fix is a set of "match[a] < match[b]" ordering conditions on pattern
+// positions that exactly one member of each automorphism orbit of an
+// embedding satisfies.
+#ifndef FRACTAL_PATTERN_AUTOMORPHISM_H_
+#define FRACTAL_PATTERN_AUTOMORPHISM_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace fractal {
+
+/// All automorphisms of `pattern` (label-preserving structure-preserving
+/// permutations). The identity is always included. Exact search — patterns
+/// are small.
+std::vector<std::vector<uint32_t>> Automorphisms(const Pattern& pattern);
+
+/// A symmetry-breaking condition: the matched graph-vertex id at position
+/// `smaller` must be less than the one at position `larger`.
+struct SymmetryCondition {
+  uint32_t smaller = 0;
+  uint32_t larger = 0;
+
+  friend bool operator==(const SymmetryCondition&,
+                         const SymmetryCondition&) = default;
+};
+
+/// Grochow–Kellis conditions: fixes orbit representatives iteratively until
+/// only the identity automorphism remains. An embedding set of distinct
+/// vertices satisfies the returned conditions for exactly one automorphic
+/// re-assignment, so pattern-induced enumeration yields each instance once.
+std::vector<SymmetryCondition> SymmetryBreakingConditions(
+    const Pattern& pattern);
+
+}  // namespace fractal
+
+#endif  // FRACTAL_PATTERN_AUTOMORPHISM_H_

@@ -1,0 +1,94 @@
+#include "pattern/catalog.h"
+
+#include <algorithm>
+#include <set>
+
+#include "pattern/canonical.h"
+#include "util/strings.h"
+
+namespace fractal {
+
+std::vector<Pattern> ConnectedPatterns(uint32_t k) {
+  FRACTAL_CHECK(k >= 1 && k <= 7) << "catalog supports 1..7 vertices";
+  // Grow patterns one vertex at a time: attach the new vertex to every
+  // non-empty subset of the existing vertices, dedup by canonical form.
+  std::set<Pattern> current;
+  {
+    Pattern single;
+    single.AddVertex(0);
+    current.insert(single);
+  }
+  for (uint32_t size = 2; size <= k; ++size) {
+    std::set<Pattern> next;
+    for (const Pattern& base : current) {
+      const uint32_t n = base.NumVertices();
+      for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+        Pattern grown = base;
+        const uint32_t v = grown.AddVertex(0);
+        for (uint32_t i = 0; i < n; ++i) {
+          if ((mask >> i) & 1u) grown.AddEdge(i, v);
+        }
+        next.insert(CanonicalForm(grown).pattern);
+      }
+    }
+    current = std::move(next);
+  }
+  std::vector<Pattern> result(current.begin(), current.end());
+  std::sort(result.begin(), result.end(),
+            [](const Pattern& a, const Pattern& b) {
+              if (a.NumEdges() != b.NumEdges()) {
+                return a.NumEdges() < b.NumEdges();
+              }
+              return a < b;
+            });
+  return result;
+}
+
+std::string PatternShapeName(const Pattern& pattern) {
+  const Pattern canonical = CanonicalForm(pattern).pattern;
+  struct Named {
+    const char* name;
+    Pattern pattern;
+  };
+  static const std::vector<Named>& named = *new std::vector<Named>([] {
+    std::vector<Named> list;
+    auto add = [&list](const char* name, Pattern p) {
+      list.push_back({name, CanonicalForm(p).pattern});
+    };
+    add("edge", Pattern::PathPattern(2));
+    add("path-3", Pattern::PathPattern(3));
+    add("triangle", Pattern::Clique(3));
+    add("path-4", Pattern::PathPattern(4));
+    add("3-star", Pattern::StarPattern(4));
+    add("square", Pattern::CyclePattern(4));
+    {
+      Pattern p = Pattern::PathPattern(4);  // triangle with a tail
+      p.AddEdge(0, 2);
+      add("tadpole", p);
+    }
+    {
+      Pattern p = Pattern::CyclePattern(4);
+      p.AddEdge(0, 2);
+      add("diamond", p);
+    }
+    add("4-clique", Pattern::Clique(4));
+    add("path-5", Pattern::PathPattern(5));
+    add("4-star", Pattern::StarPattern(5));
+    add("5-cycle", Pattern::CyclePattern(5));
+    {
+      Pattern p = Pattern::CyclePattern(5);
+      p.AddEdge(0, 2);
+      add("house", p);
+    }
+    add("5-clique", Pattern::Clique(5));
+    return list;
+  }());
+  for (const Named& entry : named) {
+    if (entry.pattern == canonical) return entry.name;
+  }
+  return StrFormat("k%u-e%u-%08llx", canonical.NumVertices(),
+                   canonical.NumEdges(),
+                   (unsigned long long)(canonical.Hash() & 0xFFFFFFFFull));
+}
+
+}  // namespace fractal

@@ -1,0 +1,28 @@
+// Pattern catalog: enumeration of all connected unlabeled patterns with k
+// vertices (canonical representatives), plus human-readable names for the
+// common small shapes. Used by motif reporting and — because the number of
+// connected graphs on k vertices is known (1, 1, 2, 6, 21, 112, ...) — as
+// an end-to-end validation of the canonicalization machinery.
+#ifndef FRACTAL_PATTERN_CATALOG_H_
+#define FRACTAL_PATTERN_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace fractal {
+
+/// All connected unlabeled k-vertex patterns, one canonical representative
+/// per isomorphism class, sorted by (num edges, canonical order). Exact
+/// search: practical for k <= 7.
+std::vector<Pattern> ConnectedPatterns(uint32_t k);
+
+/// Name of a small shape ("triangle", "diamond", "4-star", ...) or a
+/// generic "k5-e7-<hash>" tag for unnamed ones. Input need not be
+/// canonical.
+std::string PatternShapeName(const Pattern& pattern);
+
+}  // namespace fractal
+
+#endif  // FRACTAL_PATTERN_CATALOG_H_

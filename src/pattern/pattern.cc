@@ -1,0 +1,129 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fractal {
+
+uint32_t Pattern::AddVertex(Label label) {
+  FRACTAL_CHECK(NumVertices() < kMaxVertices) << "pattern too large";
+  vertex_labels_.push_back(label);
+  adjacency_.push_back(0);
+  return NumVertices() - 1;
+}
+
+void Pattern::AddEdge(uint32_t u, uint32_t v, Label label) {
+  FRACTAL_CHECK(u < NumVertices() && v < NumVertices());
+  FRACTAL_CHECK(u != v) << "pattern self-loop";
+  FRACTAL_CHECK(!IsAdjacent(u, v)) << "duplicate pattern edge";
+  PatternEdge edge;
+  edge.src = std::min(u, v);
+  edge.dst = std::max(u, v);
+  edge.label = label;
+  edges_.insert(std::lower_bound(edges_.begin(), edges_.end(), edge), edge);
+  adjacency_[u] |= 1u << v;
+  adjacency_[v] |= 1u << u;
+}
+
+Label Pattern::EdgeLabelBetween(uint32_t u, uint32_t v) const {
+  const uint32_t src = std::min(u, v);
+  const uint32_t dst = std::max(u, v);
+  for (const PatternEdge& edge : edges_) {
+    if (edge.src == src && edge.dst == dst) return edge.label;
+  }
+  FRACTAL_CHECK(false) << "no edge (" << u << "," << v << ") in pattern";
+  return 0;
+}
+
+bool Pattern::IsConnected() const {
+  const uint32_t n = NumVertices();
+  if (n <= 1) return true;
+  uint32_t visited = 1u;  // start from position 0
+  uint32_t frontier = 1u;
+  while (frontier != 0) {
+    uint32_t next = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      if ((frontier >> v) & 1u) next |= adjacency_[v];
+    }
+    frontier = next & ~visited;
+    visited |= next;
+  }
+  return visited == (n == 32 ? ~0u : ((1u << n) - 1u));
+}
+
+Pattern Pattern::Permuted(const std::vector<uint32_t>& perm) const {
+  FRACTAL_CHECK(perm.size() == NumVertices());
+  Pattern result;
+  std::vector<Label> labels(NumVertices());
+  for (uint32_t i = 0; i < NumVertices(); ++i) {
+    labels[perm[i]] = vertex_labels_[i];
+  }
+  for (const Label label : labels) result.AddVertex(label);
+  for (const PatternEdge& edge : edges_) {
+    result.AddEdge(perm[edge.src], perm[edge.dst], edge.label);
+  }
+  return result;
+}
+
+std::string Pattern::ToString() const {
+  std::ostringstream out;
+  for (uint32_t v = 0; v < NumVertices(); ++v) {
+    if (v > 0) out << ' ';
+    out << 'v' << v << '(' << vertex_labels_[v] << ')';
+  }
+  out << " ;";
+  for (const PatternEdge& edge : edges_) {
+    out << " (" << edge.src << '-' << edge.dst;
+    if (edge.label != 0) out << ':' << edge.label;
+    out << ')';
+  }
+  return out.str();
+}
+
+uint64_t Pattern::Hash() const {
+  uint64_t hash = 0x9e3779b97f4a7c15ull ^ NumVertices();
+  auto mix = [&hash](uint64_t value) {
+    hash ^= value + 0x9e3779b97f4a7c15ull + (hash << 6) + (hash >> 2);
+  };
+  for (const Label label : vertex_labels_) mix(label);
+  for (const PatternEdge& edge : edges_) {
+    mix((static_cast<uint64_t>(edge.src) << 40) |
+        (static_cast<uint64_t>(edge.dst) << 20) | edge.label);
+  }
+  return hash;
+}
+
+Pattern Pattern::Clique(uint32_t k) {
+  Pattern pattern;
+  for (uint32_t i = 0; i < k; ++i) pattern.AddVertex(0);
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint32_t j = i + 1; j < k; ++j) pattern.AddEdge(i, j);
+  }
+  return pattern;
+}
+
+Pattern Pattern::CyclePattern(uint32_t k) {
+  FRACTAL_CHECK(k >= 3);
+  Pattern pattern;
+  for (uint32_t i = 0; i < k; ++i) pattern.AddVertex(0);
+  for (uint32_t i = 0; i < k; ++i) pattern.AddEdge(i, (i + 1) % k);
+  return pattern;
+}
+
+Pattern Pattern::PathPattern(uint32_t k) {
+  FRACTAL_CHECK(k >= 1);
+  Pattern pattern;
+  for (uint32_t i = 0; i < k; ++i) pattern.AddVertex(0);
+  for (uint32_t i = 0; i + 1 < k; ++i) pattern.AddEdge(i, i + 1);
+  return pattern;
+}
+
+Pattern Pattern::StarPattern(uint32_t k) {
+  FRACTAL_CHECK(k >= 2);
+  Pattern pattern;
+  for (uint32_t i = 0; i < k; ++i) pattern.AddVertex(0);
+  for (uint32_t i = 1; i < k; ++i) pattern.AddEdge(0, i);
+  return pattern;
+}
+
+}  // namespace fractal

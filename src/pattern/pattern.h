@@ -1,0 +1,122 @@
+// Pattern: a small labeled graph acting as the template of a subgraph
+// (paper §2.1). Patterns are the aggregation keys of motif counting and FSM
+// and the inputs of pattern-induced enumeration (subgraph querying).
+//
+// Patterns are tiny (<= 32 vertices, enforced) and value-semantic: equality,
+// hashing and ordering compare the exact labeled structure over *positions*
+// (vertex indices). Two isomorphic patterns with different position
+// numberings compare unequal — use CanonicalForm() (canonical.h) to get the
+// class representative.
+#ifndef FRACTAL_PATTERN_PATTERN_H_
+#define FRACTAL_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/check.h"
+
+namespace fractal {
+
+/// Edge of a pattern; endpoints are position indices with src < dst.
+struct PatternEdge {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  Label label = 0;
+
+  friend bool operator==(const PatternEdge&, const PatternEdge&) = default;
+  friend auto operator<=>(const PatternEdge&, const PatternEdge&) = default;
+};
+
+/// Small labeled graph over positions 0..NumVertices()-1.
+class Pattern {
+ public:
+  static constexpr uint32_t kMaxVertices = 32;
+
+  Pattern() = default;
+
+  /// Adds a vertex position with the given label; returns its index.
+  uint32_t AddVertex(Label label);
+
+  /// Adds an undirected edge between positions u and v. Duplicate edges and
+  /// self-loops are programming errors.
+  void AddEdge(uint32_t u, uint32_t v, Label label = 0);
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(vertex_labels_.size());
+  }
+  uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
+
+  Label VertexLabel(uint32_t position) const {
+    FRACTAL_DCHECK(position < NumVertices());
+    return vertex_labels_[position];
+  }
+
+  /// Edges sorted by (src, dst).
+  const std::vector<PatternEdge>& Edges() const { return edges_; }
+
+  bool IsAdjacent(uint32_t u, uint32_t v) const {
+    FRACTAL_DCHECK(u < NumVertices() && v < NumVertices());
+    return (adjacency_[u] >> v) & 1u;
+  }
+
+  /// Label of edge (u, v); the edge must exist.
+  Label EdgeLabelBetween(uint32_t u, uint32_t v) const;
+
+  /// Bitmask of neighbors of position v.
+  uint32_t NeighborMask(uint32_t v) const {
+    FRACTAL_DCHECK(v < NumVertices());
+    return adjacency_[v];
+  }
+
+  uint32_t Degree(uint32_t v) const {
+    return static_cast<uint32_t>(__builtin_popcount(NeighborMask(v)));
+  }
+
+  bool IsConnected() const;
+
+  /// True iff every pair of positions is adjacent.
+  bool IsClique() const {
+    return NumEdges() == NumVertices() * (NumVertices() - 1) / 2;
+  }
+
+  /// Relabels positions: result position perm[i] gets this pattern's vertex
+  /// i (perm must be a permutation of 0..n-1).
+  Pattern Permuted(const std::vector<uint32_t>& perm) const;
+
+  /// "v0(l) v1(l) ... ; (0-1:l) (1-2:l) ..." — stable, human-readable.
+  std::string ToString() const;
+
+  uint64_t Hash() const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.vertex_labels_ == b.vertex_labels_ && a.edges_ == b.edges_;
+  }
+  friend auto operator<=>(const Pattern& a, const Pattern& b) {
+    if (auto c = a.vertex_labels_ <=> b.vertex_labels_; c != 0) return c;
+    return a.edges_ <=> b.edges_;
+  }
+
+  // --- Common shapes (unlabeled: all labels 0) --------------------------
+
+  static Pattern Clique(uint32_t k);
+  static Pattern CyclePattern(uint32_t k);
+  static Pattern PathPattern(uint32_t k);
+  static Pattern StarPattern(uint32_t k);
+
+ private:
+  std::vector<Label> vertex_labels_;
+  std::vector<PatternEdge> edges_;     // kept sorted by (src, dst)
+  std::vector<uint32_t> adjacency_;    // neighbor bitmask per position
+};
+
+struct PatternHash {
+  size_t operator()(const Pattern& pattern) const {
+    return static_cast<size_t>(pattern.Hash());
+  }
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_PATTERN_PATTERN_H_

@@ -1,0 +1,94 @@
+#include "runtime/message_bus.h"
+
+#include <chrono>
+#include <thread>
+
+namespace fractal {
+
+MessageBus::MessageBus(uint32_t num_workers, const NetworkConfig& config)
+    : config_(config) {
+  inboxes_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+void MessageBus::SimulateDelay(size_t payload_bytes) const {
+  const int64_t micros =
+      config_.latency_micros +
+      (static_cast<int64_t>(payload_bytes) * config_.per_kb_micros) / 1024;
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+std::optional<std::vector<uint8_t>> MessageBus::RequestSteal(
+    uint32_t requester, uint32_t victim) {
+  FRACTAL_CHECK(victim < inboxes_.size());
+  FRACTAL_CHECK(victim != requester) << "steal from self must be internal";
+  {
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
+    if (stopped_) return std::nullopt;
+  }
+
+  Request request;
+  SimulateDelay(/*payload_bytes=*/16);  // request message
+  {
+    Inbox& inbox = *inboxes_[victim];
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    inbox.queue.push_back(&request);
+    inbox.cv.notify_one();
+  }
+  std::unique_lock<std::mutex> lock(request.mu);
+  request.cv.wait(lock, [&request] { return request.done; });
+  if (!request.payload.has_value()) return std::nullopt;
+  SimulateDelay(request.payload->size());  // reply message
+  return std::move(request.payload);
+}
+
+std::optional<MessageBus::RequestToken> MessageBus::WaitForRequest(
+    uint32_t worker) {
+  FRACTAL_CHECK(worker < inboxes_.size());
+  Inbox& inbox = *inboxes_[worker];
+  std::unique_lock<std::mutex> lock(inbox.mu);
+  inbox.cv.wait(lock, [this, &inbox] {
+    if (!inbox.queue.empty()) return true;
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
+    return stopped_;
+  });
+  if (inbox.queue.empty()) return std::nullopt;
+  Request* request = inbox.queue.front();
+  inbox.queue.pop_front();
+  return static_cast<RequestToken>(request);
+}
+
+void MessageBus::Reply(RequestToken token,
+                       std::optional<std::vector<uint8_t>> payload) {
+  Request* request = static_cast<Request*>(token);
+  std::lock_guard<std::mutex> lock(request->mu);
+  request->payload = std::move(payload);
+  request->done = true;
+  request->cv.notify_one();
+}
+
+void MessageBus::Shutdown() {
+  {
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  for (auto& inbox : inboxes_) {
+    std::unique_lock<std::mutex> lock(inbox->mu);
+    // Fail any queued requests so their requesters unblock.
+    while (!inbox->queue.empty()) {
+      Request* request = inbox->queue.front();
+      inbox->queue.pop_front();
+      lock.unlock();
+      Reply(request, std::nullopt);
+      lock.lock();
+    }
+    inbox->cv.notify_all();
+  }
+}
+
+}  // namespace fractal

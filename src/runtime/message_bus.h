@@ -1,0 +1,85 @@
+// In-process message bus simulating the inter-worker (actor-style)
+// communication layer of the paper's architecture (§4, Fig. 6c). Workers are
+// simulated processes: the only data that crosses a worker boundary is a
+// byte payload delivered through this bus, with a configurable simulated
+// network latency and per-byte cost so that external work stealing keeps its
+// real-world cost asymmetry versus internal stealing.
+#ifndef FRACTAL_RUNTIME_MESSAGE_BUS_H_
+#define FRACTAL_RUNTIME_MESSAGE_BUS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fractal {
+
+/// Simulated network parameters for inter-worker messaging.
+struct NetworkConfig {
+  /// One-way message delivery latency in microseconds.
+  int64_t latency_micros = 50;
+  /// Additional shipping cost per kilobyte of payload, in microseconds.
+  int64_t per_kb_micros = 10;
+};
+
+/// Point-to-point request/reply bus between workers. One instance serves
+/// one step execution; Shutdown() releases all waiters.
+class MessageBus {
+ public:
+  MessageBus(uint32_t num_workers, const NetworkConfig& config);
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  /// Requester side: sends a steal request to `victim` and blocks for the
+  /// reply. Returns the serialized stolen work, or nullopt when the victim
+  /// had nothing (or the bus shut down). Simulated latency is charged here.
+  std::optional<std::vector<uint8_t>> RequestSteal(uint32_t requester,
+                                                   uint32_t victim);
+
+  /// Victim service side: blocks until a request arrives for `worker` or
+  /// the bus shuts down (nullopt). The returned token must be passed to
+  /// Reply exactly once.
+  using RequestToken = void*;
+  std::optional<RequestToken> WaitForRequest(uint32_t worker);
+
+  /// Victim service side: answers a request (empty payload == no work).
+  void Reply(RequestToken token, std::optional<std::vector<uint8_t>> payload);
+
+  /// Releases all waiters; subsequent requests fail fast.
+  void Shutdown();
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(inboxes_.size());
+  }
+
+ private:
+  struct Request {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<std::vector<uint8_t>> payload;
+  };
+
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Request*> queue;
+  };
+
+  void SimulateDelay(size_t payload_bytes) const;
+
+  NetworkConfig config_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_RUNTIME_MESSAGE_BUS_H_

@@ -1,0 +1,89 @@
+#include "runtime/telemetry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace fractal {
+
+uint64_t StepTelemetry::TotalWorkUnits() const {
+  uint64_t total = 0;
+  for (const ThreadStats& t : threads) total += t.work_units;
+  return total;
+}
+
+uint64_t StepTelemetry::TotalExtensionTests() const {
+  uint64_t total = 0;
+  for (const ThreadStats& t : threads) total += t.extension_tests;
+  return total;
+}
+
+uint64_t StepTelemetry::TotalInternalSteals() const {
+  uint64_t total = 0;
+  for (const ThreadStats& t : threads) total += t.internal_steals;
+  return total;
+}
+
+uint64_t StepTelemetry::TotalExternalSteals() const {
+  uint64_t total = 0;
+  for (const ThreadStats& t : threads) total += t.external_steals;
+  return total;
+}
+
+uint64_t StepTelemetry::TotalBytesShipped() const {
+  uint64_t total = 0;
+  for (const ThreadStats& t : threads) total += t.bytes_shipped;
+  return total;
+}
+
+uint64_t StepTelemetry::SimulatedMakespanUnits(
+    uint64_t steal_cost_units) const {
+  uint64_t makespan = 0;
+  for (const ThreadStats& t : threads) {
+    makespan = std::max(
+        makespan, t.work_units + steal_cost_units * t.external_steals);
+  }
+  return makespan;
+}
+
+double StepTelemetry::IdealMakespanUnits() const {
+  if (threads.empty()) return 0;
+  return static_cast<double>(TotalWorkUnits()) / threads.size();
+}
+
+double StepTelemetry::BalanceEfficiency(uint64_t steal_cost_units) const {
+  const uint64_t makespan = SimulatedMakespanUnits(steal_cost_units);
+  if (makespan == 0) return 1.0;
+  return IdealMakespanUnits() / static_cast<double>(makespan);
+}
+
+std::string StepTelemetry::ToTable() const {
+  std::ostringstream out;
+  out << StrFormat("%-6s %-6s %12s %12s %8s %8s %10s\n", "worker", "core",
+                   "work", "EC", "int.st", "ext.st", "bytes");
+  for (const ThreadStats& t : threads) {
+    out << StrFormat("%-6u %-6u %12llu %12llu %8llu %8llu %10llu\n",
+                     t.worker_id, t.core_id,
+                     (unsigned long long)t.work_units,
+                     (unsigned long long)t.extension_tests,
+                     (unsigned long long)t.internal_steals,
+                     (unsigned long long)t.external_steals,
+                     (unsigned long long)t.bytes_shipped);
+  }
+  return out.str();
+}
+
+uint64_t ExecutionTelemetry::TotalWorkUnits() const {
+  uint64_t total = 0;
+  for (const StepTelemetry& s : steps) total += s.TotalWorkUnits();
+  return total;
+}
+
+uint64_t ExecutionTelemetry::TotalExtensionTests() const {
+  uint64_t total = 0;
+  for (const StepTelemetry& s : steps) total += s.TotalExtensionTests();
+  return total;
+}
+
+}  // namespace fractal

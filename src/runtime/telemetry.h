@@ -1,0 +1,70 @@
+// Execution telemetry. Every execution thread keeps a ThreadStats; a step
+// execution produces a StepTelemetry. Besides wall-clock timing, the
+// runtime counts *work units* (extensions consumed and processed): on this
+// container (a single CPU core) wall-clock parallel speedup is not
+// observable, so the load-balancing and scalability figures (Figs 8/16/19)
+// are reproduced with the deterministic work-unit makespan model described
+// in DESIGN.md §1.
+#ifndef FRACTAL_RUNTIME_TELEMETRY_H_
+#define FRACTAL_RUNTIME_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fractal {
+
+struct ThreadStats {
+  uint32_t worker_id = 0;
+  uint32_t core_id = 0;  // global core (thread) id
+
+  uint64_t work_units = 0;        // extensions consumed & processed
+  uint64_t extension_tests = 0;   // EC metric (paper §4.3)
+  uint64_t subgraphs_visited = 0; // subgraphs reaching a terminal primitive
+  uint64_t internal_steals = 0;   // successful WS_int claims
+  uint64_t external_steals = 0;   // successful WS_ext claims
+  uint64_t steal_failures = 0;    // unsuccessful scan rounds
+  uint64_t bytes_shipped = 0;     // serialized bytes received via WS_ext
+  int64_t own_work_micros = -1;   // when the initial partition drained
+  int64_t finish_micros = 0;      // when the thread went permanently idle
+  double busy_seconds = 0;        // time spent processing work
+};
+
+/// Telemetry of one fractal-step execution across all threads.
+struct StepTelemetry {
+  std::vector<ThreadStats> threads;
+  double wall_seconds = 0;
+
+  uint64_t TotalWorkUnits() const;
+  uint64_t TotalExtensionTests() const;
+  uint64_t TotalInternalSteals() const;
+  uint64_t TotalExternalSteals() const;
+  uint64_t TotalBytesShipped() const;
+
+  /// Deterministic makespan model: every work unit costs one time unit and
+  /// every external steal a thread performed costs `steal_cost_units`.
+  /// Returns max over threads — the simulated parallel completion time.
+  uint64_t SimulatedMakespanUnits(uint64_t steal_cost_units) const;
+
+  /// Perfectly balanced makespan (total work / threads): the lower bound.
+  double IdealMakespanUnits() const;
+
+  /// Load-balance quality in (0,1]: ideal / simulated.
+  double BalanceEfficiency(uint64_t steal_cost_units) const;
+
+  /// Multi-line per-thread summary table for benches.
+  std::string ToTable() const;
+};
+
+/// Accumulates telemetry across the steps of a whole fractoid execution.
+struct ExecutionTelemetry {
+  std::vector<StepTelemetry> steps;
+  double wall_seconds = 0;
+
+  uint64_t TotalWorkUnits() const;
+  uint64_t TotalExtensionTests() const;
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_RUNTIME_TELEMETRY_H_

@@ -1,0 +1,72 @@
+// CHECK-style invariant assertions. FRACTAL_CHECK is always on (invariant
+// violations are programming errors and abort), FRACTAL_DCHECK compiles out
+// in NDEBUG builds.
+#ifndef FRACTAL_UTIL_CHECK_H_
+#define FRACTAL_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fractal {
+namespace internal_check {
+
+/// Accumulates a failure message via operator<< and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets the false branch of the CHECK ternary have type void while still
+/// allowing `FRACTAL_CHECK(x) << "context"` (glog's voidify idiom; `&` binds
+/// looser than `<<`).
+class Voidify {
+ public:
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace fractal
+
+#define FRACTAL_CHECK(condition)                      \
+  (condition) ? (void)0                               \
+              : ::fractal::internal_check::Voidify() &  \
+                    ::fractal::internal_check::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)
+
+#define FRACTAL_CHECK_OK(expr)                                \
+  do {                                                        \
+    const auto& check_ok_s__ = (expr);                        \
+    FRACTAL_CHECK(check_ok_s__.ok()) << check_ok_s__.ToString(); \
+  } while (false)
+
+#define FRACTAL_CHECK_EQ(a, b) FRACTAL_CHECK((a) == (b))
+#define FRACTAL_CHECK_NE(a, b) FRACTAL_CHECK((a) != (b))
+#define FRACTAL_CHECK_LT(a, b) FRACTAL_CHECK((a) < (b))
+#define FRACTAL_CHECK_LE(a, b) FRACTAL_CHECK((a) <= (b))
+#define FRACTAL_CHECK_GT(a, b) FRACTAL_CHECK((a) > (b))
+#define FRACTAL_CHECK_GE(a, b) FRACTAL_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define FRACTAL_DCHECK(condition) \
+  FRACTAL_CHECK(true || (condition))
+#else
+#define FRACTAL_DCHECK(condition) FRACTAL_CHECK(condition)
+#endif
+
+#endif  // FRACTAL_UTIL_CHECK_H_

@@ -1,0 +1,42 @@
+// Leveled logging to stderr: FRACTAL_LOG(INFO) << "..."; Thread-safe at the
+// line level (each statement is flushed as one write).
+#ifndef FRACTAL_UTIL_LOGGING_H_
+#define FRACTAL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fractal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum level that actually gets emitted; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace fractal
+
+#define FRACTAL_LOG(severity)                                    \
+  ::fractal::internal_log::LogMessage(                           \
+      ::fractal::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // FRACTAL_UTIL_LOGGING_H_

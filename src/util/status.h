@@ -1,0 +1,109 @@
+// Minimal Status / StatusOr error-handling primitives, in the style of
+// absl::Status. Library code never throws; fallible operations return a
+// Status (or StatusOr<T>) that callers must consume.
+#ifndef FRACTAL_UTIL_STATUS_H_
+#define FRACTAL_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fractal {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kResourceExhausted = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kFailedPrecondition = 7,
+};
+
+/// Result of a fallible operation: an error code plus a human-readable
+/// message. The default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Constructors for the common error codes.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status FailedPreconditionError(std::string message);
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// non-OK StatusOr aborts the process (library code is exception-free).
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror absl::StatusOr.
+  StatusOr(Status status) : status_(std::move(status)) {
+    FRACTAL_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FRACTAL_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    FRACTAL_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FRACTAL_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define FRACTAL_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::fractal::Status status_macro_s__ = (expr); \
+    if (!status_macro_s__.ok()) return status_macro_s__; \
+  } while (false)
+
+}  // namespace fractal
+
+#endif  // FRACTAL_UTIL_STATUS_H_

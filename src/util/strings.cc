@@ -1,0 +1,61 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace fractal {
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  FRACTAL_CHECK(needed >= 0) << "bad format string";
+  std::string result(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::vector<std::string_view> SplitString(std::string_view text,
+                                          std::string_view delims) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || delims.find(text[i]) != std::string_view::npos) {
+      if (i > start) pieces.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 5) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return StrFormat("%llu B", (unsigned long long)bytes);
+  return StrFormat("%.2f %s", value, kUnits[unit]);
+}
+
+std::string WithThousands(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) result.push_back(',');
+    result.push_back(*it);
+    ++count;
+  }
+  return std::string(result.rbegin(), result.rend());
+}
+
+}  // namespace fractal

@@ -1,0 +1,31 @@
+// Small string helpers: printf-style formatting into std::string, splitting,
+// and human-readable byte counts. Kept deliberately minimal (no dependency on
+// absl); only what the library and benches need.
+#ifndef FRACTAL_UTIL_STRINGS_H_
+#define FRACTAL_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fractal {
+
+/// printf-style formatting. The format string must match the arguments; a
+/// mismatch is a programming error (enforced by the compiler attribute).
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitString(std::string_view text,
+                                          std::string_view delims);
+
+/// "1.5 GB", "312 MB", "17 KB", "42 B".
+std::string HumanBytes(uint64_t bytes);
+
+/// "1234567" -> "1,234,567" for readable benchmark tables.
+std::string WithThousands(uint64_t value);
+
+}  // namespace fractal
+
+#endif  // FRACTAL_UTIL_STRINGS_H_

@@ -1,0 +1,34 @@
+// Wall-clock timing helper used by benchmarks and runtime telemetry.
+#ifndef FRACTAL_UTIL_TIMER_H_
+#define FRACTAL_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fractal {
+
+/// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_UTIL_TIMER_H_

@@ -1,0 +1,222 @@
+#include "tests/brute_force.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "pattern/automorphism.h"
+#include "pattern/canonical.h"
+#include "util/check.h"
+
+namespace fractal {
+namespace brute {
+namespace {
+
+/// Calls `visit` on every k-combination (as an index vector) of 0..n-1.
+void ForEachCombination(uint32_t n, uint32_t k,
+                        const std::function<void(const std::vector<uint32_t>&)>&
+                            visit) {
+  if (k > n) return;
+  std::vector<uint32_t> combo(k);
+  for (uint32_t i = 0; i < k; ++i) combo[i] = i;
+  while (true) {
+    visit(combo);
+    // Advance to next combination.
+    int32_t i = static_cast<int32_t>(k) - 1;
+    while (i >= 0 && combo[i] == n - k + i) --i;
+    if (i < 0) break;
+    ++combo[i];
+    for (uint32_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+  }
+}
+
+bool VertexSetConnected(const Graph& graph,
+                        const std::vector<uint32_t>& vertices) {
+  if (vertices.empty()) return false;
+  std::vector<uint32_t> stack = {vertices[0]};
+  std::set<uint32_t> seen = {vertices[0]};
+  const std::set<uint32_t> members(vertices.begin(), vertices.end());
+  while (!stack.empty()) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (members.count(u) && !seen.count(u)) {
+        seen.insert(u);
+        stack.push_back(u);
+      }
+    }
+  }
+  return seen.size() == vertices.size();
+}
+
+bool EdgeSetConnected(const Graph& graph, const std::vector<uint32_t>& edges) {
+  if (edges.empty()) return false;
+  // Union-find over endpoints.
+  std::map<VertexId, VertexId> parent;
+  std::function<VertexId(VertexId)> find = [&](VertexId v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  for (const EdgeId e : edges) {
+    const EdgeEndpoints& ends = graph.Endpoints(e);
+    for (const VertexId v : {ends.src, ends.dst}) {
+      if (!parent.count(v)) parent[v] = v;
+    }
+    parent[find(ends.src)] = find(ends.dst);
+  }
+  const VertexId root = find(graph.Endpoints(edges[0]).src);
+  for (const auto& [v, p] : parent) {
+    if (find(v) != root) return false;
+  }
+  return true;
+}
+
+/// Induced pattern of a vertex set (positions in the order given).
+Pattern InducedPattern(const Graph& graph,
+                       const std::vector<uint32_t>& vertices) {
+  Pattern pattern;
+  for (const uint32_t v : vertices) pattern.AddVertex(graph.VertexLabel(v));
+  for (uint32_t i = 0; i < vertices.size(); ++i) {
+    for (uint32_t j = i + 1; j < vertices.size(); ++j) {
+      const auto edge = graph.EdgeBetween(vertices[i], vertices[j]);
+      if (edge) pattern.AddEdge(i, j, graph.GetEdgeLabel(*edge));
+    }
+  }
+  return pattern;
+}
+
+}  // namespace
+
+uint64_t CountConnectedVertexSets(const Graph& graph, uint32_t k) {
+  uint64_t count = 0;
+  ForEachCombination(graph.NumVertices(), k,
+                     [&](const std::vector<uint32_t>& combo) {
+                       if (VertexSetConnected(graph, combo)) ++count;
+                     });
+  return count;
+}
+
+uint64_t CountConnectedEdgeSets(const Graph& graph, uint32_t k) {
+  uint64_t count = 0;
+  ForEachCombination(graph.NumEdges(), k,
+                     [&](const std::vector<uint32_t>& combo) {
+                       if (EdgeSetConnected(graph, combo)) ++count;
+                     });
+  return count;
+}
+
+uint64_t CountCliques(const Graph& graph, uint32_t k) {
+  uint64_t count = 0;
+  ForEachCombination(graph.NumVertices(), k,
+                     [&](const std::vector<uint32_t>& combo) {
+                       for (uint32_t i = 0; i < combo.size(); ++i) {
+                         for (uint32_t j = i + 1; j < combo.size(); ++j) {
+                           if (!graph.IsAdjacent(combo[i], combo[j])) return;
+                         }
+                       }
+                       ++count;
+                     });
+  return count;
+}
+
+std::map<Pattern, uint64_t> MotifCounts(const Graph& graph, uint32_t k) {
+  std::map<Pattern, uint64_t> counts;
+  ForEachCombination(
+      graph.NumVertices(), k, [&](const std::vector<uint32_t>& combo) {
+        if (!VertexSetConnected(graph, combo)) return;
+        ++counts[CanonicalForm(InducedPattern(graph, combo)).pattern];
+      });
+  return counts;
+}
+
+uint64_t CountPatternMatches(const Graph& graph, const Pattern& pattern) {
+  const uint32_t n = pattern.NumVertices();
+  uint64_t injective_maps = 0;
+  std::vector<VertexId> assignment(n, kInvalidVertex);
+  std::function<void(uint32_t)> assign = [&](uint32_t position) {
+    if (position == n) {
+      ++injective_maps;
+      return;
+    }
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (!graph.IsVertexActive(v)) continue;
+      if (graph.VertexLabel(v) != pattern.VertexLabel(position)) continue;
+      bool ok = true;
+      for (uint32_t earlier = 0; earlier < position && ok; ++earlier) {
+        if (assignment[earlier] == v) ok = false;
+        if (ok && pattern.IsAdjacent(earlier, position)) {
+          const auto edge = graph.EdgeBetween(assignment[earlier], v);
+          if (!edge ||
+              graph.GetEdgeLabel(*edge) !=
+                  pattern.EdgeLabelBetween(earlier, position)) {
+            ok = false;
+          }
+        }
+      }
+      if (!ok) continue;
+      assignment[position] = v;
+      assign(position + 1);
+      assignment[position] = kInvalidVertex;
+    }
+  };
+  assign(0);
+  const uint64_t automorphisms = Automorphisms(pattern).size();
+  FRACTAL_CHECK(injective_maps % automorphisms == 0);
+  return injective_maps / automorphisms;
+}
+
+std::map<Pattern, uint64_t> FsmFrequentPatterns(const Graph& graph,
+                                                uint32_t min_support,
+                                                uint32_t max_edges) {
+  // Domains per canonical pattern: canonical position -> set of vertices.
+  std::map<Pattern, std::vector<std::set<VertexId>>> domains;
+  for (uint32_t k = 1; k <= max_edges; ++k) {
+    ForEachCombination(
+        graph.NumEdges(), k, [&](const std::vector<uint32_t>& combo) {
+          if (!EdgeSetConnected(graph, combo)) return;
+          // Vertices of the edge set, sorted.
+          std::set<VertexId> vertex_set;
+          for (const EdgeId e : combo) {
+            vertex_set.insert(graph.Endpoints(e).src);
+            vertex_set.insert(graph.Endpoints(e).dst);
+          }
+          const std::vector<VertexId> vertices(vertex_set.begin(),
+                                               vertex_set.end());
+          Pattern quick;
+          for (const VertexId v : vertices) {
+            quick.AddVertex(graph.VertexLabel(v));
+          }
+          auto position_of = [&vertices](VertexId v) {
+            return static_cast<uint32_t>(
+                std::lower_bound(vertices.begin(), vertices.end(), v) -
+                vertices.begin());
+          };
+          for (const EdgeId e : combo) {
+            const EdgeEndpoints& ends = graph.Endpoints(e);
+            quick.AddEdge(position_of(ends.src), position_of(ends.dst),
+                          graph.GetEdgeLabel(e));
+          }
+          const CanonicalResult canonical = CanonicalForm(quick);
+          auto& pattern_domains = domains[canonical.pattern];
+          pattern_domains.resize(vertices.size());
+          // Orbit closure (see DomainSupport::AddEmbedding).
+          for (uint32_t i = 0; i < vertices.size(); ++i) {
+            pattern_domains[canonical.orbit[canonical.permutation[i]]].insert(
+                vertices[i]);
+          }
+        });
+  }
+  std::map<Pattern, uint64_t> frequent;
+  for (const auto& [pattern, pattern_domains] : domains) {
+    uint64_t support = UINT64_MAX;
+    for (const auto& domain : pattern_domains) {
+      if (domain.empty()) continue;  // non-representative orbit slot
+      support = std::min<uint64_t>(support, domain.size());
+    }
+    if (support >= min_support) frequent[pattern] = support;
+  }
+  return frequent;
+}
+
+}  // namespace brute
+}  // namespace fractal

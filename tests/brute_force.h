@@ -1,0 +1,43 @@
+// Brute-force reference implementations used to validate the enumeration
+// engine on small graphs: exhaustive subset/permutation enumeration with no
+// shared code with the library's fast paths.
+#ifndef FRACTAL_TESTS_BRUTE_FORCE_H_
+#define FRACTAL_TESTS_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace fractal {
+namespace brute {
+
+/// Number of connected induced subgraphs with exactly k vertices.
+uint64_t CountConnectedVertexSets(const Graph& graph, uint32_t k);
+
+/// Number of connected subgraphs with exactly k edges (edge-induced).
+uint64_t CountConnectedEdgeSets(const Graph& graph, uint32_t k);
+
+/// Number of k-vertex cliques.
+uint64_t CountCliques(const Graph& graph, uint32_t k);
+
+/// Canonical pattern -> count over all connected induced k-vertex subgraphs.
+std::map<Pattern, uint64_t> MotifCounts(const Graph& graph, uint32_t k);
+
+/// Number of distinct (non-induced) subgraphs isomorphic to `pattern`
+/// (labels respected): injective label/edge-preserving maps divided by
+/// |Aut(pattern)|.
+uint64_t CountPatternMatches(const Graph& graph, const Pattern& pattern);
+
+/// Frequent edge-induced patterns (canonical) with exact MNI supports,
+/// considering patterns of at most `max_edges` edges.
+std::map<Pattern, uint64_t> FsmFrequentPatterns(const Graph& graph,
+                                                uint32_t min_support,
+                                                uint32_t max_edges);
+
+}  // namespace brute
+}  // namespace fractal
+
+#endif  // FRACTAL_TESTS_BRUTE_FORCE_H_

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/cliques.h"
+#include "core/context.h"
+#include "core/step.h"
+#include "graph/generators.h"
+#include "graph/test_graphs.h"
+#include "tests/brute_force.h"
+
+namespace fractal {
+namespace {
+
+ExecutionConfig SingleThread() {
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 1;
+  return config;
+}
+
+TEST(StepCompilerTest, SingleStepWithoutSyncPoints) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Complete(4));
+  const Fractoid motifs_like =
+      graph.VFractoid().Expand(3).Aggregate<uint64_t, uint64_t>(
+          "agg", [](const Subgraph&, Computation&) -> uint64_t { return 0; },
+          [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+          [](uint64_t& a, uint64_t&& b) { a += b; });
+  const auto steps = CompileSteps(motifs_like.primitives());
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].new_begin, 0u);
+  EXPECT_EQ(steps[0].end, 4u);
+}
+
+TEST(StepCompilerTest, CutsAtAggregationFilters) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Complete(4));
+  auto count_agg = [](const Fractoid& f) {
+    return f.Aggregate<uint64_t, uint64_t>(
+        "agg", [](const Subgraph&, Computation&) -> uint64_t { return 0; },
+        [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+        [](uint64_t& a, uint64_t&& b) { a += b; });
+  };
+  Fractoid f = count_agg(graph.EFractoid().Expand(1));  // [E, A]
+  f = f.FilterByAggregation<uint64_t, uint64_t>(
+      "agg", [](const Subgraph&, Computation&,
+                const AggregationStorage<uint64_t, uint64_t>&) {
+        return true;
+      });
+  f = count_agg(f.Expand(1));  // [E, A, F, E, A]
+  const auto steps = CompileSteps(f.primitives());
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0].end, 2u);
+  EXPECT_EQ(steps[1].new_begin, 2u);
+  EXPECT_EQ(steps[1].end, 5u);
+}
+
+TEST(ExecutorTest, CountsConnectedInducedSubgraphs) {
+  const Graph g = GenerateRandomGraph(12, 26, 1, 1, 99);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  for (uint32_t k = 1; k <= 4; ++k) {
+    const uint64_t expected = brute::CountConnectedVertexSets(g, k);
+    EXPECT_EQ(graph.VFractoid().Expand(k).CountSubgraphs(SingleThread()),
+              expected)
+        << "k=" << k;
+  }
+}
+
+class ExecutorConfigProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, bool, bool>> {};
+
+TEST_P(ExecutorConfigProperty, SameCountsUnderAllClusterShapes) {
+  const auto [workers, threads, internal_ws, external_ws] = GetParam();
+  ExecutionConfig config;
+  config.num_workers = workers;
+  config.threads_per_worker = threads;
+  config.internal_work_stealing = internal_ws;
+  config.external_work_stealing = external_ws;
+  config.network.latency_micros = 5;
+
+  const Graph g = GenerateRandomGraph(14, 40, 1, 1, 1234);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  EXPECT_EQ(graph.VFractoid().Expand(3).CountSubgraphs(config),
+            brute::CountConnectedVertexSets(g, 3));
+  EXPECT_EQ(graph.EFractoid().Expand(3).CountSubgraphs(config),
+            brute::CountConnectedEdgeSets(g, 3));
+  EXPECT_EQ(CountCliques(graph, 3, config), brute::CountCliques(g, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClusterShapes, ExecutorConfigProperty,
+    ::testing::Values(std::tuple{1, 1, false, false},
+                      std::tuple{1, 4, false, false},
+                      std::tuple{1, 4, true, false},
+                      std::tuple{2, 2, true, false},
+                      std::tuple{2, 2, false, true},
+                      std::tuple{2, 2, true, true},
+                      std::tuple{3, 2, true, true},
+                      std::tuple{4, 1, false, true}));
+
+TEST(ExecutorTest, LocalFilterPrunes) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Complete(5));
+  // Only subgraphs containing vertex 0 survive the filter at depth 2.
+  const uint64_t count =
+      graph.VFractoid()
+          .Expand(2)
+          .Filter([](const Subgraph& s, Computation&) {
+            return s.ContainsVertex(0);
+          })
+          .Expand(1)
+          .CountSubgraphs(SingleThread());
+  // Distinct 3-vertex sets containing 0 in K5: C(4,2) = 6.
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(ExecutorTest, AggregationCountsPerKey) {
+  const Graph g = testgraphs::Petersen();
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  // Aggregate subgraph count keyed by whether the 3-subgraph is a triangle.
+  auto result =
+      graph.VFractoid()
+          .Expand(3)
+          .Aggregate<uint64_t, uint64_t>(
+              "by_shape",
+              [](const Subgraph& s, Computation&) -> uint64_t {
+                return s.NumEdges() == 3 ? 1 : 0;
+              },
+              [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+              [](uint64_t& a, uint64_t&& b) { a += b; })
+          .Execute(SingleThread());
+  const auto& storage =
+      result.Aggregation<uint64_t, uint64_t>("by_shape");
+  // Petersen graph is triangle-free.
+  EXPECT_EQ(storage.Find(1), nullptr);
+  ASSERT_NE(storage.Find(0), nullptr);
+  EXPECT_EQ(*storage.Find(0), brute::CountConnectedVertexSets(g, 3));
+}
+
+TEST(ExecutorTest, AggregationPostFilterDropsEntries) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Path(6));
+  auto result =
+      graph.EFractoid()
+          .Expand(1)
+          .Aggregate<uint64_t, uint64_t>(
+              "edges_by_endpoint",
+              [](const Subgraph& s, Computation& comp) -> uint64_t {
+                return comp.graph().Endpoints(s.EdgeAt(0)).src;
+              },
+              [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+              [](uint64_t& a, uint64_t&& b) { a += b; },
+              [](const uint64_t& key, const uint64_t&) {
+                return key % 2 == 0;  // keep even sources only
+              })
+          .Execute(SingleThread());
+  const auto& storage =
+      result.Aggregation<uint64_t, uint64_t>("edges_by_endpoint");
+  for (const auto& [key, value] : storage.entries()) {
+    EXPECT_EQ(key % 2, 0u);
+  }
+  EXPECT_EQ(storage.NumEntries(), 3u);  // sources 0, 2, 4
+}
+
+TEST(ExecutorTest, AggregationFilterRunsMultiStep) {
+  // Two-step workflow: count 1-edge subgraphs per source vertex, then only
+  // extend edges whose source count passes a threshold.
+  FractalContext fctx;
+  const Graph g = testgraphs::Star(5);  // center 0 with 4 leaves
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  auto fractoid =
+      graph.EFractoid()
+          .Expand(1)
+          .Aggregate<uint64_t, uint64_t>(
+              "deg",
+              [](const Subgraph&, Computation&) -> uint64_t { return 0; },
+              [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+              [](uint64_t& a, uint64_t&& b) { a += b; })
+          .FilterByAggregation<uint64_t, uint64_t>(
+              "deg",
+              [](const Subgraph&, Computation&,
+                 const AggregationStorage<uint64_t, uint64_t>& agg) {
+                return *agg.Find(0) == 4;  // all 4 edges counted
+              })
+          .Expand(1);
+  auto result = fractoid.Execute(SingleThread());
+  EXPECT_EQ(result.num_steps, 2u);
+  EXPECT_EQ(result.steps_executed, 2u);
+  // 2-edge connected subgraphs of a 4-star: C(4,2) = 6.
+  EXPECT_EQ(result.num_subgraphs, 6u);
+}
+
+TEST(ExecutorTest, CachedAggregationsSkipSteps) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Complete(5));
+  auto base = graph.EFractoid().Expand(1).Aggregate<uint64_t, uint64_t>(
+      "count", [](const Subgraph&, Computation&) -> uint64_t { return 0; },
+      [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+      [](uint64_t& a, uint64_t&& b) { a += b; });
+  auto first = base.Execute(SingleThread());
+  EXPECT_EQ(first.steps_executed, 1u);
+
+  // Deriving and executing again: the bootstrap step's aggregation is
+  // cached on the shared fractoid state, so only the new step runs.
+  auto extended = base.FilterByAggregation<uint64_t, uint64_t>(
+                          "count",
+                          [](const Subgraph&, Computation&,
+                             const AggregationStorage<uint64_t, uint64_t>&) {
+                            return true;
+                          })
+                      .Expand(1);
+  auto second = extended.Execute(SingleThread());
+  EXPECT_EQ(second.num_steps, 2u);
+  EXPECT_EQ(second.steps_executed, 1u);  // step 0 skipped via cache
+  EXPECT_EQ(second.num_subgraphs, brute::CountConnectedEdgeSets(
+                                      graph.graph(), 2));
+}
+
+TEST(ExecutorTest, CollectSubgraphsReturnsAllMatches) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Cycle(6));
+  auto subgraphs = graph.VFractoid().Expand(2).CollectSubgraphs(SingleThread());
+  EXPECT_EQ(subgraphs.size(), 6u);  // the 6 edges as vertex pairs
+  std::set<std::pair<VertexId, VertexId>> pairs;
+  for (const Subgraph& s : subgraphs) {
+    ASSERT_EQ(s.NumVertices(), 2u);
+    pairs.emplace(std::min(s.VertexAt(0), s.VertexAt(1)),
+                  std::max(s.VertexAt(0), s.VertexAt(1)));
+  }
+  EXPECT_EQ(pairs.size(), 6u);
+}
+
+TEST(ExecutorTest, TelemetryAccountsWork) {
+  const Graph g = GenerateRandomGraph(20, 60, 1, 1, 5);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 2;
+  config.network.latency_micros = 1;
+  auto result = graph.VFractoid().Expand(3).Execute(config);
+  ASSERT_EQ(result.telemetry.steps.size(), 1u);
+  const StepTelemetry& step = result.telemetry.steps[0];
+  EXPECT_EQ(step.threads.size(), 4u);
+  // Total work = total extensions consumed = number of subgraphs at every
+  // depth 1..3.
+  uint64_t expected_work = 0;
+  for (uint32_t k = 1; k <= 3; ++k) {
+    expected_work += brute::CountConnectedVertexSets(g, k);
+  }
+  EXPECT_EQ(step.TotalWorkUnits(), expected_work);
+  EXPECT_GT(step.TotalExtensionTests(), 0u);
+  EXPECT_GT(result.peak_state_bytes, 0u);
+  EXPECT_LE(step.BalanceEfficiency(0), 1.0);
+}
+
+TEST(ExecutorTest, GraphReductionKeepsIdSpace) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Complete(5));
+  // Drop vertex 4: counts become those of K4.
+  FractalGraph reduced = graph.VFilter(
+      [](const Graph&, VertexId v) { return v != 4; });
+  EXPECT_EQ(reduced.graph().NumActiveVertices(), 4u);
+  EXPECT_EQ(reduced.graph().NumEdges(), 6u);
+  EXPECT_EQ(CountCliques(reduced, 3, SingleThread()), 4u);  // C(4,3)
+  // Vertex ids refer to the original graph.
+  auto subgraphs =
+      reduced.VFractoid().Expand(1).CollectSubgraphs(SingleThread());
+  std::set<VertexId> roots;
+  for (const Subgraph& s : subgraphs) roots.insert(s.VertexAt(0));
+  EXPECT_EQ(roots, (std::set<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(ExecutorTest, WorkerCrashIsRecoveredByStepRetry) {
+  const Graph g = GenerateRandomGraph(30, 90, 1, 1, 4242);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+
+  ExecutionConfig healthy;
+  healthy.num_workers = 2;
+  healthy.threads_per_worker = 2;
+  healthy.network.latency_micros = 1;
+  const uint64_t expected =
+      graph.VFractoid().Expand(3).CountSubgraphs(healthy);
+
+  ExecutionConfig faulty = healthy;
+  faulty.crash_worker = 1;
+  faulty.crash_after_work_units = 50;  // mid-step failure
+  const ExecutionResult result =
+      graph.VFractoid().Expand(3).Execute(faulty);
+  EXPECT_EQ(result.num_subgraphs, expected);
+  EXPECT_EQ(result.steps_retried, 1u);
+}
+
+TEST(ExecutorTest, WorkerCrashDuringAggregationStillExact) {
+  const Graph g = GenerateRandomGraph(25, 60, 2, 1, 777);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  auto make = [&graph]() {
+    return graph.EFractoid().Expand(2).Aggregate<uint64_t, uint64_t>(
+        "count", [](const Subgraph&, Computation&) -> uint64_t { return 0; },
+        [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+        [](uint64_t& a, uint64_t&& b) { a += b; });
+  };
+  ExecutionConfig healthy;
+  healthy.num_workers = 2;
+  healthy.threads_per_worker = 1;
+  healthy.network.latency_micros = 1;
+  const auto clean = make().Execute(healthy);
+
+  ExecutionConfig faulty = healthy;
+  faulty.crash_worker = 0;
+  faulty.crash_after_work_units = 20;
+  const auto recovered = make().Execute(faulty);
+  EXPECT_EQ(recovered.steps_retried, 1u);
+  const uint64_t clean_count =
+      *TypedStorage<uint64_t, uint64_t>(*clean.aggregations.begin()->second)
+           .Find(0);
+  const uint64_t recovered_count = *TypedStorage<uint64_t, uint64_t>(
+                                        *recovered.aggregations.begin()->second)
+                                        .Find(0);
+  EXPECT_EQ(recovered_count, clean_count);
+}
+
+TEST(ExecutorTest, CrashThresholdNeverReachedMeansNoRetry) {
+  const Graph g = GenerateRandomGraph(12, 24, 1, 1, 31);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 1;
+  config.network.latency_micros = 1;
+  config.crash_worker = 1;
+  config.crash_after_work_units = 100000000;  // unreachable
+  const auto result = graph.VFractoid().Expand(2).Execute(config);
+  EXPECT_EQ(result.steps_retried, 0u);
+}
+
+TEST(ExecutorTest, WorkStealingProducesBalancedWork) {
+  // A skewed graph (star-heavy) with stealing: no thread should finish with
+  // zero work units while others hold the bulk, and counts stay exact.
+  PowerLawParams params;
+  params.num_vertices = 300;
+  params.edges_per_vertex = 3;
+  params.seed = 7;
+  const Graph g = GeneratePowerLaw(params);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+
+  ExecutionConfig stealing;
+  stealing.num_workers = 2;
+  stealing.threads_per_worker = 2;
+  stealing.network.latency_micros = 1;
+  ExecutionConfig no_stealing = stealing;
+  no_stealing.internal_work_stealing = false;
+  no_stealing.external_work_stealing = false;
+
+  const uint64_t count_with = CountCliques(graph, 3, stealing);
+  const uint64_t count_without = CountCliques(graph, 3, no_stealing);
+  EXPECT_EQ(count_with, count_without);
+}
+
+}  // namespace
+}  // namespace fractal

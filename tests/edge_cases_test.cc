@@ -1,0 +1,183 @@
+// Edge cases and degenerate inputs: tiny graphs, expansion past the graph
+// or pattern size, empty results, vertexless/edgeless structures, and
+// boundary conditions of the operators.
+#include <gtest/gtest.h>
+
+#include "apps/cliques.h"
+#include "apps/motifs.h"
+#include "apps/queries.h"
+#include "core/context.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph_reduce.h"
+#include "graph/test_graphs.h"
+#include "pattern/canonical.h"
+
+namespace fractal {
+namespace {
+
+ExecutionConfig OneByOne() {
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 1;
+  return config;
+}
+
+TEST(EdgeCasesTest, SingleVertexGraph) {
+  GraphBuilder b;
+  b.AddVertex(5);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.Density(), 0.0);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  EXPECT_EQ(graph.VFractoid().Expand(1).CountSubgraphs(OneByOne()), 1u);
+  EXPECT_EQ(graph.VFractoid().Expand(2).CountSubgraphs(OneByOne()), 0u);
+  EXPECT_EQ(graph.EFractoid().Expand(1).CountSubgraphs(OneByOne()), 0u);
+}
+
+TEST(EdgeCasesTest, EdgelessGraphHasNoEdgeSubgraphs) {
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddVertex(0);
+  const Graph g = std::move(b).Build();
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  EXPECT_EQ(graph.VFractoid().Expand(1).CountSubgraphs(OneByOne()), 5u);
+  EXPECT_EQ(graph.VFractoid().Expand(2).CountSubgraphs(OneByOne()), 0u);
+  EXPECT_EQ(CountTriangles(graph, OneByOne()), 0u);
+}
+
+TEST(EdgeCasesTest, ExpandBeyondGraphSizeYieldsNothing) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Complete(3));
+  EXPECT_EQ(graph.VFractoid().Expand(3).CountSubgraphs(OneByOne()), 1u);
+  EXPECT_EQ(graph.VFractoid().Expand(4).CountSubgraphs(OneByOne()), 0u);
+  EXPECT_EQ(graph.VFractoid().Expand(10).CountSubgraphs(OneByOne()), 0u);
+}
+
+TEST(EdgeCasesTest, PatternExpandPastPatternSizeIsEmpty) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Complete(5));
+  // The pattern-induced strategy stops producing extensions at the pattern
+  // size; expanding further finds no deeper subgraphs.
+  const Pattern triangle = Pattern::Clique(3);
+  EXPECT_EQ(graph.PFractoid(triangle).Expand(3).CountSubgraphs(OneByOne()),
+            10u);
+  EXPECT_EQ(graph.PFractoid(triangle).Expand(4).CountSubgraphs(OneByOne()),
+            0u);
+}
+
+TEST(EdgeCasesTest, QueryLargerThanGraph) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Complete(3));
+  EXPECT_EQ(CountQueryMatches(graph, Pattern::Clique(5), OneByOne()), 0u);
+}
+
+TEST(EdgeCasesTest, CliquesLargerThanCliqueNumber) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Cycle(8));
+  EXPECT_EQ(CountCliques(graph, 3, OneByOne()), 0u);
+  EXPECT_EQ(CountCliquesOptimized(graph, 3, OneByOne()), 0u);
+}
+
+TEST(EdgeCasesTest, ReduceEverythingAway) {
+  const Graph g = testgraphs::Complete(4);
+  const Graph reduced =
+      ReduceGraph(g, [](const Graph&, VertexId) { return false; }, nullptr);
+  EXPECT_EQ(reduced.NumEdges(), 0u);
+  EXPECT_EQ(reduced.NumActiveVertices(), 0u);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(reduced));
+  EXPECT_EQ(graph.VFractoid().Expand(1).CountSubgraphs(OneByOne()), 0u);
+}
+
+TEST(EdgeCasesTest, MotifsOfSizeOneAndTwo) {
+  const Graph g = GenerateRandomGraph(20, 45, 1, 1, 7);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  const MotifsResult one = CountMotifs(graph, 1, OneByOne());
+  EXPECT_EQ(one.total, 20u);
+  EXPECT_EQ(one.counts.size(), 1u);
+  const MotifsResult two = CountMotifs(graph, 2, OneByOne());
+  EXPECT_EQ(two.total, 45u);  // one per edge
+}
+
+TEST(EdgeCasesTest, DisconnectedGraphEnumeratesPerComponent) {
+  // Two disjoint triangles: 2 three-vertex subgraphs of each shape... just
+  // triangles: 2; no subgraph spans components.
+  GraphBuilder b;
+  for (int i = 0; i < 6; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  const Graph g = std::move(b).Build();
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  EXPECT_EQ(graph.VFractoid().Expand(3).CountSubgraphs(OneByOne()), 2u);
+  EXPECT_EQ(graph.VFractoid().Expand(4).CountSubgraphs(OneByOne()), 0u);
+}
+
+TEST(EdgeCasesTest, SingleVertexPatternCanonical) {
+  Pattern p;
+  p.AddVertex(9);
+  const CanonicalResult canonical = CanonicalForm(p);
+  EXPECT_EQ(canonical.pattern.NumVertices(), 1u);
+  EXPECT_EQ(canonical.pattern.VertexLabel(0), 9u);
+  EXPECT_EQ(canonical.permutation, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(canonical.orbit, (std::vector<uint32_t>{0}));
+}
+
+TEST(EdgeCasesTest, EmptyGraphAlgorithms) {
+  const Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  const ComponentsResult components = ConnectedComponents(g);
+  EXPECT_EQ(components.num_components, 0u);
+  const CoreResult cores = CoreDecomposition(g);
+  EXPECT_EQ(cores.degeneracy, 0u);
+  const GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.triangles, 0u);
+}
+
+TEST(EdgeCasesTest, MaskedVerticesNeverAppearInResults) {
+  const Graph base = testgraphs::Complete(6);
+  const Graph reduced = ReduceGraph(
+      base, [](const Graph&, VertexId v) { return v < 4; }, nullptr);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(reduced));
+  const auto subgraphs =
+      graph.VFractoid().Expand(3).CollectSubgraphs(OneByOne());
+  EXPECT_EQ(subgraphs.size(), 4u);  // C(4,3)
+  for (const Subgraph& s : subgraphs) {
+    for (const VertexId v : s.Vertices()) EXPECT_LT(v, 4u);
+  }
+}
+
+TEST(EdgeCasesTest, FilterThatRejectsEverything) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Complete(5));
+  const uint64_t count =
+      graph.VFractoid()
+          .Expand(1)
+          .Filter([](const Subgraph&, Computation&) { return false; })
+          .Expand(1)
+          .CountSubgraphs(OneByOne());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(EdgeCasesTest, ManyMoreThreadsThanWork) {
+  // 16 threads, 4 root vertices: most threads start idle and must
+  // terminate promptly.
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Complete(4));
+  ExecutionConfig config;
+  config.num_workers = 4;
+  config.threads_per_worker = 4;
+  config.network.latency_micros = 1;
+  EXPECT_EQ(graph.VFractoid().Expand(3).CountSubgraphs(config), 4u);
+}
+
+}  // namespace
+}  // namespace fractal

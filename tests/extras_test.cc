@@ -1,0 +1,352 @@
+// Tests for the extension features beyond the paper's core: graph
+// algorithms (components, k-core, stats), the SNAP edge-list loader,
+// file-based IO round trips, the sampling custom enumerator (Appendix B)
+// and the estimation app built on it, and worker-crash recovery edges.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <set>
+
+#include "apps/estimation.h"
+#include "apps/queries.h"
+#include "apps/motifs.h"
+#include "enumerate/sampling.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/test_graphs.h"
+#include "pattern/catalog.h"
+#include "tests/brute_force.h"
+
+namespace fractal {
+namespace {
+
+TEST(ComponentsTest, CountsAndSizes) {
+  GraphBuilder b;
+  for (int i = 0; i < 7; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  // 5, 6 isolated.
+  const Graph g = std::move(b).Build();
+  const ComponentsResult result = ConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 4u);
+  EXPECT_EQ(result.largest_size, 3u);
+  EXPECT_EQ(result.component[0], result.component[2]);
+  EXPECT_NE(result.component[0], result.component[3]);
+  EXPECT_NE(result.component[5], result.component[6]);
+}
+
+TEST(ComponentsTest, ConnectedGraphIsOneComponent) {
+  const Graph g = testgraphs::Petersen();
+  const ComponentsResult result = ConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 1u);
+  EXPECT_EQ(result.largest_size, 10u);
+}
+
+TEST(CoreDecompositionTest, KnownCores) {
+  // Complete graph K5: every vertex has core 4.
+  const CoreResult k5 = CoreDecomposition(testgraphs::Complete(5));
+  EXPECT_EQ(k5.degeneracy, 4u);
+  for (const uint32_t c : k5.core) EXPECT_EQ(c, 4u);
+
+  // Path: all cores 1.
+  const CoreResult path = CoreDecomposition(testgraphs::Path(6));
+  EXPECT_EQ(path.degeneracy, 1u);
+  for (const uint32_t c : path.core) EXPECT_EQ(c, 1u);
+
+  // Star: center and leaves all core 1.
+  const CoreResult star = CoreDecomposition(testgraphs::Star(8));
+  EXPECT_EQ(star.degeneracy, 1u);
+
+  // Triangle with a pendant: triangle cores 2, pendant core 1.
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  const CoreResult tri = CoreDecomposition(std::move(b).Build());
+  EXPECT_EQ(tri.core[0], 2u);
+  EXPECT_EQ(tri.core[1], 2u);
+  EXPECT_EQ(tri.core[2], 2u);
+  EXPECT_EQ(tri.core[3], 1u);
+}
+
+TEST(CoreDecompositionTest, CoreIsAtMostDegree) {
+  const Graph g = GenerateRandomGraph(60, 200, 1, 1, 55);
+  const CoreResult result = CoreDecomposition(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LE(result.core[v], g.Degree(v));
+  }
+  // Degeneracy lower-bounds max clique size - 1.
+  const uint64_t triangles = brute::CountCliques(g, 3);
+  if (triangles > 0) {
+    EXPECT_GE(result.degeneracy, 2u);
+  }
+}
+
+TEST(GraphStatsTest, TrianglesAndClustering) {
+  const GraphStats complete = ComputeStats(testgraphs::Complete(5));
+  EXPECT_EQ(complete.triangles, 10u);
+  EXPECT_DOUBLE_EQ(complete.clustering_coefficient, 1.0);
+  EXPECT_EQ(complete.max_degree, 4u);
+
+  const GraphStats petersen = ComputeStats(testgraphs::Petersen());
+  EXPECT_EQ(petersen.triangles, 0u);
+  EXPECT_DOUBLE_EQ(petersen.clustering_coefficient, 0.0);
+  EXPECT_EQ(petersen.wedges, 30u);  // 10 vertices x C(3,2)
+}
+
+TEST(EdgeListTest, ParsesSparseIdsAndSkipsJunk) {
+  const auto graph = ParseEdgeList(
+      "# SNAP-ish header\n"
+      "10 20\n"
+      "20 30\n"
+      "10 10\n"     // self loop: skipped
+      "20 10\n"     // duplicate (reversed): skipped
+      "1000000 10\n");
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph->NumVertices(), 4u);  // 10, 20, 30, 1000000 compacted
+  EXPECT_EQ(graph->NumEdges(), 3u);
+}
+
+TEST(EdgeListTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseEdgeList("1 2 3\n").ok());
+  EXPECT_FALSE(ParseEdgeList("a b\n").ok());
+  EXPECT_TRUE(ParseEdgeList("").ok());  // empty graph is fine
+}
+
+TEST(GraphIoFileTest, SaveAndLoadRoundTrip) {
+  const Graph g = GenerateRandomGraph(30, 80, 3, 2, 123);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fractal_io_test.graph")
+          .string();
+  ASSERT_TRUE(SaveAdjacencyListFile(g, path).ok());
+  auto loaded = LoadAdjacencyListFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumVertices(), g.NumVertices());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadAdjacencyListFile(path).ok());  // gone
+}
+
+TEST(SamplingTest, ProbabilityOneIsExact) {
+  const Graph g = GenerateRandomGraph(20, 50, 1, 1, 77);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 2;
+  EXPECT_EQ(EstimateSubgraphCount(graph, 3, 1.0, 42, config),
+            brute::CountConnectedVertexSets(g, 3));
+}
+
+TEST(SamplingTest, DeterministicAcrossClusterShapes) {
+  const Graph g = GenerateRandomGraph(30, 90, 1, 1, 88);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig a;
+  a.num_workers = 1;
+  a.threads_per_worker = 1;
+  ExecutionConfig b;
+  b.num_workers = 2;
+  b.threads_per_worker = 2;
+  b.network.latency_micros = 1;
+  // Hash-based sampling decisions are a pure function of (seed, prefix,
+  // extension): identical results regardless of threads/steals.
+  EXPECT_EQ(EstimateSubgraphCount(graph, 3, 0.6, 42, a),
+            EstimateSubgraphCount(graph, 3, 0.6, 42, b));
+}
+
+TEST(SamplingTest, EstimatesWithinStatisticalTolerance) {
+  PowerLawParams params;
+  params.num_vertices = 400;
+  params.edges_per_vertex = 5;
+  params.triangle_closure = 0.4;
+  params.seed = 99;
+  const Graph g = GeneratePowerLaw(params);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 2;
+  const uint64_t exact =
+      graph.VFractoid().Expand(3).CountSubgraphs(config);
+  ASSERT_GT(exact, 10000u);
+  // Average several seeds to damp variance (still a statistical test; the
+  // tolerance is generous and the seeds are fixed).
+  uint64_t total = 0;
+  constexpr int kTrials = 5;
+  for (uint64_t seed = 1; seed <= kTrials; ++seed) {
+    total += EstimateSubgraphCount(graph, 3, 0.7, seed, config);
+  }
+  const double mean = static_cast<double>(total) / kTrials;
+  EXPECT_GT(mean, 0.6 * exact);
+  EXPECT_LT(mean, 1.4 * exact);
+}
+
+TEST(SamplingTest, MotifEstimateCoversDominantShapes) {
+  PowerLawParams params;
+  params.num_vertices = 300;
+  params.edges_per_vertex = 6;
+  params.triangle_closure = 0.5;
+  params.seed = 7;
+  const Graph g = GeneratePowerLaw(params);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 2;
+  const MotifsResult exact = CountMotifs(graph, 3, config);
+  const EstimationResult estimate =
+      EstimateMotifCounts(graph, 3, 0.8, 5, config);
+  EXPECT_EQ(estimate.keep_probability, 0.8);
+  EXPECT_LT(estimate.sampled_subgraphs, exact.total);
+  // Both 3-vertex shapes (path, triangle) must appear with sane estimates.
+  ASSERT_EQ(estimate.estimated_counts.size(), exact.counts.size());
+  for (const auto& [pattern, exact_count] : exact.counts) {
+    ASSERT_TRUE(estimate.estimated_counts.count(pattern));
+    const double ratio =
+        static_cast<double>(estimate.estimated_counts.at(pattern)) /
+        exact_count;
+    EXPECT_GT(ratio, 0.5) << pattern.ToString();
+    EXPECT_LT(ratio, 1.6) << pattern.ToString();
+  }
+}
+
+TEST(SamplingTest, WrapsPatternStrategyToo) {
+  const Graph g = GenerateRandomGraph(20, 60, 1, 1, 13);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  auto sampled = std::make_shared<SamplingStrategy>(
+      std::make_shared<PatternInducedStrategy>(Pattern::Clique(3)), 1.0, 1);
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 1;
+  EXPECT_EQ(graph.CustomFractoid(sampled).Expand(3).CountSubgraphs(config),
+            brute::CountCliques(g, 3));
+}
+
+TEST(CatalogTest, KnownConnectedGraphCounts) {
+  // Number of connected unlabeled graphs on k vertices (OEIS A001349).
+  EXPECT_EQ(ConnectedPatterns(1).size(), 1u);
+  EXPECT_EQ(ConnectedPatterns(2).size(), 1u);
+  EXPECT_EQ(ConnectedPatterns(3).size(), 2u);
+  EXPECT_EQ(ConnectedPatterns(4).size(), 6u);
+  EXPECT_EQ(ConnectedPatterns(5).size(), 21u);
+  EXPECT_EQ(ConnectedPatterns(6).size(), 112u);
+}
+
+TEST(CatalogTest, RepresentativesAreCanonicalAndConnected) {
+  for (const Pattern& pattern : ConnectedPatterns(5)) {
+    EXPECT_TRUE(pattern.IsConnected());
+    EXPECT_EQ(CanonicalForm(pattern).pattern, pattern);
+  }
+}
+
+TEST(CatalogTest, ShapeNames) {
+  EXPECT_EQ(PatternShapeName(Pattern::Clique(3)), "triangle");
+  EXPECT_EQ(PatternShapeName(Pattern::CyclePattern(4)), "square");
+  Pattern diamond = Pattern::CyclePattern(4);
+  diamond.AddEdge(0, 2);
+  // Name resolution is isomorphism-invariant.
+  EXPECT_EQ(PatternShapeName(diamond), "diamond");
+  EXPECT_EQ(PatternShapeName(diamond.Permuted({3, 1, 0, 2})), "diamond");
+  // Unnamed shapes get a stable generic tag.
+  const std::string tag = PatternShapeName(Pattern::CyclePattern(6));
+  EXPECT_EQ(tag.substr(0, 2), "k6");
+}
+
+TEST(CatalogTest, MotifCountsCoverWholeCatalog) {
+  // On a graph rich enough, every 4-vertex shape should occur, and shapes
+  // found by motif counting must all be catalog members.
+  PowerLawParams params;
+  params.num_vertices = 200;
+  params.edges_per_vertex = 6;
+  params.triangle_closure = 0.5;
+  params.seed = 3;
+  const Graph g = GeneratePowerLaw(params);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 2;
+  const MotifsResult motifs = CountMotifs(graph, 4, config);
+  const auto catalog = ConnectedPatterns(4);
+  EXPECT_EQ(motifs.counts.size(), catalog.size());
+  for (const Pattern& shape : catalog) {
+    EXPECT_TRUE(motifs.counts.count(shape)) << PatternShapeName(shape);
+  }
+}
+
+TEST(InducedMatchingTest, AgreesWithMotifCounts) {
+  // Induced matches of a pattern == that pattern's motif count.
+  const Graph g = GenerateRandomGraph(16, 44, 1, 1, 17);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 2;
+  config.network.latency_micros = 1;
+  const auto motif_counts = brute::MotifCounts(g, 4);
+  for (const Pattern& shape : ConnectedPatterns(4)) {
+    auto strategy = std::make_shared<PatternInducedStrategy>(
+        shape, MatchSemantics::kInduced);
+    const uint64_t induced = graph.CustomFractoid(strategy)
+                                 .Expand(4)
+                                 .CountSubgraphs(config);
+    const auto it = motif_counts.find(shape);
+    const uint64_t expected = it == motif_counts.end() ? 0 : it->second;
+    EXPECT_EQ(induced, expected) << PatternShapeName(shape);
+  }
+}
+
+TEST(InducedMatchingTest, InducedIsSubsetOfSubgraphMatches) {
+  const Graph g = GenerateRandomGraph(14, 40, 1, 1, 19);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 1;
+  const Pattern square = Pattern::CyclePattern(4);
+  const uint64_t subgraph_matches =
+      CountQueryMatches(graph, square, config);
+  auto induced_strategy = std::make_shared<PatternInducedStrategy>(
+      square, MatchSemantics::kInduced);
+  const uint64_t induced_matches = graph.CustomFractoid(induced_strategy)
+                                       .Expand(4)
+                                       .CountSubgraphs(config);
+  EXPECT_LE(induced_matches, subgraph_matches);
+}
+
+TEST(StreamingOutputTest, SinkSeesEverySubgraphOnce) {
+  const Graph g = GenerateRandomGraph(20, 55, 1, 1, 23);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 2;
+  config.network.latency_micros = 1;
+
+  std::mutex mu;
+  std::set<std::vector<VertexId>> seen;
+  uint64_t streamed = 0;
+  const uint64_t count = graph.VFractoid().Expand(3).ForEachSubgraph(
+      [&](const Subgraph& s) {
+        std::vector<VertexId> vertices(s.Vertices().begin(),
+                                       s.Vertices().end());
+        std::sort(vertices.begin(), vertices.end());
+        std::lock_guard<std::mutex> lock(mu);
+        ++streamed;
+        EXPECT_TRUE(seen.insert(vertices).second);
+      },
+      config);
+  EXPECT_EQ(streamed, count);
+  EXPECT_EQ(count, brute::CountConnectedVertexSets(g, 3));
+}
+
+}  // namespace
+}  // namespace fractal

@@ -1,0 +1,360 @@
+// Cross-cutting property tests: invariants that must hold for every random
+// instance — determinism across cluster shapes, result-set consistency
+// between output operators, anti-monotonicity of MNI support, reduction
+// soundness, canonicalization algebra.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "apps/cliques.h"
+#include "apps/fsm.h"
+#include "apps/keyword_search.h"
+#include "apps/motifs.h"
+#include "apps/queries.h"
+#include "graph/generators.h"
+#include "graph/graph_reduce.h"
+#include "pattern/canonical.h"
+#include "pattern/dfs_code.h"
+#include "tests/brute_force.h"
+#include "util/random.h"
+
+namespace fractal {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1001, 1002, 1003, 1004));
+
+TEST_P(SeededProperty, CountsIdenticalAcrossRepeatedRuns) {
+  const Graph g = GenerateRandomGraph(40, 140, 1, 1, GetParam());
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 2;
+  config.network.latency_micros = 1;
+  const uint64_t first = graph.VFractoid().Expand(3).CountSubgraphs(config);
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_EQ(graph.VFractoid().Expand(3).CountSubgraphs(config), first);
+  }
+}
+
+TEST_P(SeededProperty, CollectedSubgraphsMatchCountAndAreDistinct) {
+  const Graph g = GenerateRandomGraph(25, 70, 1, 1, GetParam());
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 2;
+  config.network.latency_micros = 1;
+  const uint64_t count = graph.VFractoid().Expand(3).CountSubgraphs(config);
+  const auto collected =
+      graph.VFractoid().Expand(3).CollectSubgraphs(config);
+  EXPECT_EQ(collected.size(), count);
+  std::set<std::vector<VertexId>> distinct;
+  for (const Subgraph& s : collected) {
+    std::vector<VertexId> vertices(s.Vertices().begin(), s.Vertices().end());
+    std::sort(vertices.begin(), vertices.end());
+    EXPECT_TRUE(distinct.insert(vertices).second) << s.ToString();
+  }
+}
+
+TEST_P(SeededProperty, MaxCollectedCapRespected) {
+  const Graph g = GenerateRandomGraph(25, 70, 1, 1, GetParam());
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 2;
+  config.max_collected_subgraphs = 7;
+  const auto collected = graph.VFractoid().Expand(2).CollectSubgraphs(config);
+  EXPECT_LE(collected.size(), 7u);
+}
+
+TEST_P(SeededProperty, MniSupportIsAntiMonotone) {
+  // Every frequent pattern's sub-patterns (one edge removed, still
+  // connected) must have at least its support.
+  const Graph g = GenerateRandomGraph(14, 30, 2, 1, GetParam());
+  const auto all_supports = brute::FsmFrequentPatterns(g, 1, 3);
+  for (const auto& [pattern, support] : all_supports) {
+    if (pattern.NumEdges() < 2) continue;
+    for (const PatternEdge& removed : pattern.Edges()) {
+      Pattern sub;
+      for (uint32_t v = 0; v < pattern.NumVertices(); ++v) {
+        sub.AddVertex(pattern.VertexLabel(v));
+      }
+      for (const PatternEdge& e : pattern.Edges()) {
+        if (e == removed) continue;
+        sub.AddEdge(e.src, e.dst, e.label);
+      }
+      if (!sub.IsConnected()) continue;
+      // Drop isolated vertices (edge-induced subpattern).
+      Pattern trimmed;
+      std::vector<int32_t> remap(sub.NumVertices(), -1);
+      for (uint32_t v = 0; v < sub.NumVertices(); ++v) {
+        if (sub.Degree(v) > 0) {
+          remap[v] = trimmed.AddVertex(sub.VertexLabel(v));
+        }
+      }
+      for (const PatternEdge& e : sub.Edges()) {
+        trimmed.AddEdge(remap[e.src], remap[e.dst], e.label);
+      }
+      const Pattern canonical_sub = CanonicalForm(trimmed).pattern;
+      const auto it = all_supports.find(canonical_sub);
+      ASSERT_NE(it, all_supports.end())
+          << "sub-pattern missing: " << canonical_sub.ToString();
+      EXPECT_GE(it->second, support)
+          << pattern.ToString() << " vs " << canonical_sub.ToString();
+    }
+  }
+}
+
+TEST_P(SeededProperty, ReductionNeverAddsOrLosesSurvivingStructure) {
+  const Graph g = GenerateRandomGraph(30, 90, 3, 2, GetParam());
+  // Keep even-labeled vertices.
+  const Graph reduced = ReduceGraph(
+      g, [](const Graph& graph, VertexId v) {
+        return graph.VertexLabel(v) % 2 == 0;
+      },
+      nullptr);
+  for (EdgeId e = 0; e < reduced.NumEdges(); ++e) {
+    const EdgeEndpoints& ends = reduced.Endpoints(e);
+    // Every surviving edge existed in the original with the same label.
+    const auto original = g.EdgeBetween(ends.src, ends.dst);
+    ASSERT_TRUE(original.has_value());
+    EXPECT_EQ(g.GetEdgeLabel(*original), reduced.GetEdgeLabel(e));
+    EXPECT_EQ(g.VertexLabel(ends.src) % 2, 0u);
+    EXPECT_EQ(g.VertexLabel(ends.dst) % 2, 0u);
+  }
+  // Every original edge between surviving vertices survives.
+  uint32_t expected_edges = 0;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const EdgeEndpoints& ends = g.Endpoints(e);
+    if (g.VertexLabel(ends.src) % 2 == 0 &&
+        g.VertexLabel(ends.dst) % 2 == 0) {
+      ++expected_edges;
+    }
+  }
+  EXPECT_EQ(reduced.NumEdges(), expected_edges);
+}
+
+TEST_P(SeededProperty, ReductionIsIdempotent) {
+  const Graph g = GenerateRandomGraph(30, 80, 2, 1, GetParam());
+  auto keep = [](const Graph& graph, VertexId v) { return v % 3 != 0; };
+  const Graph once = ReduceGraph(g, keep, nullptr);
+  const Graph twice = ReduceGraph(once, keep, nullptr);
+  EXPECT_EQ(once.NumEdges(), twice.NumEdges());
+  EXPECT_EQ(once.NumActiveVertices(), twice.NumActiveVertices());
+}
+
+TEST_P(SeededProperty, QueryMatchesAreActualMatches) {
+  const Graph g = GenerateRandomGraph(15, 40, 1, 1, GetParam());
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  Pattern diamond = Pattern::CyclePattern(4);
+  diamond.AddEdge(0, 2);
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 2;
+  const auto matches =
+      QueryFractoid(graph, diamond).CollectSubgraphs(config);
+  const Pattern canonical_query = CanonicalForm(diamond).pattern;
+  for (const Subgraph& match : matches) {
+    EXPECT_EQ(match.NumVertices(), 4u);
+    EXPECT_EQ(match.NumEdges(), 5u);
+    EXPECT_EQ(CanonicalForm(match.QuickPattern(g)).pattern, canonical_query);
+  }
+  EXPECT_EQ(matches.size(), brute::CountPatternMatches(g, diamond));
+}
+
+TEST_P(SeededProperty, DfsCodeFixedPoint) {
+  // The minimum DFS code of the pattern rebuilt from a minimum DFS code is
+  // that same code (canonical representatives are fixed points).
+  SplitMix64 rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint32_t n = 2 + rng.NextBounded(5);
+    Pattern p;
+    for (uint32_t i = 0; i < n; ++i) {
+      p.AddVertex(static_cast<Label>(rng.NextBounded(2)));
+    }
+    for (uint32_t i = 1; i < n; ++i) {
+      p.AddEdge(i, static_cast<uint32_t>(rng.NextBounded(i)));
+    }
+    const DfsCode code = MinDfsCode(p);
+    EXPECT_EQ(MinDfsCode(PatternFromDfsCode(code)), code);
+  }
+}
+
+TEST_P(SeededProperty, CanonicalOrbitsPartitionPositions) {
+  SplitMix64 rng(GetParam() * 31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint32_t n = 2 + rng.NextBounded(4);
+    Pattern p;
+    for (uint32_t i = 0; i < n; ++i) p.AddVertex(0);
+    for (uint32_t i = 1; i < n; ++i) {
+      p.AddEdge(i, static_cast<uint32_t>(rng.NextBounded(i)));
+    }
+    const CanonicalResult canonical = CanonicalForm(p);
+    ASSERT_EQ(canonical.orbit.size(), n);
+    for (uint32_t position = 0; position < n; ++position) {
+      const uint32_t representative = canonical.orbit[position];
+      EXPECT_LE(representative, position);
+      EXPECT_EQ(canonical.orbit[representative], representative);
+    }
+    // Positions in one orbit have equal degrees and labels.
+    for (uint32_t a = 0; a < n; ++a) {
+      for (uint32_t b = a + 1; b < n; ++b) {
+        if (canonical.orbit[a] == canonical.orbit[b]) {
+          EXPECT_EQ(canonical.pattern.Degree(a), canonical.pattern.Degree(b));
+          EXPECT_EQ(canonical.pattern.VertexLabel(a),
+                    canonical.pattern.VertexLabel(b));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SeededProperty, KeywordSearchReductionInvariance) {
+  const Graph g = AttachKeywords(
+      GenerateRandomGraph(50, 120, 1, 1, GetParam()), 30, 1, 3, 2.0,
+      GetParam() + 7);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  SplitMix64 rng(GetParam());
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 2;
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::vector<uint32_t> query = {
+        static_cast<uint32_t>(rng.NextBounded(10)),
+        static_cast<uint32_t>(10 + rng.NextBounded(10))};
+    const auto full = RunKeywordSearch(graph, query, false, config);
+    const auto reduced = RunKeywordSearch(graph, query, true, config);
+    EXPECT_EQ(full.num_matches, reduced.num_matches);
+    EXPECT_LE(reduced.extension_cost, full.extension_cost);
+  }
+}
+
+TEST(ExploreTest, ExploreZeroIsIdentity) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(GenerateRandomGraph(10, 20, 1, 1, 5));
+  const Fractoid base = graph.VFractoid().Expand(1);
+  EXPECT_EQ(base.Explore(0).primitives().size(), base.primitives().size());
+}
+
+TEST(ExploreTest, ExploreEquivalentToManualChaining) {
+  const Graph g = GenerateRandomGraph(20, 50, 1, 1, 9);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 1;
+  auto is_clique = [](const Subgraph& s, Computation&) {
+    return s.NumEdges() == s.NumVertices() * (s.NumVertices() - 1) / 2;
+  };
+  const uint64_t explored = graph.VFractoid()
+                                .Expand(1)
+                                .Filter(is_clique)
+                                .Explore(2)
+                                .CountSubgraphs(config);
+  const uint64_t manual = graph.VFractoid()
+                              .Expand(1)
+                              .Filter(is_clique)
+                              .Expand(1)
+                              .Filter(is_clique)
+                              .Expand(1)
+                              .Filter(is_clique)
+                              .CountSubgraphs(config);
+  EXPECT_EQ(explored, manual);
+  EXPECT_EQ(explored, brute::CountCliques(g, 3));
+}
+
+TEST(DomainSupportTest, SingleEmbeddingAndMerge) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddEdge(0, 1);
+  const Graph g = std::move(b).Build();
+  Subgraph s;
+  s.PushEdgeInduced(g, 0);
+  const CanonicalResult canonical = CanonicalForm(s.QuickPattern(g));
+
+  DomainSupport a(2);
+  a.AddEmbedding(s, canonical);
+  EXPECT_EQ(a.Support(), 1u);
+  EXPECT_FALSE(a.HasEnoughSupport());
+
+  DomainSupport b2(2);
+  b2.AddEmbedding(s, canonical);
+  a.Merge(std::move(b2));
+  EXPECT_EQ(a.Support(), 1u);  // same vertices: domains don't grow
+  EXPECT_GT(a.ApproxBytes(), 0u);
+}
+
+TEST(DomainSupportTest, DistinctEmbeddingsGrowDomains) {
+  // Path graph with alternating labels: edges (0,1) and (2,3) share the
+  // 0-1 labeled edge pattern.
+  GraphBuilder builder;
+  builder.AddVertex(0);
+  builder.AddVertex(1);
+  builder.AddVertex(0);
+  builder.AddVertex(1);
+  const EdgeId e0 = builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const EdgeId e2 = builder.AddEdge(2, 3);
+  const Graph g = std::move(builder).Build();
+
+  DomainSupport support(2);
+  for (const EdgeId e : {e0, e2}) {
+    Subgraph s;
+    s.PushEdgeInduced(g, e);
+    support.AddEmbedding(s, CanonicalForm(s.QuickPattern(g)));
+  }
+  EXPECT_EQ(support.Support(), 2u);
+  EXPECT_TRUE(support.HasEnoughSupport());
+}
+
+TEST(StepCachingTest, ReExecutionSkipsEverythingWhenFinalIsAggregate) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(GenerateRandomGraph(15, 35, 1, 1, 3));
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 1;
+  auto fractoid = graph.VFractoid().Expand(2).Aggregate<uint64_t, uint64_t>(
+      "total", [](const Subgraph&, Computation&) -> uint64_t { return 0; },
+      [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+      [](uint64_t& a, uint64_t&& b) { a += b; });
+  const auto first = fractoid.Execute(config);
+  EXPECT_EQ(first.steps_executed, 1u);
+  const auto second = fractoid.Execute(config);
+  EXPECT_EQ(second.steps_executed, 0u);  // fully served from cache
+  const uint64_t first_total = *TypedStorage<uint64_t, uint64_t>(
+                                    *first.aggregations.begin()->second)
+                                    .Find(0);
+  const uint64_t second_total = *TypedStorage<uint64_t, uint64_t>(
+                                     *second.aggregations.begin()->second)
+                                     .Find(0);
+  EXPECT_EQ(second_total, first_total);
+}
+
+TEST(StepCachingTest, DisablingReuseRecomputes) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(GenerateRandomGraph(15, 35, 1, 1, 3));
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 1;
+  config.reuse_cached_aggregations = false;
+  auto fractoid = graph.VFractoid().Expand(2).Aggregate<uint64_t, uint64_t>(
+      "total", [](const Subgraph&, Computation&) -> uint64_t { return 0; },
+      [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+      [](uint64_t& a, uint64_t&& b) { a += b; });
+  EXPECT_EQ(fractoid.Execute(config).steps_executed, 1u);
+  EXPECT_EQ(fractoid.Execute(config).steps_executed, 1u);
+}
+
+}  // namespace
+}  // namespace fractal

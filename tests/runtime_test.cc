@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/test_graphs.h"
+#include "runtime/codec.h"
+#include "runtime/message_bus.h"
+#include "runtime/telemetry.h"
+
+namespace fractal {
+namespace {
+
+TEST(CodecTest, SubgraphRoundTrip) {
+  const Graph g = testgraphs::PaperFigure1();
+  Subgraph s;
+  s.PushVertexInduced(g, 0);
+  s.PushVertexInduced(g, 1);
+  s.PushVertexInduced(g, 4);
+
+  ByteWriter writer;
+  SubgraphCodec::EncodeSubgraph(s, &writer);
+  ByteReader reader(writer.bytes());
+  Subgraph decoded;
+  ASSERT_TRUE(SubgraphCodec::DecodeSubgraph(&reader, &decoded));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(decoded, s);
+  EXPECT_EQ(decoded.Depth(), s.Depth());
+
+  // Pop works on the decoded subgraph (records survived).
+  decoded.Pop();
+  EXPECT_EQ(decoded.NumVertices(), 2u);
+}
+
+TEST(CodecTest, EmptySubgraphRoundTrip) {
+  Subgraph s;
+  ByteWriter writer;
+  SubgraphCodec::EncodeSubgraph(s, &writer);
+  ByteReader reader(writer.bytes());
+  Subgraph decoded;
+  ASSERT_TRUE(SubgraphCodec::DecodeSubgraph(&reader, &decoded));
+  EXPECT_TRUE(decoded.Empty());
+}
+
+TEST(CodecTest, StolenWorkRoundTrip) {
+  const Graph g = testgraphs::Complete(5);
+  SubgraphEnumerator::StolenWork work;
+  work.prefix.PushVertexInduced(g, 1);
+  work.prefix.PushVertexInduced(g, 3);
+  work.extension = 4;
+  work.primitive_index = 2;
+
+  const std::vector<uint8_t> bytes = SubgraphCodec::EncodeStolenWork(work);
+  SubgraphEnumerator::StolenWork decoded;
+  ASSERT_TRUE(SubgraphCodec::DecodeStolenWork(bytes, &decoded));
+  EXPECT_EQ(decoded.prefix, work.prefix);
+  EXPECT_EQ(decoded.extension, 4u);
+  EXPECT_EQ(decoded.primitive_index, 2u);
+}
+
+TEST(CodecTest, RejectsCorruptedPayloads) {
+  const Graph g = testgraphs::Complete(4);
+  SubgraphEnumerator::StolenWork work;
+  work.prefix.PushVertexInduced(g, 0);
+  work.extension = 1;
+  work.primitive_index = 1;
+  std::vector<uint8_t> bytes = SubgraphCodec::EncodeStolenWork(work);
+
+  SubgraphEnumerator::StolenWork decoded;
+  // Truncated payload.
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 3);
+  EXPECT_FALSE(SubgraphCodec::DecodeStolenWork(truncated, &decoded));
+  // Trailing garbage.
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(SubgraphCodec::DecodeStolenWork(padded, &decoded));
+  // Inconsistent structure: claim 2 vertices but records say 1.
+  std::vector<uint8_t> inconsistent = bytes;
+  inconsistent[0] = 2;
+  EXPECT_FALSE(SubgraphCodec::DecodeStolenWork(inconsistent, &decoded));
+}
+
+TEST(MessageBusTest, RequestReplyRoundTrip) {
+  NetworkConfig network;
+  network.latency_micros = 0;
+  MessageBus bus(2, network);
+
+  std::thread service([&bus] {
+    auto token = bus.WaitForRequest(1);
+    ASSERT_TRUE(token.has_value());
+    bus.Reply(*token, std::vector<uint8_t>{1, 2, 3});
+    // Next request gets "no work".
+    token = bus.WaitForRequest(1);
+    ASSERT_TRUE(token.has_value());
+    bus.Reply(*token, std::nullopt);
+    // Shutdown unblocks the final wait.
+    EXPECT_FALSE(bus.WaitForRequest(1).has_value());
+  });
+
+  auto payload = bus.RequestSteal(0, 1);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(bus.RequestSteal(0, 1).has_value());
+  bus.Shutdown();
+  service.join();
+}
+
+TEST(MessageBusTest, ShutdownFailsFast) {
+  MessageBus bus(2, NetworkConfig{.latency_micros = 0});
+  bus.Shutdown();
+  EXPECT_FALSE(bus.RequestSteal(0, 1).has_value());
+  EXPECT_FALSE(bus.WaitForRequest(0).has_value());
+}
+
+TEST(MessageBusTest, ManyConcurrentRequesters) {
+  MessageBus bus(3, NetworkConfig{.latency_micros = 0});
+  std::atomic<int> served{0};
+  std::thread service([&bus, &served] {
+    while (auto token = bus.WaitForRequest(0)) {
+      bus.Reply(*token, std::vector<uint8_t>{42});
+      ++served;
+    }
+  });
+  std::vector<std::thread> requesters;
+  for (int i = 0; i < 8; ++i) {
+    requesters.emplace_back([&bus, i] {
+      for (int j = 0; j < 20; ++j) {
+        auto payload = bus.RequestSteal(1 + (i % 2), 0);
+        ASSERT_TRUE(payload.has_value());
+      }
+    });
+  }
+  for (auto& t : requesters) t.join();
+  bus.Shutdown();
+  service.join();
+  EXPECT_EQ(served.load(), 160);
+}
+
+TEST(TelemetryTest, AggregatesAndMakespan) {
+  StepTelemetry step;
+  ThreadStats a;
+  a.work_units = 100;
+  a.extension_tests = 500;
+  a.external_steals = 2;
+  ThreadStats b;
+  b.work_units = 40;
+  b.internal_steals = 3;
+  b.bytes_shipped = 128;
+  step.threads = {a, b};
+
+  EXPECT_EQ(step.TotalWorkUnits(), 140u);
+  EXPECT_EQ(step.TotalExtensionTests(), 500u);
+  EXPECT_EQ(step.TotalInternalSteals(), 3u);
+  EXPECT_EQ(step.TotalExternalSteals(), 2u);
+  EXPECT_EQ(step.TotalBytesShipped(), 128u);
+  // Makespan without steal cost: max work = 100; with cost 30: 100+60=160.
+  EXPECT_EQ(step.SimulatedMakespanUnits(0), 100u);
+  EXPECT_EQ(step.SimulatedMakespanUnits(30), 160u);
+  EXPECT_DOUBLE_EQ(step.IdealMakespanUnits(), 70.0);
+  EXPECT_DOUBLE_EQ(step.BalanceEfficiency(0), 0.7);
+  EXPECT_FALSE(step.ToTable().empty());
+}
+
+TEST(TelemetryTest, ExecutionTotals) {
+  ExecutionTelemetry execution;
+  StepTelemetry s1, s2;
+  ThreadStats t;
+  t.work_units = 10;
+  t.extension_tests = 20;
+  s1.threads = {t};
+  s2.threads = {t, t};
+  execution.steps = {s1, s2};
+  EXPECT_EQ(execution.TotalWorkUnits(), 30u);
+  EXPECT_EQ(execution.TotalExtensionTests(), 60u);
+}
+
+}  // namespace
+}  // namespace fractal

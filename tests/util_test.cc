@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace fractal {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, Status::Ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidArgumentError("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes;
+  for (const Status& s :
+       {InvalidArgumentError(""), NotFoundError(""), OutOfRangeError(""),
+        ResourceExhaustedError(""), InternalError(""), UnimplementedError(""),
+        FailedPreconditionError("")}) {
+    codes.insert(s.code());
+  }
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(StatusOrTest, HoldsValueOrError) {
+  StatusOr<int> ok_value(42);
+  ASSERT_TRUE(ok_value.ok());
+  EXPECT_EQ(*ok_value, 42);
+
+  StatusOr<int> error(NotFoundError("missing"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> value(std::make_unique<int>(7));
+  ASSERT_TRUE(value.ok());
+  std::unique_ptr<int> extracted = std::move(value).value();
+  EXPECT_EQ(*extracted, 7);
+}
+
+TEST(ReturnIfErrorTest, PropagatesErrors) {
+  auto fails = [] { return InternalError("boom"); };
+  auto wrapper = [&]() -> Status {
+    FRACTAL_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, SplitString) {
+  const auto pieces = SplitString("a b\tc  d", " \t");
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[3], "d");
+  EXPECT_TRUE(SplitString("", " ").empty());
+  EXPECT_TRUE(SplitString("   ", " ").empty());
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(42), "42 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3ull << 30), "3.00 GB");
+}
+
+TEST(StringsTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+}
+
+TEST(RandomTest, DeterministicStreams) {
+  SplitMix64 a(1), b(1), c(2);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, BoundedStaysInRange) {
+  SplitMix64 rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t value = rng.NextBounded(10);
+    EXPECT_LT(value, 10u);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  SplitMix64 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer timer;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMicros(), 0);
+}
+
+}  // namespace
+}  // namespace fractal
