@@ -1,12 +1,16 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the engine:
 // extension computation per strategy, canonicalization with and without the
-// quick-pattern cache, subgraph push/pop, and the stolen-work codec.
+// quick-pattern cache, subgraph push/pop, the stolen-work codec, and step
+// dispatch on an ephemeral vs. persistent cluster.
 #include <benchmark/benchmark.h>
 
+#include "core/context.h"
 #include "enumerate/enumerator.h"
 #include "enumerate/extension.h"
 #include "graph/generators.h"
+#include "graph/test_graphs.h"
 #include "pattern/canonical.h"
+#include "runtime/cluster.h"
 #include "runtime/codec.h"
 
 namespace fractal {
@@ -124,6 +128,72 @@ void BM_StolenWorkCodec(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StolenWorkCodec);
+
+// --- Step dispatch: ephemeral vs. persistent cluster ----------------------
+// A 4-step workflow (three aggregation sync points + a final enumeration)
+// over a tiny graph, so per-step dispatch dominates the enumeration work.
+// The ephemeral variant pays thread spawn/join for every execution (the
+// pre-refactor executor paid it for every *step*); the persistent variant
+// reuses one Cluster whose threads park between steps.
+
+ExecutionConfig DispatchConfig() {
+  ExecutionConfig config;
+  config.num_workers = 4;
+  config.threads_per_worker = 2;
+  config.network.latency_micros = 0;
+  config.network.per_kb_micros = 0;
+  return config;
+}
+
+void RunMultiStepWorkflow(const FractalGraph& graph,
+                          const ExecutionConfig& config) {
+  auto key = [](const Subgraph&, Computation&) -> uint64_t { return 0; };
+  auto value = [](const Subgraph&, Computation&) -> uint64_t { return 1; };
+  auto reduce = [](uint64_t& a, uint64_t&& b) { a += b; };
+  auto pass = [](const Subgraph&, Computation&,
+                 const AggregationStorage<uint64_t, uint64_t>&) {
+    return true;
+  };
+  // Fresh fractoid per run: cached aggregations would skip the steps.
+  Fractoid fractoid = graph.EFractoid().Expand(1);
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "c" + std::to_string(i);
+    fractoid =
+        fractoid.Aggregate<uint64_t, uint64_t>(name, key, value, reduce)
+            .FilterByAggregation<uint64_t, uint64_t>(name, pass);
+  }
+  benchmark::DoNotOptimize(
+      fractoid.Expand(1).Execute(config).num_subgraphs);
+}
+
+void BM_StepDispatchEphemeralCluster(benchmark::State& state) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Star(6));
+  const ExecutionConfig config = DispatchConfig();
+  for (auto _ : state) {
+    RunMultiStepWorkflow(graph, config);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);  // steps dispatched
+}
+BENCHMARK(BM_StepDispatchEphemeralCluster)->Unit(benchmark::kMicrosecond);
+
+void BM_StepDispatchPersistentCluster(benchmark::State& state) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Star(6));
+  ExecutionConfig config = DispatchConfig();
+  ClusterOptions options;
+  options.num_workers = config.num_workers;
+  options.threads_per_worker = config.threads_per_worker;
+  options.external_work_stealing = true;
+  options.network = config.network;
+  Cluster cluster(options);
+  config.cluster = &cluster;
+  for (auto _ : state) {
+    RunMultiStepWorkflow(graph, config);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_StepDispatchPersistentCluster)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace fractal

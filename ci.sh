@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI entry point.
+#
+#   1. Release build + the tier-1 ctest suite (ROADMAP.md).
+#   2. ASan/UBSan build running the concurrency-heavy suites.
+#   3. TSan build running the same suites, so the persistent-thread
+#      Cluster/Worker runtime (parked execution threads, steal-service
+#      threads, enumerator cursors) is race-checked on every PR.
+#
+# Usage: ./ci.sh            (JOBS=<n> to override parallelism)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+SANITIZED_SUITES='core_test|runtime_test'
+
+echo "=== tier 1: Release build + full ctest suite ==="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== ASan/UBSan: ${SANITIZED_SUITES} ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j "$JOBS" --target core_test runtime_test
+ctest --test-dir build-asan --output-on-failure -R "$SANITIZED_SUITES"
+
+echo "=== TSan: ${SANITIZED_SUITES} ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "$JOBS" --target core_test runtime_test
+ctest --test-dir build-tsan --output-on-failure -R "$SANITIZED_SUITES"
+
+echo "CI OK"

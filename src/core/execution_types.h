@@ -15,8 +15,11 @@
 #include "enumerate/subgraph.h"
 #include "runtime/message_bus.h"
 #include "runtime/telemetry.h"
+#include "util/status.h"
 
 namespace fractal {
+
+class Cluster;
 
 /// How a fractoid is executed on the simulated cluster (paper §4/5.2.2
 /// work-stealing configurations map to the two stealing flags).
@@ -25,6 +28,13 @@ struct ExecutionConfig {
   uint32_t num_workers = 1;
   /// Execution threads ("cores") per worker.
   uint32_t threads_per_worker = 2;
+
+  /// Optional injected persistent runtime (not owned). When set, the
+  /// execution runs on this cluster — sharing its parked worker threads
+  /// with other executions instead of spinning up an ephemeral cluster —
+  /// and the cluster's topology overrides num_workers / threads_per_worker
+  /// and the stealing flags. See runtime/cluster.h.
+  Cluster* cluster = nullptr;
 
   /// WS_int: stealing between cores of the same worker.
   bool internal_work_stealing = true;
@@ -55,6 +65,15 @@ struct ExecutionConfig {
   uint32_t max_step_retries = 2;
 
   uint32_t TotalThreads() const { return num_workers * threads_per_worker; }
+
+  /// Checks the configuration before any thread is spawned: at least one
+  /// worker and one thread per worker, and crash_worker (when set) must
+  /// name an existing worker. Called at execution entry so misconfiguration
+  /// fails fast with a message instead of crashing mid-step. External work
+  /// stealing with a single worker is not an error here — it is normalized
+  /// off (WS_ext needs a second worker; an explicit single-worker
+  /// external-stealing Cluster is rejected by Cluster::Validate).
+  Status Validate() const;
 };
 
 /// Completed aggregation of one A-primitive occurrence. `spec` is kept for

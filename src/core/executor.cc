@@ -1,439 +1,57 @@
+// Slim execution driver: compiles the workflow into fractal steps
+// (Algorithm 2), binds cached aggregation storages, submits one
+// FractoidStepTask per step to the runtime Cluster (ephemeral per
+// execution, or injected and shared via ExecutionConfig::cluster), retries
+// crashed steps, and merges/publishes the results. All thread lifecycle,
+// partitioning, and work stealing live in runtime/cluster.* / worker.*.
 #include "core/executor.h"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <memory>
-#include <thread>
+#include <utility>
 
-#include "core/computation.h"
+#include "core/fractoid_task.h"
 #include "core/step.h"
-#include "runtime/codec.h"
-#include "runtime/message_bus.h"
-#include "util/logging.h"
+#include "runtime/cluster.h"
 #include "util/timer.h"
 
 namespace fractal {
 namespace {
 
-/// State of one execution thread ("core" in the paper's architecture).
-struct ThreadState {
-  uint32_t worker_id = 0;
-  uint32_t core_id = 0;     // global thread id
-  uint32_t local_core = 0;  // index within the worker
-
-  Subgraph subgraph;
-  std::unique_ptr<Computation> computation;
-  std::vector<std::unique_ptr<SubgraphEnumerator>> frames;  // per E-depth
-  std::vector<std::vector<uint32_t>> scratch;               // per E-depth
-  std::vector<uint64_t> frame_bytes;                        // per E-depth
-
-  // Thread-local accumulators for the step's new aggregations, indexed by
-  // storage slot (see StepExecution::storage_slots_).
-  std::vector<std::unique_ptr<AggregationStorageBase>> storages;
-
-  uint64_t local_count = 0;  // subgraphs reaching the end of a final step
-  std::vector<Subgraph> collected;
-  uint64_t state_bytes = 0;
-  uint64_t peak_state_bytes = 0;
-
-  ThreadStats stats;
-};
-
-/// Executes one fractal step across all workers/threads.
-class StepExecution {
- public:
-  StepExecution(const Fractoid& fractoid, const StepPlan& plan, bool is_final,
-                const ExecutionConfig& config, bool arm_fault_injection,
-                const SubgraphSink* sink,
-                std::vector<const AggregationStorageBase*> completed)
-      : fractoid_(fractoid),
-        graph_(*fractoid.graph()),
-        strategy_(*fractoid.strategy()),
-        plan_(plan),
-        is_final_(is_final),
-        config_(config),
-        arm_fault_injection_(arm_fault_injection && config.crash_worker >= 0),
-        sink_(sink),
-        completed_(std::move(completed)) {
-    const auto& workflow = fractoid_.primitives();
-    num_levels_ = 0;
-    for (uint32_t i = 0; i < plan_.end; ++i) {
-      if (workflow[i].kind == Primitive::Kind::kExpand) ++num_levels_;
-    }
-    // Map each to-compute aggregation index to a storage slot.
-    storage_slots_.assign(plan_.end, -1);
-    for (uint32_t i = plan_.new_begin; i < plan_.end; ++i) {
-      if (workflow[i].kind == Primitive::Kind::kAggregate) {
-        storage_slots_[i] = static_cast<int32_t>(new_aggregates_.size());
-        new_aggregates_.push_back(i);
-      }
-    }
-  }
-
-  /// Aggregation indices this step computes.
-  const std::vector<uint32_t>& new_aggregates() const {
-    return new_aggregates_;
-  }
-
-  struct Output {
-    bool failed = false;  // a worker "crashed": discard and re-execute
-    StepTelemetry telemetry;
-    uint64_t subgraph_count = 0;
-    std::vector<Subgraph> collected;
-    uint64_t peak_state_bytes = 0;
-    std::vector<std::shared_ptr<AggregationStorageBase>> merged;  // by slot
-  };
-
-  Output Run();
-
- private:
-  void RunThread(ThreadState& t);
-  void DrainFrame(ThreadState& t, SubgraphEnumerator& frame);
-  void Process(ThreadState& t, uint32_t index);
-  void SinkVisit(ThreadState& t);
-  void ProcessStolen(ThreadState& t,
-                     const SubgraphEnumerator::StolenWork& work);
-  bool TryInternalSteal(ThreadState& t);
-  bool TryExternalSteal(ThreadState& t);
-  void StealServiceLoop(uint32_t worker_id);
-  std::optional<SubgraphEnumerator::StolenWork> ClaimLocalWork(
-      uint32_t worker_id);
-
-  ThreadState& ThreadAt(uint32_t worker, uint32_t local_core) {
-    return *threads_[worker * config_.threads_per_worker + local_core];
-  }
-
-  const Fractoid& fractoid_;
-  const Graph& graph_;
-  const ExtensionStrategy& strategy_;
-  const StepPlan plan_;
-  const bool is_final_;
-  const ExecutionConfig& config_;
-  const bool arm_fault_injection_;
-  const SubgraphSink* sink_;  // optional streaming output (final step only)
-  // completed_[i] = result of workflow aggregation primitive i (or null).
-  std::vector<const AggregationStorageBase*> completed_;
-
-  uint32_t num_levels_ = 0;
-  std::vector<int32_t> storage_slots_;
-  std::vector<uint32_t> new_aggregates_;
-
-  std::vector<std::unique_ptr<ThreadState>> threads_;
-  std::vector<uint32_t> root_extensions_;
-  std::unique_ptr<MessageBus> bus_;
-  std::atomic<uint64_t> working_{0};
-  std::atomic<bool> step_failed_{false};
-  std::atomic<uint64_t> crash_worker_units_{0};
-  WallTimer step_timer_;
-  bool external_enabled_ = false;
-};
-
-StepExecution::Output StepExecution::Run() {
-  const uint32_t total_threads = config_.TotalThreads();
-  FRACTAL_CHECK(config_.num_workers >= 1);
-  FRACTAL_CHECK(config_.threads_per_worker >= 1);
-  external_enabled_ =
-      config_.external_work_stealing && config_.num_workers >= 2;
-
-  // Root extensions of the empty subgraph, partitioned across cores. The
-  // candidate tests performed here are part of the EC metric and credited
-  // to core 0 below.
-  uint64_t root_extension_tests = 0;
-  {
-    ExtensionContext root_ctx;
-    strategy_.ComputeExtensions(graph_, Subgraph(), root_ctx,
-                                &root_extensions_);
-    root_extension_tests = root_ctx.extension_tests;
-  }
-
-  threads_.clear();
-  for (uint32_t worker = 0; worker < config_.num_workers; ++worker) {
-    for (uint32_t core = 0; core < config_.threads_per_worker; ++core) {
-      auto t = std::make_unique<ThreadState>();
-      t->worker_id = worker;
-      t->local_core = core;
-      t->core_id = worker * config_.threads_per_worker + core;
-      t->computation = std::make_unique<Computation>(&graph_);
-      t->computation->SetIds(worker, t->core_id);
-      t->frames.resize(num_levels_);
-      t->scratch.resize(num_levels_);
-      t->frame_bytes.assign(num_levels_, 0);
-      for (uint32_t level = 0; level < num_levels_; ++level) {
-        t->frames[level] = std::make_unique<SubgraphEnumerator>();
-      }
-      for (const uint32_t agg_index : new_aggregates_) {
-        t->storages.push_back(
-            fractoid_.primitives()[agg_index].aggregation->CreateStorage());
-      }
-      t->stats.worker_id = worker;
-      t->stats.core_id = t->core_id;
-      threads_.push_back(std::move(t));
-    }
-  }
-
-  if (external_enabled_) {
-    bus_ = std::make_unique<MessageBus>(config_.num_workers, config_.network);
-  }
-
-  working_.store(total_threads, std::memory_order_relaxed);
-  step_timer_.Restart();
-
-  std::vector<std::thread> service_threads;
-  if (external_enabled_) {
-    for (uint32_t worker = 0; worker < config_.num_workers; ++worker) {
-      service_threads.emplace_back(
-          [this, worker] { StealServiceLoop(worker); });
-    }
-  }
-
-  std::vector<std::thread> execution_threads;
-  for (auto& t : threads_) {
-    execution_threads.emplace_back([this, state = t.get()] {
-      RunThread(*state);
-    });
-  }
-  for (std::thread& thread : execution_threads) thread.join();
-  if (bus_) bus_->Shutdown();
-  for (std::thread& thread : service_threads) thread.join();
-
-  Output output;
-  output.failed = step_failed_.load(std::memory_order_acquire);
-  output.telemetry.wall_seconds = step_timer_.ElapsedSeconds();
-  threads_[0]->computation->extension_context().extension_tests +=
-      root_extension_tests;
-  for (auto& t : threads_) {
-    t->stats.extension_tests =
-        t->computation->extension_context().extension_tests;
-    output.telemetry.threads.push_back(t->stats);
-    output.subgraph_count += t->local_count;
-    output.peak_state_bytes =
-        std::max(output.peak_state_bytes, t->peak_state_bytes);
-    for (Subgraph& subgraph : t->collected) {
-      if (output.collected.size() <
-          static_cast<size_t>(config_.max_collected_subgraphs)) {
-        output.collected.push_back(std::move(subgraph));
-      }
-    }
-  }
-
-  // Merge thread-local aggregation storages (the reduction side of A).
-  for (size_t slot = 0; slot < new_aggregates_.size(); ++slot) {
-    std::shared_ptr<AggregationStorageBase> merged =
-        std::move(threads_[0]->storages[slot]);
-    for (size_t i = 1; i < threads_.size(); ++i) {
-      merged->MergeFrom(*threads_[i]->storages[slot]);
-    }
-    merged->ApplyPostFilter();
-    output.merged.push_back(std::move(merged));
-  }
-  return output;
-}
-
-void StepExecution::RunThread(ThreadState& t) {
-  WallTimer busy_timer;
-  // Initial partition: a contiguous block of the root extensions selected
-  // by the global core id (paper §4: "an initial partition of extensions
-  // ... determined on-the-fly using its unique core identifier"; the Spark
-  // substrate hands each core one contiguous input partition). Contiguous
-  // blocks concentrate hub-adjacent roots, producing the raw skew the
-  // work-stealing hierarchy then fixes (§4.2).
-  const size_t total = root_extensions_.size();
-  const uint32_t threads = config_.TotalThreads();
-  const size_t begin = total * t.core_id / threads;
-  const size_t end = total * (t.core_id + 1) / threads;
-  std::vector<uint32_t> slice(root_extensions_.begin() + begin,
-                              root_extensions_.begin() + end);
-  if (num_levels_ > 0 && !slice.empty()) {
-    t.frames[0]->Refill(t.subgraph, /*primitive_index=*/1, std::move(slice));
-    DrainFrame(t, *t.frames[0]);
-  }
-  t.stats.own_work_micros = step_timer_.ElapsedMicros();
-  working_.fetch_sub(1, std::memory_order_acq_rel);
-
-  // Steal loop: WS_int preferred over WS_ext (paper §4.2). Backoff scales
-  // with the thread count: on an oversubscribed host, aggressive idle
-  // rescans starve the threads that still hold work.
-  const int64_t max_backoff_micros =
-      std::max<int64_t>(400, 100 * config_.TotalThreads());
-  int64_t backoff_micros = 50;
-  while (true) {
-    if (step_failed_.load(std::memory_order_acquire)) break;
-    if (working_.load(std::memory_order_acquire) == 0) break;
-    working_.fetch_add(1, std::memory_order_acq_rel);
-    bool got = false;
-    if (config_.internal_work_stealing) got = TryInternalSteal(t);
-    if (!got && external_enabled_) got = TryExternalSteal(t);
-    working_.fetch_sub(1, std::memory_order_acq_rel);
-    if (got) {
-      backoff_micros = 50;
-    } else {
-      ++t.stats.steal_failures;
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
-      backoff_micros = std::min(backoff_micros * 2, max_backoff_micros);
-    }
-  }
-  t.stats.finish_micros = step_timer_.ElapsedMicros();
-  t.stats.busy_seconds = busy_timer.ElapsedSeconds();
-}
-
-void StepExecution::DrainFrame(ThreadState& t, SubgraphEnumerator& frame) {
-  const uint32_t next_index = frame.primitive_index();
-  while (const auto extension = frame.ConsumeNext()) {
-    if (step_failed_.load(std::memory_order_relaxed)) break;
-    ++t.stats.work_units;
-    if (arm_fault_injection_ &&
-        t.worker_id == static_cast<uint32_t>(config_.crash_worker) &&
-        crash_worker_units_.fetch_add(1, std::memory_order_relaxed) >=
-            config_.crash_after_work_units) {
-      // The worker dies: its in-flight state (including thread-local
-      // aggregation accumulators) is lost; the whole step is abandoned.
-      step_failed_.store(true, std::memory_order_release);
-      break;
-    }
-    strategy_.Apply(graph_, *extension, &t.subgraph);
-    Process(t, next_index);
-    strategy_.Undo(graph_, &t.subgraph);
-  }
-  frame.Deactivate();
-}
-
-void StepExecution::SinkVisit(ThreadState& t) {
-  ++t.stats.subgraphs_visited;
-  if (!is_final_) return;
-  ++t.local_count;
-  if (sink_ != nullptr) (*sink_)(t.subgraph);
-  if (config_.collect_subgraphs &&
-      t.collected.size() < static_cast<size_t>(
-                               config_.max_collected_subgraphs)) {
-    t.collected.push_back(t.subgraph);
-  }
-}
-
-void StepExecution::Process(ThreadState& t, uint32_t index) {
-  if (index == plan_.end) {
-    SinkVisit(t);
-    return;
-  }
-  const Primitive& primitive = fractoid_.primitives()[index];
-  switch (primitive.kind) {
-    case Primitive::Kind::kExpand: {
-      const uint32_t depth = t.subgraph.Depth();
-      FRACTAL_DCHECK(depth < num_levels_);
-      SubgraphEnumerator& frame = *t.frames[depth];
-      std::vector<uint32_t>& scratch = t.scratch[depth];
-      strategy_.ComputeExtensions(graph_, t.subgraph,
-                                  t.computation->extension_context(),
-                                  &scratch);
-      // Enumerator-state accounting (Table 2): the extension arrays plus
-      // the prefix are Fractal's entire per-level intermediate state.
-      t.state_bytes -= t.frame_bytes[depth];
-      t.frame_bytes[depth] =
-          scratch.size() * sizeof(uint32_t) +
-          t.subgraph.NumVertices() * sizeof(VertexId) +
-          t.subgraph.NumEdges() * sizeof(EdgeId);
-      t.state_bytes += t.frame_bytes[depth];
-      t.peak_state_bytes = std::max(t.peak_state_bytes, t.state_bytes);
-      frame.Refill(t.subgraph, index + 1, std::move(scratch));
-      DrainFrame(t, frame);
-      break;
-    }
-    case Primitive::Kind::kLocalFilter:
-      if (primitive.local_filter(t.subgraph, *t.computation)) {
-        Process(t, index + 1);
-      }
-      break;
-    case Primitive::Kind::kAggregationFilter: {
-      const AggregationStorageBase* storage =
-          completed_[primitive.source_primitive];
-      FRACTAL_DCHECK(storage != nullptr);
-      if (primitive.aggregation_filter(t.subgraph, *t.computation, *storage)) {
-        Process(t, index + 1);
-      }
-      break;
-    }
-    case Primitive::Kind::kAggregate: {
-      const int32_t slot = storage_slots_[index];
-      if (slot >= 0) {
-        t.storages[slot]->Accumulate(t.subgraph, *t.computation);
-      }
-      // An aggregation ends the pipeline unless more primitives follow
-      // (already-computed aggregations pass straight through).
-      if (index + 1 < plan_.end) Process(t, index + 1);
-      break;
-    }
-  }
-}
-
-void StepExecution::ProcessStolen(ThreadState& t,
-                                  const SubgraphEnumerator::StolenWork& work) {
-  t.subgraph = work.prefix;
-  strategy_.Apply(graph_, work.extension, &t.subgraph);
-  ++t.stats.work_units;
-  Process(t, work.primitive_index);
-  t.subgraph.Clear();
-}
-
-bool StepExecution::TryInternalSteal(ThreadState& t) {
-  // Shallowest frames first: they hold the largest pieces of work.
-  for (uint32_t depth = 0; depth < num_levels_; ++depth) {
-    for (uint32_t other = 0; other < config_.threads_per_worker; ++other) {
-      if (other == t.local_core) continue;
-      ThreadState& victim = ThreadAt(t.worker_id, other);
-      SubgraphEnumerator& frame = *victim.frames[depth];
-      if (!frame.LooksNonEmpty()) continue;
-      if (auto work = frame.TrySteal()) {
-        ++t.stats.internal_steals;
-        ProcessStolen(t, *work);
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-std::optional<SubgraphEnumerator::StolenWork> StepExecution::ClaimLocalWork(
-    uint32_t worker_id) {
-  for (uint32_t depth = 0; depth < num_levels_; ++depth) {
-    for (uint32_t core = 0; core < config_.threads_per_worker; ++core) {
-      SubgraphEnumerator& frame = *ThreadAt(worker_id, core).frames[depth];
-      if (!frame.LooksNonEmpty()) continue;
-      if (auto work = frame.TrySteal()) return work;
-    }
-  }
-  return std::nullopt;
-}
-
-bool StepExecution::TryExternalSteal(ThreadState& t) {
-  for (uint32_t offset = 1; offset < config_.num_workers; ++offset) {
-    const uint32_t victim =
-        (t.worker_id + offset) % config_.num_workers;
-    auto payload = bus_->RequestSteal(t.worker_id, victim);
-    if (!payload.has_value()) continue;
-    SubgraphEnumerator::StolenWork work;
-    if (!SubgraphCodec::DecodeStolenWork(*payload, &work)) {
-      FRACTAL_CHECK(false) << "corrupted stolen-work payload";
-    }
-    ++t.stats.external_steals;
-    t.stats.bytes_shipped += payload->size();
-    ProcessStolen(t, work);
-    return true;
-  }
-  return false;
-}
-
-void StepExecution::StealServiceLoop(uint32_t worker_id) {
-  while (auto token = bus_->WaitForRequest(worker_id)) {
-    auto work = ClaimLocalWork(worker_id);
-    if (work.has_value()) {
-      bus_->Reply(*token, SubgraphCodec::EncodeStolenWork(*work));
-    } else {
-      bus_->Reply(*token, std::nullopt);
-    }
-  }
+/// Maps an execution configuration onto a cluster shape. WS_ext needs at
+/// least two workers to have a victim, so the flag is normalized off for
+/// single-worker configs (the seed executor did the same silently).
+ClusterOptions ToClusterOptions(const ExecutionConfig& config) {
+  ClusterOptions options;
+  options.num_workers = config.num_workers;
+  options.threads_per_worker = config.threads_per_worker;
+  options.internal_work_stealing = config.internal_work_stealing;
+  options.external_work_stealing =
+      config.external_work_stealing && config.num_workers >= 2;
+  options.network = config.network;
+  return options;
 }
 
 }  // namespace
+
+Status ExecutionConfig::Validate() const {
+  if (cluster == nullptr) {
+    if (num_workers == 0) {
+      return InvalidArgumentError("num_workers must be at least 1");
+    }
+    if (threads_per_worker == 0) {
+      return InvalidArgumentError("threads_per_worker must be at least 1");
+    }
+  }
+  const uint32_t effective_workers =
+      cluster != nullptr ? cluster->options().num_workers : num_workers;
+  if (crash_worker >= 0 &&
+      static_cast<uint32_t>(crash_worker) >= effective_workers) {
+    return InvalidArgumentError(
+        "crash_worker names a worker outside the cluster");
+  }
+  return Status::Ok();
+}
 
 ExecutionResult ExecuteFractoid(const Fractoid& fractoid,
                                 const ExecutionConfig& config) {
@@ -443,9 +61,23 @@ ExecutionResult ExecuteFractoid(const Fractoid& fractoid,
 ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
                                          const ExecutionConfig& config,
                                          const SubgraphSink& sink) {
+  const Status config_status = config.Validate();
+  FRACTAL_CHECK(config_status.ok()) << config_status;
+
+  // The runtime: injected and shared across executions, or ephemeral —
+  // created once here and reused by every step of this execution.
+  std::unique_ptr<Cluster> owned_cluster;
+  Cluster* cluster = config.cluster;
+  if (cluster == nullptr) {
+    owned_cluster = std::make_unique<Cluster>(ToClusterOptions(config));
+    cluster = owned_cluster.get();
+  }
+
   const auto& workflow = fractoid.primitives();
   const std::vector<StepPlan> steps = CompileSteps(workflow);
   ExecutionState& state = *fractoid.state();
+  const ExtensionStrategy& strategy = *fractoid.strategy();
+  const Graph& graph = *fractoid.graph();
 
   ExecutionResult result;
   result.num_steps = static_cast<uint32_t>(steps.size());
@@ -455,13 +87,11 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
     const StepPlan& plan = steps[step_index];
     const bool is_final = step_index + 1 == steps.size();
 
-    std::vector<uint32_t> new_aggregate_indices;
     // Gather already-completed aggregations feeding this step, and decide
     // whether the whole step can be skipped (its aggregations are cached).
     std::vector<const AggregationStorageBase*> completed(workflow.size(),
                                                          nullptr);
     std::vector<uint32_t> to_compute;
-    bool all_cached = true;
     {
       std::lock_guard<std::mutex> lock(state.mu);
       for (uint32_t i = 0; i < plan.end; ++i) {
@@ -478,7 +108,6 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
               << " was not computed by an earlier step";
         } else {
           to_compute.push_back(i);
-          all_cached = false;
         }
       }
     }
@@ -486,30 +115,47 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
     // Skip the step when it has nothing new to compute: all its
     // aggregations are cached and — if it is the final step — its output is
     // fully determined by those aggregations (workflow ends with A).
-    (void)all_cached;
     const bool skip =
         to_compute.empty() &&
-        (!is_final ||
-         workflow.back().kind == Primitive::Kind::kAggregate);
-    if (skip) {
-      continue;
-    }
+        (!is_final || workflow.back().kind == Primitive::Kind::kAggregate);
+    if (skip) continue;
 
     // Execute the step; on (injected) worker failure, the from-scratch
-    // model lets us simply re-run it.
-    bool injection_pending = config.crash_worker >= 0 &&
-                             result.steps_retried == 0;
-    StepExecution::Output output;
+    // model lets us simply re-run it with a fresh task.
+    bool injection_pending =
+        config.crash_worker >= 0 && result.steps_retried == 0;
+    std::vector<uint32_t> new_aggregate_indices;
+    FractoidStepTask::Output output;
+    Cluster::StepResult step_result;
     uint32_t attempt = 0;
     while (true) {
-      StepExecution execution_attempt(fractoid, plan, is_final, config,
-                                      injection_pending,
-                                      (is_final && sink) ? &sink : nullptr,
-                                      completed);
-      output = execution_attempt.Run();
-      if (!output.failed) {
-        // Keep the successful attempt's aggregation indices visible below.
-        new_aggregate_indices = execution_attempt.new_aggregates();
+      FractoidStepTask task(fractoid, plan, is_final, config,
+                            cluster->TotalThreads(),
+                            (is_final && sink) ? &sink : nullptr, completed);
+
+      // Root extensions of the empty subgraph; the runtime partitions them
+      // across cores. The candidate tests performed here are part of the EC
+      // metric and credited to core 0 below.
+      std::vector<uint32_t> roots;
+      uint64_t root_extension_tests = 0;
+      {
+        ExtensionContext root_ctx;
+        strategy.ComputeExtensions(graph, Subgraph(), root_ctx, &roots);
+        root_extension_tests = root_ctx.extension_tests;
+      }
+
+      Cluster::StepOptions step_options;
+      step_options.num_levels = task.num_levels();
+      step_options.arm_fault_injection = injection_pending;
+      step_options.crash_worker = config.crash_worker;
+      step_options.crash_after_work_units = config.crash_after_work_units;
+      step_result = cluster->RunStep(task, std::move(roots), step_options);
+
+      if (!step_result.failed) {
+        step_result.telemetry.threads[0].extension_tests +=
+            root_extension_tests;
+        new_aggregate_indices = task.new_aggregates();
+        output = task.MergeOutputs();
         break;
       }
       ++result.steps_retried;
@@ -518,7 +164,7 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
           << "step kept failing after retries";
     }
 
-    result.telemetry.steps.push_back(std::move(output.telemetry));
+    result.telemetry.steps.push_back(std::move(step_result.telemetry));
     result.peak_state_bytes =
         std::max(result.peak_state_bytes, output.peak_state_bytes);
     ++result.steps_executed;
@@ -555,28 +201,6 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
   }
   result.telemetry.wall_seconds = total_timer.ElapsedSeconds();
   return result;
-}
-
-uint64_t Fractoid::CountSubgraphs(const ExecutionConfig& config) const {
-  return ExecuteFractoid(*this, config).num_subgraphs;
-}
-
-std::vector<Subgraph> Fractoid::CollectSubgraphs(
-    const ExecutionConfig& config) const {
-  ExecutionConfig collecting = config;
-  collecting.collect_subgraphs = true;
-  return ExecuteFractoid(*this, collecting).subgraphs;
-}
-
-ExecutionResult Fractoid::Execute(const ExecutionConfig& config) const {
-  return ExecuteFractoid(*this, config);
-}
-
-uint64_t Fractoid::ForEachSubgraph(
-    const std::function<void(const Subgraph&)>& sink,
-    const ExecutionConfig& config) const {
-  FRACTAL_CHECK(sink != nullptr);
-  return ExecuteFractoidStreaming(*this, config, sink).num_subgraphs;
 }
 
 }  // namespace fractal

@@ -1,14 +1,16 @@
 // Parallel fractoid execution on the simulated cluster (paper §4):
 //   * Algorithm 2: the workflow is compiled into fractal steps; each step
 //     re-enumerates from scratch (DFS), reusing aggregations computed by
-//     earlier steps.
-//   * Algorithm 1: within a step, every core runs a recursive DFS over
-//     subgraph enumerators, one enumerator per extension level, reused
-//     across siblings (bounded memory).
-//   * §4.2: hierarchical work stealing — idle cores first steal from
-//     enumerators of sibling cores in the same worker (WS_int), then issue
-//     steal requests to other workers over the message bus (WS_ext), where
-//     stolen work crosses the boundary serialized.
+//     earlier steps. This driver (executor.cc) compiles the plans, binds
+//     cached aggregation storages, submits one step task per step, and
+//     merges/publishes the results.
+//   * Algorithm 1: the per-step DFS over subgraph enumerators lives in
+//     core/fractoid_task.* (the application side of a step).
+//   * §4.2: thread lifecycle, root-extension partitioning, and the
+//     hierarchical WS_int/WS_ext work stealing live in the persistent
+//     runtime layer, runtime/cluster.* / runtime/worker.*. Executions use
+//     an ephemeral cluster by default, or share a long-lived one injected
+//     through ExecutionConfig::cluster.
 #ifndef FRACTAL_CORE_EXECUTOR_H_
 #define FRACTAL_CORE_EXECUTOR_H_
 

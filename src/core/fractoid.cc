@@ -1,5 +1,7 @@
 #include "core/fractoid.h"
 
+#include "core/executor.h"
+
 namespace fractal {
 
 Fractoid::Fractoid(std::shared_ptr<const Graph> graph,
@@ -80,6 +82,30 @@ Fractoid Fractoid::Explore(uint32_t times) const {
     }
   }
   return derived;
+}
+
+// --- Output operators (Fig. 5): compile + execute via the executor. -------
+
+ExecutionResult Fractoid::Execute(const ExecutionConfig& config) const {
+  return ExecuteFractoid(*this, config);
+}
+
+uint64_t Fractoid::CountSubgraphs(const ExecutionConfig& config) const {
+  return ExecuteFractoid(*this, config).num_subgraphs;
+}
+
+std::vector<Subgraph> Fractoid::CollectSubgraphs(
+    const ExecutionConfig& config) const {
+  ExecutionConfig collecting = config;
+  collecting.collect_subgraphs = true;
+  return ExecuteFractoid(*this, collecting).subgraphs;
+}
+
+uint64_t Fractoid::ForEachSubgraph(
+    const std::function<void(const Subgraph&)>& sink,
+    const ExecutionConfig& config) const {
+  FRACTAL_CHECK(sink != nullptr);
+  return ExecuteFractoidStreaming(*this, config, sink).num_subgraphs;
 }
 
 uint32_t Fractoid::NumExpansions() const {

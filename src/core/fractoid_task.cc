@@ -1,0 +1,187 @@
+#include "core/fractoid_task.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fractal {
+
+FractoidStepTask::FractoidStepTask(
+    const Fractoid& fractoid, const StepPlan& plan, bool is_final,
+    const ExecutionConfig& config, uint32_t total_threads,
+    const SubgraphSink* sink,
+    std::vector<const AggregationStorageBase*> completed)
+    : fractoid_(fractoid),
+      graph_(*fractoid.graph()),
+      strategy_(*fractoid.strategy()),
+      plan_(plan),
+      is_final_(is_final),
+      config_(config),
+      sink_(sink),
+      completed_(std::move(completed)) {
+  const auto& workflow = fractoid_.primitives();
+  num_levels_ = 0;
+  for (uint32_t i = 0; i < plan_.end; ++i) {
+    if (workflow[i].kind == Primitive::Kind::kExpand) ++num_levels_;
+  }
+  // Map each to-compute aggregation index to a storage slot.
+  storage_slots_.assign(plan_.end, -1);
+  for (uint32_t i = plan_.new_begin; i < plan_.end; ++i) {
+    if (workflow[i].kind == Primitive::Kind::kAggregate) {
+      storage_slots_[i] = static_cast<int32_t>(new_aggregates_.size());
+      new_aggregates_.push_back(i);
+    }
+  }
+  // Fresh per-thread state per step attempt: a crashed attempt's partial
+  // accumulators are simply dropped with the task.
+  for (uint32_t core = 0; core < total_threads; ++core) {
+    auto s = std::make_unique<CoreState>();
+    s->computation = std::make_unique<Computation>(&graph_);
+    s->scratch.resize(num_levels_);
+    s->frame_bytes.assign(num_levels_, 0);
+    for (const uint32_t agg_index : new_aggregates_) {
+      s->storages.push_back(
+          fractoid_.primitives()[agg_index].aggregation->CreateStorage());
+    }
+    states_.push_back(std::move(s));
+  }
+}
+
+FractoidStepTask::~FractoidStepTask() = default;
+
+void FractoidStepTask::DrainRoots(ThreadContext& t,
+                                  std::vector<uint32_t> roots) {
+  CoreState& s = *states_[t.core_id];
+  s.computation->SetIds(t.worker_id, t.core_id);
+  if (num_levels_ == 0 || roots.empty()) return;
+  t.frames[0]->Refill(s.subgraph, /*primitive_index=*/1, std::move(roots));
+  DrainFrame(t, s, *t.frames[0]);
+}
+
+void FractoidStepTask::ProcessStolen(
+    ThreadContext& t, const SubgraphEnumerator::StolenWork& work) {
+  CoreState& s = *states_[t.core_id];
+  s.computation->SetIds(t.worker_id, t.core_id);
+  s.subgraph = work.prefix;
+  strategy_.Apply(graph_, work.extension, &s.subgraph);
+  ++t.stats.work_units;
+  Process(t, s, work.primitive_index);
+  s.subgraph.Clear();
+}
+
+void FractoidStepTask::FinishThread(ThreadContext& t) {
+  CoreState& s = *states_[t.core_id];
+  t.stats.extension_tests = s.computation->extension_context().extension_tests;
+}
+
+void FractoidStepTask::DrainFrame(ThreadContext& t, CoreState& s,
+                                  SubgraphEnumerator& frame) {
+  const uint32_t next_index = frame.primitive_index();
+  while (const auto extension = frame.ConsumeNext()) {
+    if (t.StepFailed()) break;
+    if (!t.ConsumeWorkUnit()) break;
+    strategy_.Apply(graph_, *extension, &s.subgraph);
+    Process(t, s, next_index);
+    strategy_.Undo(graph_, &s.subgraph);
+  }
+  frame.Deactivate();
+}
+
+void FractoidStepTask::SinkVisit(ThreadContext& t, CoreState& s) {
+  ++t.stats.subgraphs_visited;
+  if (!is_final_) return;
+  ++s.local_count;
+  if (sink_ != nullptr) (*sink_)(s.subgraph);
+  if (config_.collect_subgraphs &&
+      s.collected.size() <
+          static_cast<size_t>(config_.max_collected_subgraphs)) {
+    s.collected.push_back(s.subgraph);
+  }
+}
+
+void FractoidStepTask::Process(ThreadContext& t, CoreState& s,
+                               uint32_t index) {
+  if (index == plan_.end) {
+    SinkVisit(t, s);
+    return;
+  }
+  const Primitive& primitive = fractoid_.primitives()[index];
+  switch (primitive.kind) {
+    case Primitive::Kind::kExpand: {
+      const uint32_t depth = s.subgraph.Depth();
+      FRACTAL_DCHECK(depth < num_levels_);
+      SubgraphEnumerator& frame = *t.frames[depth];
+      std::vector<uint32_t>& scratch = s.scratch[depth];
+      strategy_.ComputeExtensions(graph_, s.subgraph,
+                                  s.computation->extension_context(),
+                                  &scratch);
+      // Enumerator-state accounting (Table 2): the extension arrays plus
+      // the prefix are Fractal's entire per-level intermediate state.
+      s.state_bytes -= s.frame_bytes[depth];
+      s.frame_bytes[depth] =
+          scratch.size() * sizeof(uint32_t) +
+          s.subgraph.NumVertices() * sizeof(VertexId) +
+          s.subgraph.NumEdges() * sizeof(EdgeId);
+      s.state_bytes += s.frame_bytes[depth];
+      s.peak_state_bytes = std::max(s.peak_state_bytes, s.state_bytes);
+      frame.Refill(s.subgraph, index + 1, std::move(scratch));
+      DrainFrame(t, s, frame);
+      break;
+    }
+    case Primitive::Kind::kLocalFilter:
+      if (primitive.local_filter(s.subgraph, *s.computation)) {
+        Process(t, s, index + 1);
+      }
+      break;
+    case Primitive::Kind::kAggregationFilter: {
+      const AggregationStorageBase* storage =
+          completed_[primitive.source_primitive];
+      FRACTAL_DCHECK(storage != nullptr);
+      if (primitive.aggregation_filter(s.subgraph, *s.computation,
+                                       *storage)) {
+        Process(t, s, index + 1);
+      }
+      break;
+    }
+    case Primitive::Kind::kAggregate: {
+      const int32_t slot = storage_slots_[index];
+      if (slot >= 0) {
+        s.storages[slot]->Accumulate(s.subgraph, *s.computation);
+      }
+      // An aggregation ends the pipeline unless more primitives follow
+      // (already-computed aggregations pass straight through).
+      if (index + 1 < plan_.end) Process(t, s, index + 1);
+      break;
+    }
+  }
+}
+
+FractoidStepTask::Output FractoidStepTask::MergeOutputs() {
+  Output output;
+  for (auto& s : states_) {
+    output.subgraph_count += s->local_count;
+    output.peak_state_bytes =
+        std::max(output.peak_state_bytes, s->peak_state_bytes);
+    for (Subgraph& subgraph : s->collected) {
+      if (output.collected.size() <
+          static_cast<size_t>(config_.max_collected_subgraphs)) {
+        output.collected.push_back(std::move(subgraph));
+      }
+    }
+  }
+
+  // Merge thread-local aggregation storages (the reduction side of A).
+  for (size_t slot = 0; slot < new_aggregates_.size(); ++slot) {
+    std::shared_ptr<AggregationStorageBase> merged =
+        std::move(states_[0]->storages[slot]);
+    for (size_t i = 1; i < states_.size(); ++i) {
+      merged->MergeFrom(*states_[i]->storages[slot]);
+    }
+    merged->ApplyPostFilter();
+    output.merged.push_back(std::move(merged));
+  }
+  return output;
+}
+
+}  // namespace fractal

@@ -1,0 +1,99 @@
+// FractoidStepTask: the application side of one fractal step, plugged into
+// the runtime's Cluster/Worker layer through the StepTask interface.
+// Implements Algorithm 1 — the recursive DFS over subgraph enumerators, one
+// enumerator per extension level, reused across siblings — plus the
+// primitive pipeline (expand / filter / aggregation-filter / aggregate) and
+// the thread-local aggregation accumulators that are merged at the step
+// barrier. Thread lifecycle, partitioning, and stealing live in
+// `runtime/cluster.*` / `runtime/worker.*`, not here.
+#ifndef FRACTAL_CORE_FRACTOID_TASK_H_
+#define FRACTAL_CORE_FRACTOID_TASK_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/computation.h"
+#include "core/executor.h"
+#include "core/fractoid.h"
+#include "core/step.h"
+#include "runtime/worker.h"
+
+namespace fractal {
+
+class FractoidStepTask : public StepTask {
+ public:
+  /// Prepares one step execution attempt across `total_threads` threads.
+  /// `completed[i]` is the result of workflow aggregation primitive i (or
+  /// null); `sink` is the optional streaming output of the final step.
+  FractoidStepTask(const Fractoid& fractoid, const StepPlan& plan,
+                   bool is_final, const ExecutionConfig& config,
+                   uint32_t total_threads, const SubgraphSink* sink,
+                   std::vector<const AggregationStorageBase*> completed);
+  ~FractoidStepTask() override;
+
+  /// Number of E primitives in the step (the frame-stack depth).
+  uint32_t num_levels() const { return num_levels_; }
+
+  /// Aggregation indices this step computes.
+  const std::vector<uint32_t>& new_aggregates() const {
+    return new_aggregates_;
+  }
+
+  // --- StepTask interface (called by the runtime on its threads) ----------
+  void DrainRoots(ThreadContext& t, std::vector<uint32_t> roots) override;
+  void ProcessStolen(ThreadContext& t,
+                     const SubgraphEnumerator::StolenWork& work) override;
+  void FinishThread(ThreadContext& t) override;
+
+  /// Everything the step produced besides telemetry, merged across threads.
+  /// Only valid after the step barrier (Cluster::RunStep returned).
+  struct Output {
+    uint64_t subgraph_count = 0;
+    std::vector<Subgraph> collected;
+    uint64_t peak_state_bytes = 0;
+    std::vector<std::shared_ptr<AggregationStorageBase>> merged;  // by slot
+  };
+  Output MergeOutputs();
+
+ private:
+  /// Application state of one execution thread for this step attempt.
+  struct CoreState {
+    Subgraph subgraph;
+    std::unique_ptr<Computation> computation;
+    std::vector<std::vector<uint32_t>> scratch;  // per E-depth
+    std::vector<uint64_t> frame_bytes;           // per E-depth
+
+    // Thread-local accumulators for the step's new aggregations, indexed
+    // by storage slot (see storage_slots_).
+    std::vector<std::unique_ptr<AggregationStorageBase>> storages;
+
+    uint64_t local_count = 0;  // subgraphs reaching the end of a final step
+    std::vector<Subgraph> collected;
+    uint64_t state_bytes = 0;
+    uint64_t peak_state_bytes = 0;
+  };
+
+  void DrainFrame(ThreadContext& t, CoreState& s, SubgraphEnumerator& frame);
+  void Process(ThreadContext& t, CoreState& s, uint32_t index);
+  void SinkVisit(ThreadContext& t, CoreState& s);
+
+  const Fractoid& fractoid_;
+  const Graph& graph_;
+  const ExtensionStrategy& strategy_;
+  const StepPlan plan_;
+  const bool is_final_;
+  const ExecutionConfig& config_;
+  const SubgraphSink* sink_;  // optional streaming output (final step only)
+  // completed_[i] = result of workflow aggregation primitive i (or null).
+  std::vector<const AggregationStorageBase*> completed_;
+
+  uint32_t num_levels_ = 0;
+  std::vector<int32_t> storage_slots_;
+  std::vector<uint32_t> new_aggregates_;
+
+  std::vector<std::unique_ptr<CoreState>> states_;  // by global core id
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_CORE_FRACTOID_TASK_H_

@@ -9,7 +9,8 @@ void SubgraphEnumerator::Refill(const Subgraph& prefix,
   prefix_ = prefix;
   primitive_index_ = primitive_index;
   extensions_.swap(extensions);
-  size_hint_ = static_cast<uint32_t>(extensions_.size());
+  size_hint_.store(static_cast<uint32_t>(extensions_.size()),
+                   std::memory_order_relaxed);
   cursor_.store(0, std::memory_order_relaxed);
   active_.store(true, std::memory_order_release);
 }

@@ -65,9 +65,12 @@ class SubgraphEnumerator {
   std::optional<StolenWork> TrySteal();
 
   /// Racy hint for victim selection: whether unclaimed extensions remain.
+  /// May be stale by the time the caller acts on it; TrySteal() revalidates
+  /// under the mutex.
   bool LooksNonEmpty() const {
     return active_.load(std::memory_order_relaxed) &&
-           cursor_.load(std::memory_order_relaxed) < size_hint_;
+           cursor_.load(std::memory_order_relaxed) <
+               size_hint_.load(std::memory_order_relaxed);
   }
 
   uint32_t primitive_index() const { return primitive_index_; }
@@ -76,7 +79,8 @@ class SubgraphEnumerator {
   mutable std::mutex mu_;
   std::atomic<uint32_t> cursor_{0};
   std::atomic<bool> active_{false};
-  uint32_t size_hint_ = 0;  // extensions_.size(), readable without lock
+  // extensions_.size(), readable without the lock (hint only).
+  std::atomic<uint32_t> size_hint_{0};
   uint32_t primitive_index_ = 0;
   std::vector<uint32_t> extensions_;
   Subgraph prefix_;

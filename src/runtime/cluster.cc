@@ -1,0 +1,104 @@
+#include "runtime/cluster.h"
+
+#include <utility>
+
+namespace fractal {
+
+Status Cluster::Validate(const ClusterOptions& options) {
+  if (options.num_workers == 0) {
+    return InvalidArgumentError("cluster needs at least one worker");
+  }
+  if (options.threads_per_worker == 0) {
+    return InvalidArgumentError(
+        "cluster needs at least one execution thread per worker");
+  }
+  if (options.external_work_stealing && options.num_workers < 2) {
+    return InvalidArgumentError(
+        "external work stealing (WS_ext) requires at least two workers");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Cluster>> Cluster::Create(
+    const ClusterOptions& options) {
+  FRACTAL_RETURN_IF_ERROR(Validate(options));
+  return std::make_unique<Cluster>(options);
+}
+
+Cluster::Cluster(const ClusterOptions& options) : options_(options) {
+  const Status status = Validate(options_);
+  FRACTAL_CHECK(status.ok()) << status;
+  if (options_.external_work_stealing) {
+    bus_ = std::make_unique<MessageBus>(options_.num_workers,
+                                        options_.network);
+  }
+  for (uint32_t worker = 0; worker < options_.num_workers; ++worker) {
+    workers_.push_back(std::make_unique<Worker>(this, worker));
+  }
+  for (auto& worker : workers_) worker->Start();
+}
+
+Cluster::~Cluster() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  if (bus_) bus_->Shutdown();  // releases the steal-service threads
+  for (auto& worker : workers_) worker->Join();
+}
+
+Cluster::StepResult Cluster::RunStep(StepTask& task,
+                                     std::vector<uint32_t> root_extensions,
+                                     const StepOptions& options) {
+  // One step at a time: concurrent submissions (e.g. two executions sharing
+  // this cluster) serialize here. While no step is running, every execution
+  // thread is parked on work_cv_ and every service thread is blocked on the
+  // bus with an empty queue, so the preparation below is race-free.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  const uint32_t total_threads = TotalThreads();
+
+  step_.task = &task;
+  step_.roots = std::move(root_extensions);
+  step_.num_levels = options.num_levels;
+  for (auto& worker : workers_) {
+    for (uint32_t core = 0; core < worker->num_threads(); ++core) {
+      ThreadContext& t = worker->thread(core);
+      while (t.frames.size() < options.num_levels) {
+        t.frames.push_back(std::make_unique<SubgraphEnumerator>());
+      }
+    }
+  }
+
+  control_.failed.store(false, std::memory_order_relaxed);
+  control_.working.store(total_threads, std::memory_order_relaxed);
+  control_.crash_units.store(0, std::memory_order_relaxed);
+  control_.arm_fault_injection =
+      options.arm_fault_injection && options.crash_worker >= 0;
+  control_.crash_worker = options.crash_worker;
+  control_.crash_after_work_units = options.crash_after_work_units;
+  control_.timer.Restart();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    threads_remaining_ = total_threads;
+    ++step_generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return threads_remaining_ == 0; });
+  }
+
+  StepResult result;
+  result.failed = control_.failed.load(std::memory_order_acquire);
+  result.telemetry.wall_seconds = control_.timer.ElapsedSeconds();
+  for (auto& worker : workers_) {
+    for (uint32_t core = 0; core < worker->num_threads(); ++core) {
+      result.telemetry.threads.push_back(worker->thread(core).stats);
+    }
+  }
+  step_.task = nullptr;
+  step_.roots.clear();
+  steps_run_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace fractal

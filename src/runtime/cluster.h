@@ -1,0 +1,137 @@
+// Cluster: the persistent simulated cluster of the paper's architecture
+// (§4, Fig. 6). A Cluster owns `W` Workers, each with `C` execution threads
+// and a steal-service thread, created once and reused across fractal steps
+// and across fractoid executions. Steps are submitted through RunStep
+// (submit + barrier): between steps every thread parks on a condition
+// variable instead of being joined and respawned, which removes the
+// per-step thread churn of multi-step workflows (FSM runs one step per
+// pattern size, Algorithm 2).
+//
+// One Cluster can be shared by many fractoid executions (see
+// ExecutionConfig::cluster); step submissions serialize.
+#ifndef FRACTAL_RUNTIME_CLUSTER_H_
+#define FRACTAL_RUNTIME_CLUSTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/message_bus.h"
+#include "runtime/worker.h"
+#include "util/status.h"
+
+namespace fractal {
+
+/// Shape and stealing policy of a cluster (paper §4/5.2.2: the WS_int /
+/// WS_ext configurations map to the two stealing flags).
+struct ClusterOptions {
+  /// Simulated worker processes (paper: machines/executors).
+  uint32_t num_workers = 1;
+  /// Execution threads ("cores") per worker.
+  uint32_t threads_per_worker = 2;
+
+  /// WS_int: stealing between cores of the same worker.
+  bool internal_work_stealing = true;
+  /// WS_ext: stealing between workers through the message bus. Requires at
+  /// least two workers (Cluster::Validate rejects it otherwise; the core
+  /// executor normalizes the flag off for single-worker configs).
+  bool external_work_stealing = false;
+
+  /// Simulated network parameters for WS_ext.
+  NetworkConfig network;
+};
+
+class Cluster {
+ public:
+  /// Checks that `options` describe a constructible cluster: at least one
+  /// worker and one thread per worker, and no external stealing without a
+  /// second worker to steal from.
+  static Status Validate(const ClusterOptions& options);
+
+  /// Validated construction path: returns an error Status instead of
+  /// crashing on bad options.
+  static StatusOr<std::unique_ptr<Cluster>> Create(
+      const ClusterOptions& options);
+
+  /// Direct construction; `options` must pass Validate (checked).
+  explicit Cluster(const ClusterOptions& options);
+
+  /// Stops and joins all worker threads. Any frames still holding state
+  /// have been deactivated by the last step's barrier.
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Per-step execution parameters that are not part of the task itself.
+  struct StepOptions {
+    /// Number of E-levels of the step (frame stack depth per thread).
+    uint32_t num_levels = 0;
+    /// Fault injection (resilience testing): when armed, worker
+    /// `crash_worker` abandons the step after `crash_after_work_units`
+    /// consumed extensions. Fires at most once per arming.
+    bool arm_fault_injection = false;
+    int32_t crash_worker = -1;
+    uint64_t crash_after_work_units = 0;
+  };
+
+  struct StepResult {
+    /// A worker "crashed": all step output must be discarded and the step
+    /// re-executed (the from-scratch model makes this recovery trivial).
+    bool failed = false;
+    StepTelemetry telemetry;
+  };
+
+  /// Submits one fractal step and blocks until every thread of every worker
+  /// has finished it (submit/barrier). `root_extensions` — the extensions
+  /// of the empty subgraph — are partitioned contiguously across global
+  /// core ids (paper §4: "an initial partition of extensions ... determined
+  /// on-the-fly using its unique core identifier"). Thread-safe: concurrent
+  /// submissions from different executions serialize.
+  StepResult RunStep(StepTask& task, std::vector<uint32_t> root_extensions,
+                     const StepOptions& options);
+
+  const ClusterOptions& options() const { return options_; }
+  uint32_t TotalThreads() const {
+    return options_.num_workers * options_.threads_per_worker;
+  }
+  /// Steps executed since construction (reuse visible to tests/benches).
+  uint64_t steps_run() const { return steps_run_.load(); }
+
+ private:
+  friend class Worker;
+
+  /// Step submission shared with the workers' threads. Written by RunStep
+  /// before the wake-up notification; read by execution threads after they
+  /// observe the new generation (and by the steal service, causally after
+  /// an execution thread's bus request).
+  struct StepState {
+    StepTask* task = nullptr;
+    std::vector<uint32_t> roots;
+    uint32_t num_levels = 0;
+  };
+
+  ClusterOptions options_;
+  std::unique_ptr<MessageBus> bus_;  // null unless external stealing
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> steps_run_{0};
+
+  std::mutex run_mu_;  // serializes RunStep callers
+
+  // Park/wake handshake between RunStep and the execution threads.
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // new step or shutdown
+  std::condition_variable done_cv_;  // all threads finished the step
+  uint64_t step_generation_ = 0;
+  uint32_t threads_remaining_ = 0;
+  bool shutdown_ = false;
+
+  StepState step_;
+  StepControl control_;
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_RUNTIME_CLUSTER_H_

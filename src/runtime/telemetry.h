@@ -27,7 +27,10 @@ struct ThreadStats {
   uint64_t bytes_shipped = 0;     // serialized bytes received via WS_ext
   int64_t own_work_micros = -1;   // when the initial partition drained
   int64_t finish_micros = 0;      // when the thread went permanently idle
-  double busy_seconds = 0;        // time spent processing work
+  /// Time spent draining frames or processing stolen work. Idle time (the
+  /// steal loop's backoff sleeps) is excluded, so utilization derived from
+  /// busy_seconds / wall_seconds is not overstated on starved threads.
+  double busy_seconds = 0;
 };
 
 /// Telemetry of one fractal-step execution across all threads.

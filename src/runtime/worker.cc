@@ -1,0 +1,191 @@
+#include "runtime/worker.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "runtime/cluster.h"
+#include "runtime/codec.h"
+#include "util/check.h"
+
+namespace fractal {
+
+Worker::Worker(Cluster* cluster, uint32_t worker_id)
+    : cluster_(cluster), worker_id_(worker_id) {
+  const uint32_t per_worker = cluster_->options().threads_per_worker;
+  for (uint32_t core = 0; core < per_worker; ++core) {
+    auto t = std::make_unique<ThreadContext>();
+    t->worker_id = worker_id_;
+    t->local_core = core;
+    t->core_id = worker_id_ * per_worker + core;
+    threads_.push_back(std::move(t));
+  }
+}
+
+void Worker::Start() {
+  for (auto& t : threads_) {
+    exec_threads_.emplace_back([this, state = t.get()] { ThreadLoop(*state); });
+  }
+  if (cluster_->bus_ != nullptr) {
+    service_thread_ = std::thread([this] { StealServiceLoop(); });
+  }
+}
+
+void Worker::Join() {
+  for (std::thread& thread : exec_threads_) thread.join();
+  exec_threads_.clear();
+  if (service_thread_.joinable()) service_thread_.join();
+}
+
+void Worker::ThreadLoop(ThreadContext& t) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(cluster_->mu_);
+      cluster_->work_cv_.wait(lock, [&] {
+        return cluster_->shutdown_ ||
+               cluster_->step_generation_ != seen_generation;
+      });
+      if (cluster_->shutdown_) return;
+      seen_generation = cluster_->step_generation_;
+    }
+    RunStepOnThread(t);
+    {
+      std::lock_guard<std::mutex> lock(cluster_->mu_);
+      if (--cluster_->threads_remaining_ == 0) {
+        cluster_->done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void Worker::RunStepOnThread(ThreadContext& t) {
+  const Cluster::StepState& step = cluster_->step_;
+  StepControl& control = cluster_->control_;
+  StepTask& task = *step.task;
+  const ClusterOptions& options = cluster_->options();
+
+  t.stats = ThreadStats{};
+  t.stats.worker_id = t.worker_id;
+  t.stats.core_id = t.core_id;
+  t.busy_seconds = 0;
+  t.control = &control;
+
+  // Initial partition: a contiguous block of the root extensions selected
+  // by the global core id (paper §4: "an initial partition of extensions
+  // ... determined on-the-fly using its unique core identifier"; the Spark
+  // substrate hands each core one contiguous input partition). Contiguous
+  // blocks concentrate hub-adjacent roots, producing the raw skew the
+  // work-stealing hierarchy then fixes (§4.2).
+  const size_t total = step.roots.size();
+  const uint32_t threads = cluster_->TotalThreads();
+  const size_t begin = total * t.core_id / threads;
+  const size_t end = total * (t.core_id + 1) / threads;
+  std::vector<uint32_t> slice(step.roots.begin() + begin,
+                              step.roots.begin() + end);
+  if (step.num_levels > 0 && !slice.empty()) {
+    WallTimer busy_timer;
+    task.DrainRoots(t, std::move(slice));
+    t.busy_seconds += busy_timer.ElapsedSeconds();
+  }
+  t.stats.own_work_micros = control.timer.ElapsedMicros();
+  control.working.fetch_sub(1, std::memory_order_acq_rel);
+
+  // Steal loop: WS_int preferred over WS_ext (paper §4.2). Backoff scales
+  // with the thread count: on an oversubscribed host, aggressive idle
+  // rescans starve the threads that still hold work.
+  const bool external_enabled = cluster_->bus_ != nullptr;
+  const int64_t max_backoff_micros =
+      std::max<int64_t>(400, 100 * threads);
+  int64_t backoff_micros = 50;
+  while (true) {
+    if (control.failed.load(std::memory_order_acquire)) break;
+    if (control.working.load(std::memory_order_acquire) == 0) break;
+    control.working.fetch_add(1, std::memory_order_acq_rel);
+    bool got = false;
+    std::optional<SubgraphEnumerator::StolenWork> work;
+    if (options.internal_work_stealing) work = ClaimInternalWork(t);
+    if (!work.has_value() && external_enabled) work = ClaimExternalWork(t);
+    if (work.has_value()) {
+      WallTimer busy_timer;
+      task.ProcessStolen(t, *work);
+      t.busy_seconds += busy_timer.ElapsedSeconds();
+      got = true;
+    }
+    control.working.fetch_sub(1, std::memory_order_acq_rel);
+    if (got) {
+      backoff_micros = 50;
+    } else {
+      ++t.stats.steal_failures;
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
+      backoff_micros = std::min(backoff_micros * 2, max_backoff_micros);
+    }
+  }
+  task.FinishThread(t);
+  t.stats.finish_micros = control.timer.ElapsedMicros();
+  t.stats.busy_seconds = t.busy_seconds;
+  t.control = nullptr;
+}
+
+std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimInternalWork(
+    ThreadContext& t) {
+  // Shallowest frames first: they hold the largest pieces of work.
+  const uint32_t num_levels = cluster_->step_.num_levels;
+  for (uint32_t depth = 0; depth < num_levels; ++depth) {
+    for (uint32_t other = 0; other < num_threads(); ++other) {
+      if (other == t.local_core) continue;
+      SubgraphEnumerator& frame = *threads_[other]->frames[depth];
+      if (!frame.LooksNonEmpty()) continue;
+      if (auto work = frame.TrySteal()) {
+        ++t.stats.internal_steals;
+        return work;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimExternalWork(
+    ThreadContext& t) {
+  const uint32_t num_workers = cluster_->options().num_workers;
+  for (uint32_t offset = 1; offset < num_workers; ++offset) {
+    const uint32_t victim = (worker_id_ + offset) % num_workers;
+    auto payload = cluster_->bus_->RequestSteal(worker_id_, victim);
+    if (!payload.has_value()) continue;
+    SubgraphEnumerator::StolenWork work;
+    if (!SubgraphCodec::DecodeStolenWork(*payload, &work)) {
+      FRACTAL_CHECK(false) << "corrupted stolen-work payload";
+    }
+    ++t.stats.external_steals;
+    t.stats.bytes_shipped += payload->size();
+    return work;
+  }
+  return std::nullopt;
+}
+
+std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimLocalWork() {
+  const uint32_t num_levels = cluster_->step_.num_levels;
+  for (uint32_t depth = 0; depth < num_levels; ++depth) {
+    for (uint32_t core = 0; core < num_threads(); ++core) {
+      SubgraphEnumerator& frame = *threads_[core]->frames[depth];
+      if (!frame.LooksNonEmpty()) continue;
+      if (auto work = frame.TrySteal()) return work;
+    }
+  }
+  return std::nullopt;
+}
+
+void Worker::StealServiceLoop() {
+  // Requests only arrive while a step is running (requesters hold the
+  // step's `working` count while blocked on the bus), so the frames this
+  // scans are always live. Shutdown of the bus ends the loop.
+  while (auto token = cluster_->bus_->WaitForRequest(worker_id_)) {
+    auto work = ClaimLocalWork();
+    if (work.has_value()) {
+      cluster_->bus_->Reply(*token, SubgraphCodec::EncodeStolenWork(*work));
+    } else {
+      cluster_->bus_->Reply(*token, std::nullopt);
+    }
+  }
+}
+
+}  // namespace fractal

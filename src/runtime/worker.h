@@ -1,0 +1,169 @@
+// Worker: one simulated worker process of the cluster runtime (paper §4,
+// Fig. 6). A Worker owns `C` long-lived execution threads ("cores") plus —
+// when external stealing is enabled — one steal-service thread answering
+// WS_ext requests from other workers. Threads are created once, park on the
+// cluster's condition variable between fractal steps, and are reused across
+// steps and across fractoid executions.
+//
+// The runtime layer is application-agnostic: what a step actually *does*
+// with an extension is supplied by a StepTask (implemented by the core
+// executor), while this layer owns thread lifecycle, the contiguous
+// root-extension partitioning, the WS_int/WS_ext stealing hierarchy,
+// crash injection, and per-thread telemetry.
+#ifndef FRACTAL_RUNTIME_WORKER_H_
+#define FRACTAL_RUNTIME_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "enumerate/enumerator.h"
+#include "runtime/telemetry.h"
+#include "util/timer.h"
+
+namespace fractal {
+
+class Cluster;
+
+/// Shared state of one running step: the failure flag and the fault
+/// injection counters (paper resilience model: a "crashed" worker abandons
+/// the whole step, which is then re-executed from scratch). Owned by the
+/// Cluster and reset before each step.
+struct StepControl {
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> working{0};  // threads still producing work
+  std::atomic<uint64_t> crash_units{0};
+  bool arm_fault_injection = false;
+  int32_t crash_worker = -1;
+  uint64_t crash_after_work_units = 0;
+  WallTimer timer;  // restarted at step start; telemetry timestamps
+};
+
+/// Per-execution-thread runtime state, owned by a Worker and persistent
+/// across steps. The enumeration frames (one SubgraphEnumerator per
+/// extension level) live here because the stealing hierarchy scans them;
+/// everything application-specific stays inside the StepTask, keyed by
+/// `core_id`.
+struct ThreadContext {
+  uint32_t worker_id = 0;
+  uint32_t core_id = 0;     // global thread id
+  uint32_t local_core = 0;  // index within the worker
+
+  /// Enumeration frames by E-depth; sized (grow-only) per step.
+  std::vector<std::unique_ptr<SubgraphEnumerator>> frames;
+
+  /// Telemetry of the current step; reset at step start, harvested by the
+  /// cluster at the step barrier.
+  ThreadStats stats;
+
+  /// Busy-time accumulator: only time spent draining frames or processing
+  /// stolen work counts (idle backoff sleeps do not).
+  double busy_seconds = 0;
+
+  /// Valid for the duration of a step.
+  StepControl* control = nullptr;
+
+  /// Whether the current step has been abandoned (a worker "crashed").
+  bool StepFailed() const {
+    return control->failed.load(std::memory_order_relaxed);
+  }
+
+  /// Counts one consumed extension and performs the crash-injection check.
+  /// Returns false when the step must be abandoned: the dying worker's
+  /// in-flight state (including thread-local aggregation accumulators) is
+  /// lost and the whole step is re-executed.
+  bool ConsumeWorkUnit() {
+    ++stats.work_units;
+    if (control->arm_fault_injection &&
+        worker_id == static_cast<uint32_t>(control->crash_worker) &&
+        control->crash_units.fetch_add(1, std::memory_order_relaxed) >=
+            control->crash_after_work_units) {
+      control->failed.store(true, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+};
+
+/// What one fractal step does with the work the runtime hands it. The core
+/// executor implements this per step; the runtime only sees extensions,
+/// frames, and stolen (prefix, extension) pairs.
+class StepTask {
+ public:
+  virtual ~StepTask() = default;
+
+  /// Drains `roots` — the thread's initial contiguous partition of the root
+  /// extensions — through the step pipeline, refilling `t.frames` level by
+  /// level (Algorithm 1).
+  virtual void DrainRoots(ThreadContext& t, std::vector<uint32_t> roots) = 0;
+
+  /// Processes one stolen unit of work on thread `t`.
+  virtual void ProcessStolen(ThreadContext& t,
+                             const SubgraphEnumerator::StolenWork& work) = 0;
+
+  /// Called once per thread after its steal loop ends: flush per-thread
+  /// counters (e.g. extension tests) into `t.stats`.
+  virtual void FinishThread(ThreadContext& t) = 0;
+};
+
+/// One simulated worker process: `C` persistent execution threads and the
+/// per-worker steal service. Constructed and owned by Cluster.
+class Worker {
+ public:
+  Worker(Cluster* cluster, uint32_t worker_id);
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Spawns the execution threads (and the steal-service thread when the
+  /// cluster has a message bus). Called once by the Cluster constructor.
+  void Start();
+
+  /// Joins all threads. The cluster must have signalled shutdown (and shut
+  /// the bus down) first.
+  void Join();
+
+  ThreadContext& thread(uint32_t local_core) { return *threads_[local_core]; }
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(threads_.size());
+  }
+
+ private:
+  friend class Cluster;
+
+  /// Park/execute loop of one execution thread: waits for a step
+  /// submission, runs it, signals the barrier, parks again.
+  void ThreadLoop(ThreadContext& t);
+
+  /// Executes the current step on thread `t`: drain the initial partition,
+  /// then steal until the step has no work left anywhere (paper §4.2).
+  void RunStepOnThread(ThreadContext& t);
+
+  /// WS_int: claims one extension from a sibling thread of this worker,
+  /// shallowest frames first (they hold the largest pieces of work).
+  std::optional<SubgraphEnumerator::StolenWork> ClaimInternalWork(
+      ThreadContext& t);
+
+  /// WS_ext: requests work from the other workers through the message bus.
+  /// Charges the simulated network cost and records shipped bytes.
+  std::optional<SubgraphEnumerator::StolenWork> ClaimExternalWork(
+      ThreadContext& t);
+
+  /// Steal-service side of WS_ext: answers requests from other workers by
+  /// claiming work from this worker's own frames.
+  void StealServiceLoop();
+  std::optional<SubgraphEnumerator::StolenWork> ClaimLocalWork();
+
+  Cluster* cluster_;
+  uint32_t worker_id_;
+  std::vector<std::unique_ptr<ThreadContext>> threads_;
+  std::vector<std::thread> exec_threads_;
+  std::thread service_thread_;
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_RUNTIME_WORKER_H_

@@ -7,6 +7,7 @@
 #include "core/step.h"
 #include "graph/generators.h"
 #include "graph/test_graphs.h"
+#include "runtime/cluster.h"
 #include "tests/brute_force.h"
 
 namespace fractal {
@@ -273,6 +274,73 @@ TEST(ExecutorTest, GraphReductionKeepsIdSpace) {
   std::set<VertexId> roots;
   for (const Subgraph& s : subgraphs) roots.insert(s.VertexAt(0));
   EXPECT_EQ(roots, (std::set<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(ExecutionConfigTest, ValidateCatchesBadShapes) {
+  ExecutionConfig ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  ExecutionConfig zero_workers;
+  zero_workers.num_workers = 0;
+  EXPECT_FALSE(zero_workers.Validate().ok());
+
+  ExecutionConfig zero_threads;
+  zero_threads.threads_per_worker = 0;
+  EXPECT_FALSE(zero_threads.Validate().ok());
+
+  ExecutionConfig bad_crash;
+  bad_crash.num_workers = 2;
+  bad_crash.crash_worker = 2;  // workers are 0 and 1
+  EXPECT_FALSE(bad_crash.Validate().ok());
+  bad_crash.crash_worker = 1;
+  EXPECT_TRUE(bad_crash.Validate().ok());
+}
+
+TEST(ExecutionConfigTest, ValidateChecksCrashWorkerAgainstInjectedCluster) {
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.threads_per_worker = 1;
+  Cluster cluster(options);
+  ExecutionConfig config;
+  config.cluster = &cluster;
+  config.crash_worker = 1;
+  EXPECT_TRUE(config.Validate().ok());
+  config.crash_worker = 2;  // outside the injected cluster
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ExecutorTest, InjectedClusterSurvivesWorkerCrashRecovery) {
+  const Graph g = GenerateRandomGraph(30, 90, 1, 1, 4242);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+
+  ExecutionConfig healthy;
+  healthy.num_workers = 2;
+  healthy.threads_per_worker = 2;
+  healthy.network.latency_micros = 1;
+  const uint64_t expected =
+      graph.VFractoid().Expand(3).CountSubgraphs(healthy);
+
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.threads_per_worker = 2;
+  options.external_work_stealing = true;
+  options.network.latency_micros = 1;
+  Cluster cluster(options);
+
+  ExecutionConfig faulty = healthy;
+  faulty.cluster = &cluster;
+  faulty.crash_worker = 1;
+  faulty.crash_after_work_units = 50;  // mid-step failure
+  const ExecutionResult result = graph.VFractoid().Expand(3).Execute(faulty);
+  EXPECT_EQ(result.num_subgraphs, expected);
+  EXPECT_EQ(result.steps_retried, 1u);
+
+  // The abandoned step left no residue: the same cluster keeps serving
+  // healthy executions with exact counts.
+  ExecutionConfig reuse;
+  reuse.cluster = &cluster;
+  EXPECT_EQ(graph.VFractoid().Expand(3).CountSubgraphs(reuse), expected);
 }
 
 TEST(ExecutorTest, WorkerCrashIsRecoveredByStepRetry) {

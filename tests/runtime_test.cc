@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
+#include "core/context.h"
+#include "graph/generators.h"
 #include "graph/test_graphs.h"
+#include "runtime/cluster.h"
 #include "runtime/codec.h"
 #include "runtime/message_bus.h"
 #include "runtime/telemetry.h"
+#include "runtime/worker.h"
 
 namespace fractal {
 namespace {
@@ -133,6 +138,171 @@ TEST(MessageBusTest, ManyConcurrentRequesters) {
   bus.Shutdown();
   service.join();
   EXPECT_EQ(served.load(), 160);
+}
+
+TEST(ClusterTest, ValidateRejectsBadOptions) {
+  ClusterOptions zero_workers;
+  zero_workers.num_workers = 0;
+  EXPECT_FALSE(Cluster::Validate(zero_workers).ok());
+
+  ClusterOptions zero_threads;
+  zero_threads.threads_per_worker = 0;
+  EXPECT_FALSE(Cluster::Validate(zero_threads).ok());
+
+  ClusterOptions lone_external;
+  lone_external.num_workers = 1;
+  lone_external.external_work_stealing = true;
+  EXPECT_FALSE(Cluster::Validate(lone_external).ok());
+  EXPECT_FALSE(Cluster::Create(lone_external).ok());
+
+  ClusterOptions good;
+  good.num_workers = 2;
+  good.threads_per_worker = 2;
+  good.external_work_stealing = true;
+  EXPECT_TRUE(Cluster::Validate(good).ok());
+  auto cluster = Cluster::Create(good);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ((*cluster)->TotalThreads(), 4u);
+}
+
+TEST(ClusterTest, ReuseAcrossExecutionsMatchesFreshClusters) {
+  const Graph g = GenerateRandomGraph(14, 40, 1, 1, 1234);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+
+  ExecutionConfig fresh;
+  fresh.num_workers = 2;
+  fresh.threads_per_worker = 2;
+  fresh.network.latency_micros = 1;
+  const uint64_t expected_v = graph.VFractoid().Expand(3).CountSubgraphs(fresh);
+  const uint64_t expected_e = graph.EFractoid().Expand(2).CountSubgraphs(fresh);
+
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.threads_per_worker = 2;
+  options.external_work_stealing = true;
+  options.network.latency_micros = 1;
+  Cluster cluster(options);
+
+  // Two different fractoid executions share the same parked threads; the
+  // counts must match the fresh-cluster-per-execution runs exactly.
+  ExecutionConfig shared = fresh;
+  shared.cluster = &cluster;
+  EXPECT_EQ(graph.VFractoid().Expand(3).CountSubgraphs(shared), expected_v);
+  EXPECT_EQ(graph.EFractoid().Expand(2).CountSubgraphs(shared), expected_e);
+  EXPECT_EQ(cluster.steps_run(), 2u);
+
+  // And again, to prove the cluster survives repeated reuse.
+  EXPECT_EQ(graph.VFractoid().Expand(3).CountSubgraphs(shared), expected_v);
+  EXPECT_EQ(cluster.steps_run(), 3u);
+}
+
+TEST(ClusterTest, ReuseAcrossStepsOfMultiStepWorkflow) {
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(testgraphs::Star(5));
+  auto multi_step = [&graph] {
+    return graph.EFractoid()
+        .Expand(1)
+        .Aggregate<uint64_t, uint64_t>(
+            "deg", [](const Subgraph&, Computation&) -> uint64_t { return 0; },
+            [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+            [](uint64_t& a, uint64_t&& b) { a += b; })
+        .FilterByAggregation<uint64_t, uint64_t>(
+            "deg", [](const Subgraph&, Computation&,
+                      const AggregationStorage<uint64_t, uint64_t>& agg) {
+              return *agg.Find(0) == 4;
+            })
+        .Expand(1);
+  };
+
+  ExecutionConfig fresh;
+  fresh.num_workers = 2;
+  fresh.threads_per_worker = 2;
+  fresh.network.latency_micros = 1;
+  const ExecutionResult expected = multi_step().Execute(fresh);
+
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.threads_per_worker = 2;
+  options.external_work_stealing = true;
+  options.network.latency_micros = 1;
+  Cluster cluster(options);
+  ExecutionConfig shared = fresh;
+  shared.cluster = &cluster;
+  const ExecutionResult result = multi_step().Execute(shared);
+
+  // Both steps ran on the same persistent threads (no respawn between
+  // steps) and produced identical results.
+  EXPECT_EQ(result.steps_executed, 2u);
+  EXPECT_EQ(cluster.steps_run(), 2u);
+  EXPECT_EQ(result.num_subgraphs, expected.num_subgraphs);
+  EXPECT_EQ(result.telemetry.steps.size(), expected.telemetry.steps.size());
+  for (size_t i = 0; i < result.telemetry.steps.size(); ++i) {
+    EXPECT_EQ(result.telemetry.steps[i].TotalWorkUnits(),
+              expected.telemetry.steps[i].TotalWorkUnits());
+  }
+}
+
+TEST(ClusterTest, StealServiceThreadsTerminateCleanlyOnDestruction) {
+  // Construct/run/destroy repeatedly: destruction must join the per-worker
+  // steal-service threads (blocked on the bus) and the parked execution
+  // threads without hanging or racing — this case runs under TSan in CI.
+  const Graph g = GenerateRandomGraph(12, 30, 1, 1, 7);
+  FractalContext fctx;
+  FractalGraph graph = fctx.FromGraph(Graph(g));
+  for (int round = 0; round < 3; ++round) {
+    ClusterOptions options;
+    options.num_workers = 3;
+    options.threads_per_worker = 2;
+    options.external_work_stealing = true;
+    options.network.latency_micros = 1;
+    Cluster cluster(options);
+    if (round > 0) {  // round 0: destroy without ever running a step
+      ExecutionConfig config;
+      config.cluster = &cluster;
+      EXPECT_GT(graph.VFractoid().Expand(2).CountSubgraphs(config), 0u);
+    }
+  }
+}
+
+/// Minimal StepTask: core 0 sleeps (busy), everyone else has nothing to do
+/// and idles in the steal loop's backoff until the barrier.
+class SleepyCountTask : public StepTask {
+ public:
+  void DrainRoots(ThreadContext& t, std::vector<uint32_t> roots) override {
+    if (t.core_id == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    }
+    for (size_t i = 0; i < roots.size(); ++i) {
+      if (!t.ConsumeWorkUnit()) return;
+    }
+  }
+  void ProcessStolen(ThreadContext&,
+                     const SubgraphEnumerator::StolenWork&) override {}
+  void FinishThread(ThreadContext&) override {}
+};
+
+TEST(ClusterTest, BusySecondsExcludesIdleBackoff) {
+  ClusterOptions options;
+  options.num_workers = 1;
+  options.threads_per_worker = 2;
+  Cluster cluster(options);
+
+  SleepyCountTask task;
+  Cluster::StepOptions step_options;
+  step_options.num_levels = 1;
+  const Cluster::StepResult result =
+      cluster.RunStep(task, {1, 2, 3, 4}, step_options);
+
+  ASSERT_EQ(result.telemetry.threads.size(), 2u);
+  EXPECT_EQ(result.telemetry.TotalWorkUnits(), 4u);
+  const ThreadStats& busy_thread = result.telemetry.threads[0];
+  const ThreadStats& idle_thread = result.telemetry.threads[1];
+  // Core 0 really was busy for the sleep; core 1 drained two roots
+  // instantly and then only waited — its backoff sleeps must NOT count as
+  // busy time (the seed stamped whole-lifetime busy_seconds ~= wall).
+  EXPECT_GE(busy_thread.busy_seconds, 0.05);
+  EXPECT_LT(idle_thread.busy_seconds, result.telemetry.wall_seconds / 2);
 }
 
 TEST(TelemetryTest, AggregatesAndMakespan) {
