@@ -157,7 +157,10 @@ void RunMultiStepWorkflow(const FractalGraph& graph,
   // Fresh fractoid per run: cached aggregations would skip the steps.
   Fractoid fractoid = graph.EFractoid().Expand(1);
   for (int i = 0; i < 3; ++i) {
-    const std::string name = "c" + std::to_string(i);
+    // Built with += : `const char* + string&&` trips GCC 12's -Wrestrict
+    // false positive (PR105651) under -O2.
+    std::string name = "c";
+    name += std::to_string(i);
     fractoid =
         fractoid.Aggregate<uint64_t, uint64_t>(name, key, value, reduce)
             .FilterByAggregation<uint64_t, uint64_t>(name, pass);

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,7 +14,9 @@
 #include "enumerate/subgraph.h"
 #include "runtime/message_bus.h"
 #include "runtime/telemetry.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace fractal {
 
@@ -73,7 +74,7 @@ struct ExecutionConfig {
   /// stealing with a single worker is not an error here — it is normalized
   /// off (WS_ext needs a second worker; an explicit single-worker
   /// external-stealing Cluster is rejected by Cluster::Validate).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Completed aggregation of one A-primitive occurrence. `spec` is kept for
@@ -84,9 +85,12 @@ struct CompletedAggregation {
 };
 
 /// Aggregation results cached across executions of derived fractoids.
+/// Innermost lock of the core layer: concurrent executions sharing one
+/// fractoid synchronize their cache reads/publishes here, and nothing else
+/// is ever acquired while it is held.
 struct ExecutionState {
-  std::mutex mu;
-  std::unordered_map<uint32_t, CompletedAggregation> completed;
+  Mutex mu{"ExecutionState::mu"};
+  std::unordered_map<uint32_t, CompletedAggregation> completed GUARDED_BY(mu);
 };
 
 /// Everything one fractoid execution produced.

@@ -93,7 +93,7 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
                                                          nullptr);
     std::vector<uint32_t> to_compute;
     {
-      std::lock_guard<std::mutex> lock(state.mu);
+      MutexLock lock(state.mu);
       for (uint32_t i = 0; i < plan.end; ++i) {
         if (workflow[i].kind != Primitive::Kind::kAggregate) continue;
         const auto it = state.completed.find(i);
@@ -175,7 +175,7 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
 
     // Publish the step's aggregations.
     {
-      std::lock_guard<std::mutex> lock(state.mu);
+      MutexLock lock(state.mu);
       const auto& indices = new_aggregate_indices;
       for (size_t slot = 0; slot < indices.size(); ++slot) {
         CompletedAggregation entry;
@@ -188,7 +188,7 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
 
   // Expose every completed aggregation of this workflow in the result.
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     for (uint32_t i = 0; i < workflow.size(); ++i) {
       if (workflow[i].kind != Primitive::Kind::kAggregate) continue;
       const auto it = state.completed.find(i);

@@ -21,18 +21,19 @@ namespace fractal {
 
 /// Executes all (non-cached) steps of `fractoid` under `config`.
 /// Thread-safe with respect to distinct fractoids; executing the same
-/// fractoid concurrently is not supported.
-ExecutionResult ExecuteFractoid(const Fractoid& fractoid,
-                                const ExecutionConfig& config);
+/// fractoid concurrently is not supported. [[nodiscard]]: dropping the
+/// result discards the subgraph counts/aggregations the run computed.
+[[nodiscard]] ExecutionResult ExecuteFractoid(const Fractoid& fractoid,
+                                              const ExecutionConfig& config);
 
 /// Streaming variant of the O1 output operator: `sink` is invoked for every
 /// subgraph reaching the end of the final step, from the execution threads
 /// as results are found (no materialization). The sink MUST be thread-safe;
 /// the Subgraph reference is only valid during the call.
 using SubgraphSink = std::function<void(const Subgraph&)>;
-ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
-                                         const ExecutionConfig& config,
-                                         const SubgraphSink& sink);
+[[nodiscard]] ExecutionResult ExecuteFractoidStreaming(
+    const Fractoid& fractoid, const ExecutionConfig& config,
+    const SubgraphSink& sink);
 
 }  // namespace fractal
 

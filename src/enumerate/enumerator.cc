@@ -5,7 +5,7 @@ namespace fractal {
 void SubgraphEnumerator::Refill(const Subgraph& prefix,
                                 uint32_t primitive_index,
                                 std::vector<uint32_t>&& extensions) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   prefix_ = prefix;
   primitive_index_ = primitive_index;
   extensions_.swap(extensions);
@@ -16,12 +16,12 @@ void SubgraphEnumerator::Refill(const Subgraph& prefix,
 }
 
 void SubgraphEnumerator::Deactivate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   active_.store(false, std::memory_order_release);
 }
 
 std::optional<SubgraphEnumerator::StolenWork> SubgraphEnumerator::TrySteal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!active_.load(std::memory_order_acquire)) return std::nullopt;
   const uint32_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
   if (index >= extensions_.size()) return std::nullopt;

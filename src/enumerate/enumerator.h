@@ -19,11 +19,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "enumerate/subgraph.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fractal {
 
@@ -37,15 +38,18 @@ class SubgraphEnumerator {
   /// Owner: installs a new prefix and extension set; resets the cursor and
   /// activates the enumerator. `extensions` is consumed (swap).
   void Refill(const Subgraph& prefix, uint32_t primitive_index,
-              std::vector<uint32_t>&& extensions);
+              std::vector<uint32_t>&& extensions) EXCLUDES(mu_);
 
   /// Owner: marks the enumerator empty. Blocks until in-flight steals
   /// finish copying, after which the prefix may be invalidated.
-  void Deactivate();
+  void Deactivate() EXCLUDES(mu_);
 
   /// Owner: claims the next extension, or nullopt when exhausted.
-  /// Lock-free (storage is only mutated by the owner itself).
-  std::optional<uint32_t> ConsumeNext() {
+  /// Lock-free: reads `extensions_` without mu_, which is sound because
+  /// only the owner mutates storage (Refill/Deactivate) and the owner is
+  /// the sole caller of ConsumeNext — a contract the static analysis cannot
+  /// express, hence the opt-out annotation.
+  std::optional<uint32_t> ConsumeNext() NO_THREAD_SAFETY_ANALYSIS {
     if (!active_.load(std::memory_order_acquire)) return std::nullopt;
     const uint32_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (index >= extensions_.size()) return std::nullopt;
@@ -62,7 +66,7 @@ class SubgraphEnumerator {
 
   /// Thief: claims one extension and snapshots the prefix. Returns nullopt
   /// when inactive or exhausted.
-  std::optional<StolenWork> TrySteal();
+  std::optional<StolenWork> TrySteal() EXCLUDES(mu_);
 
   /// Racy hint for victim selection: whether unclaimed extensions remain.
   /// May be stale by the time the caller acts on it; TrySteal() revalidates
@@ -73,17 +77,21 @@ class SubgraphEnumerator {
                size_hint_.load(std::memory_order_relaxed);
   }
 
-  uint32_t primitive_index() const { return primitive_index_; }
+  /// Owner-only (same contract as ConsumeNext: the owner is the only
+  /// mutator, so its own unlocked read cannot race).
+  uint32_t primitive_index() const NO_THREAD_SAFETY_ANALYSIS {
+    return primitive_index_;
+  }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"SubgraphEnumerator::mu"};
   std::atomic<uint32_t> cursor_{0};
   std::atomic<bool> active_{false};
   // extensions_.size(), readable without the lock (hint only).
   std::atomic<uint32_t> size_hint_{0};
-  uint32_t primitive_index_ = 0;
-  std::vector<uint32_t> extensions_;
-  Subgraph prefix_;
+  uint32_t primitive_index_ GUARDED_BY(mu_) = 0;
+  std::vector<uint32_t> extensions_ GUARDED_BY(mu_);
+  Subgraph prefix_ GUARDED_BY(mu_);
 };
 
 }  // namespace fractal

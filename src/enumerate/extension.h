@@ -50,7 +50,7 @@ class ExtensionStrategy {
                      Subgraph* subgraph) const = 0;
 
   /// Undoes the most recent Apply.
-  virtual void Undo(const Graph& graph, Subgraph* subgraph) const {
+  virtual void Undo(const Graph& /*graph*/, Subgraph* subgraph) const {
     subgraph->Pop();
   }
 

@@ -40,10 +40,10 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
 
 Cluster::~Cluster() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
+    work_cv_.NotifyAll();
   }
-  work_cv_.notify_all();
   if (bus_) bus_->Shutdown();  // releases the steal-service threads
   for (auto& worker : workers_) worker->Join();
 }
@@ -55,7 +55,7 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   // this cluster) serialize here. While no step is running, every execution
   // thread is parked on work_cv_ and every service thread is blocked on the
   // bus with an empty queue, so the preparation below is race-free.
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(run_mu_);
   const uint32_t total_threads = TotalThreads();
 
   step_.task = &task;
@@ -80,11 +80,11 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   control_.timer.Restart();
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     threads_remaining_ = total_threads;
     ++step_generation_;
-    work_cv_.notify_all();
-    done_cv_.wait(lock, [&] { return threads_remaining_ == 0; });
+    work_cv_.NotifyAll();
+    while (threads_remaining_ != 0) done_cv_.Wait(mu_);
   }
 
   StepResult result;

@@ -12,15 +12,15 @@
 #ifndef FRACTAL_RUNTIME_CLUSTER_H_
 #define FRACTAL_RUNTIME_CLUSTER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "runtime/message_bus.h"
 #include "runtime/worker.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace fractal {
 
@@ -89,9 +89,13 @@ class Cluster {
   /// of the empty subgraph — are partitioned contiguously across global
   /// core ids (paper §4: "an initial partition of extensions ... determined
   /// on-the-fly using its unique core identifier"). Thread-safe: concurrent
-  /// submissions from different executions serialize.
-  StepResult RunStep(StepTask& task, std::vector<uint32_t> root_extensions,
-                     const StepOptions& options);
+  /// submissions from different executions serialize. The result carries
+  /// the failure flag of the step (see StepResult::failed) and must not be
+  /// dropped.
+  [[nodiscard]] StepResult RunStep(StepTask& task,
+                                   std::vector<uint32_t> root_extensions,
+                                   const StepOptions& options)
+      EXCLUDES(run_mu_, mu_);
 
   const ClusterOptions& options() const { return options_; }
   uint32_t TotalThreads() const {
@@ -118,16 +122,23 @@ class Cluster {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> steps_run_{0};
 
-  std::mutex run_mu_;  // serializes RunStep callers
+  /// Serializes RunStep callers. Outermost lock of the runtime: acquired
+  /// before Cluster::mu (lock hierarchy in DESIGN.md).
+  Mutex run_mu_{"Cluster::run_mu"};
 
   // Park/wake handshake between RunStep and the execution threads.
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // new step or shutdown
-  std::condition_variable done_cv_;  // all threads finished the step
-  uint64_t step_generation_ = 0;
-  uint32_t threads_remaining_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_{"Cluster::mu"};
+  CondVar work_cv_;  // new step or shutdown
+  CondVar done_cv_;  // all threads finished the step
+  uint64_t step_generation_ GUARDED_BY(mu_) = 0;
+  uint32_t threads_remaining_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 
+  /// Not mutex-protected: published by RunStep *before* the step-generation
+  /// bump under mu_, and only read by worker threads after they observe the
+  /// new generation (or, for the steal service, causally after an execution
+  /// thread's bus request) — the generation handshake is the
+  /// happens-before edge, so these are data-race-free without a guard.
   StepState step_;
   StepControl control_;
 };

@@ -26,21 +26,18 @@ std::optional<std::vector<uint8_t>> MessageBus::RequestSteal(
     uint32_t requester, uint32_t victim) {
   FRACTAL_CHECK(victim < inboxes_.size());
   FRACTAL_CHECK(victim != requester) << "steal from self must be internal";
-  {
-    std::lock_guard<std::mutex> stop_lock(stop_mu_);
-    if (stopped_) return std::nullopt;
-  }
+  if (stopped()) return std::nullopt;
 
   Request request;
   SimulateDelay(/*payload_bytes=*/16);  // request message
   {
     Inbox& inbox = *inboxes_[victim];
-    std::lock_guard<std::mutex> lock(inbox.mu);
+    MutexLock lock(inbox.mu);
     inbox.queue.push_back(&request);
-    inbox.cv.notify_one();
+    inbox.cv.NotifyOne();
   }
-  std::unique_lock<std::mutex> lock(request.mu);
-  request.cv.wait(lock, [&request] { return request.done; });
+  MutexLock lock(request.mu);
+  while (!request.done) request.cv.Wait(request.mu);
   if (!request.payload.has_value()) return std::nullopt;
   SimulateDelay(request.payload->size());  // reply message
   return std::move(request.payload);
@@ -50,12 +47,11 @@ std::optional<MessageBus::RequestToken> MessageBus::WaitForRequest(
     uint32_t worker) {
   FRACTAL_CHECK(worker < inboxes_.size());
   Inbox& inbox = *inboxes_[worker];
-  std::unique_lock<std::mutex> lock(inbox.mu);
-  inbox.cv.wait(lock, [this, &inbox] {
-    if (!inbox.queue.empty()) return true;
-    std::lock_guard<std::mutex> stop_lock(stop_mu_);
-    return stopped_;
-  });
+  MutexLock lock(inbox.mu);
+  // Wake-ups: a new request (NotifyOne in RequestSteal) or Shutdown's
+  // NotifyAll. `stopped()` nests stop_mu_ inside Inbox::mu — that order is
+  // part of the lock hierarchy (DESIGN.md).
+  while (inbox.queue.empty() && !stopped()) inbox.cv.Wait(inbox.mu);
   if (inbox.queue.empty()) return std::nullopt;
   Request* request = inbox.queue.front();
   inbox.queue.pop_front();
@@ -65,29 +61,29 @@ std::optional<MessageBus::RequestToken> MessageBus::WaitForRequest(
 void MessageBus::Reply(RequestToken token,
                        std::optional<std::vector<uint8_t>> payload) {
   Request* request = static_cast<Request*>(token);
-  std::lock_guard<std::mutex> lock(request->mu);
+  MutexLock lock(request->mu);
   request->payload = std::move(payload);
   request->done = true;
-  request->cv.notify_one();
+  request->cv.NotifyOne();
 }
 
 void MessageBus::Shutdown() {
   {
-    std::lock_guard<std::mutex> stop_lock(stop_mu_);
+    MutexLock stop_lock(stop_mu_);
     if (stopped_) return;
     stopped_ = true;
   }
   for (auto& inbox : inboxes_) {
-    std::unique_lock<std::mutex> lock(inbox->mu);
-    // Fail any queued requests so their requesters unblock.
-    while (!inbox->queue.empty()) {
-      Request* request = inbox->queue.front();
-      inbox->queue.pop_front();
-      lock.unlock();
-      Reply(request, std::nullopt);
-      lock.lock();
+    // Drain the queue under the inbox lock, but fail the drained requests
+    // after releasing it: Reply takes Request::mu, which must not nest
+    // inside Inbox::mu.
+    std::deque<Request*> pending;
+    {
+      MutexLock lock(inbox->mu);
+      pending.swap(inbox->queue);
+      inbox->cv.NotifyAll();
     }
-    inbox->cv.notify_all();
+    for (Request* request : pending) Reply(request, std::nullopt);
   }
 }
 

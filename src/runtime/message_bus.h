@@ -7,15 +7,15 @@
 #ifndef FRACTAL_RUNTIME_MESSAGE_BUS_H_
 #define FRACTAL_RUNTIME_MESSAGE_BUS_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fractal {
 
@@ -59,25 +59,36 @@ class MessageBus {
   }
 
  private:
+  /// One in-flight steal request, stack-allocated by the requester; the
+  /// victim's service thread completes it through Reply.
   struct Request {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    std::optional<std::vector<uint8_t>> payload;
+    Mutex mu{"MessageBus::Request::mu"};
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    std::optional<std::vector<uint8_t>> payload GUARDED_BY(mu);
   };
 
+  /// Per-worker queue of pending steal requests.
   struct Inbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Request*> queue;
+    Mutex mu{"MessageBus::Inbox::mu"};
+    CondVar cv;
+    std::deque<Request*> queue GUARDED_BY(mu);
   };
 
   void SimulateDelay(size_t payload_bytes) const;
 
+  /// Whether Shutdown has been called. Acquired *inside* Inbox::mu (the
+  /// WaitForRequest wake-up predicate re-checks it under the inbox lock),
+  /// so nothing may acquire an inbox lock while holding stop_mu_.
+  bool stopped() const EXCLUDES(stop_mu_) {
+    MutexLock lock(stop_mu_);
+    return stopped_;
+  }
+
   NetworkConfig config_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
-  std::mutex stop_mu_;
-  bool stopped_ = false;
+  mutable Mutex stop_mu_{"MessageBus::stop_mu"};
+  bool stopped_ GUARDED_BY(stop_mu_) = false;
 };
 
 }  // namespace fractal

@@ -33,16 +33,20 @@ struct ThreadStats {
   double busy_seconds = 0;
 };
 
-/// Telemetry of one fractal-step execution across all threads.
+/// Telemetry of one fractal-step execution across all threads. Aggregated
+/// by the cluster at the step barrier — after every execution thread has
+/// finished — so no locking is involved anywhere in this header: all
+/// telemetry is either thread-private (ThreadStats during a step) or
+/// barrier-synchronized snapshots.
 struct StepTelemetry {
   std::vector<ThreadStats> threads;
   double wall_seconds = 0;
 
-  uint64_t TotalWorkUnits() const;
-  uint64_t TotalExtensionTests() const;
-  uint64_t TotalInternalSteals() const;
-  uint64_t TotalExternalSteals() const;
-  uint64_t TotalBytesShipped() const;
+  [[nodiscard]] uint64_t TotalWorkUnits() const;
+  [[nodiscard]] uint64_t TotalExtensionTests() const;
+  [[nodiscard]] uint64_t TotalInternalSteals() const;
+  [[nodiscard]] uint64_t TotalExternalSteals() const;
+  [[nodiscard]] uint64_t TotalBytesShipped() const;
 
   /// Deterministic makespan model: every work unit costs one time unit and
   /// every external steal a thread performed costs `steal_cost_units`.

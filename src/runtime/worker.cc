@@ -40,19 +40,19 @@ void Worker::ThreadLoop(ThreadContext& t) {
   uint64_t seen_generation = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(cluster_->mu_);
-      cluster_->work_cv_.wait(lock, [&] {
-        return cluster_->shutdown_ ||
-               cluster_->step_generation_ != seen_generation;
-      });
+      MutexLock lock(cluster_->mu_);
+      while (!cluster_->shutdown_ &&
+             cluster_->step_generation_ == seen_generation) {
+        cluster_->work_cv_.Wait(cluster_->mu_);
+      }
       if (cluster_->shutdown_) return;
       seen_generation = cluster_->step_generation_;
     }
     RunStepOnThread(t);
     {
-      std::lock_guard<std::mutex> lock(cluster_->mu_);
+      MutexLock lock(cluster_->mu_);
       if (--cluster_->threads_remaining_ == 0) {
-        cluster_->done_cv_.notify_all();
+        cluster_->done_cv_.NotifyAll();
       }
     }
   }

@@ -10,6 +10,14 @@
 // executor), while this layer owns thread lifecycle, the contiguous
 // root-extension partitioning, the WS_int/WS_ext stealing hierarchy,
 // crash injection, and per-thread telemetry.
+//
+// Locking: Worker itself holds no locks. Its threads acquire the cluster's
+// park/wake mutex (Cluster::mu), the enumerators' steal mutexes
+// (SubgraphEnumerator::mu), and — via the message bus — the inbox/request
+// mutexes, always as leaves or in the documented hierarchy (DESIGN.md
+// "Lock hierarchy"). ThreadContext is single-owner state: only its
+// execution thread mutates it while a step runs, and the cluster reads it
+// at the step barrier (the barrier is the happens-before edge).
 #ifndef FRACTAL_RUNTIME_WORKER_H_
 #define FRACTAL_RUNTIME_WORKER_H_
 

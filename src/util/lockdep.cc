@@ -1,0 +1,279 @@
+#include "util/lockdep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fractal {
+namespace lockdep {
+namespace {
+
+// The checker's own synchronization uses raw std::mutex: instrumenting the
+// instrumenter would recurse.
+
+/// One recorded acquired-before edge `from → to`, with the acquisition site
+/// (the acquiring thread's held stack) that first created it.
+struct Edge {
+  uint32_t to = 0;
+  std::string site;
+};
+
+struct Graph {
+  std::mutex mu;
+  /// Adjacency: class id → edges out of it. Edges are recorded once; the
+  /// first acquisition site is kept for reporting.
+  std::unordered_map<uint32_t, std::vector<Edge>> out;
+  size_t num_edges = 0;
+  /// Bumped by ResetGraphForTest so per-thread edge caches invalidate.
+  std::atomic<uint64_t> epoch{1};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<LockClass>> classes;
+  uint32_t next_id = 0;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // leaked: outlives all static destructors
+  return *g;
+}
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::mutex& handler_mu() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+FailureHandler& handler_slot() {
+  static FailureHandler* h = new FailureHandler();
+  return *h;
+}
+
+/// Per-thread state. Raw pointers into the leaked registry, so thread exit
+/// after static destruction is safe.
+struct ThreadState {
+  std::vector<const LockClass*> held;
+  /// Edges this thread already pushed to the graph ((from << 32) | to),
+  /// valid for `cache_epoch`; lets the hot path skip the graph mutex.
+  std::unordered_set<uint64_t> seen_edges;
+  uint64_t cache_epoch = 0;
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+std::string RenderHeldStack(const std::vector<const LockClass*>& held) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < held.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << held[i]->name;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string ClassName(uint32_t id) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& [name, cls] : reg.classes) {
+    if (cls->id == id) return name;
+  }
+  return "<unknown lock class>";
+}
+
+/// Finds a path `from → … → to` in the graph (caller holds graph().mu).
+/// Returns the edge sequence, empty when unreachable.
+std::vector<const Edge*> FindPath(const Graph& g, uint32_t from, uint32_t to) {
+  std::unordered_map<uint32_t, const Edge*> parent_edge;
+  std::unordered_map<uint32_t, uint32_t> parent_node;
+  std::unordered_set<uint32_t> visited{from};
+  std::deque<uint32_t> frontier{from};
+  while (!frontier.empty()) {
+    const uint32_t node = frontier.front();
+    frontier.pop_front();
+    const auto it = g.out.find(node);
+    if (it == g.out.end()) continue;
+    for (const Edge& edge : it->second) {
+      if (!visited.insert(edge.to).second) continue;
+      parent_edge[edge.to] = &edge;
+      parent_node[edge.to] = node;
+      if (edge.to == to) {
+        std::vector<const Edge*> path;
+        for (uint32_t at = to; at != from; at = parent_node[at]) {
+          path.push_back(parent_edge[at]);
+        }
+        return {path.rbegin(), path.rend()};
+      }
+      frontier.push_back(edge.to);
+    }
+  }
+  return {};
+}
+
+void Fail(const InversionReport& report) {
+  FailureHandler copy;
+  {
+    std::lock_guard<std::mutex> lock(handler_mu());
+    copy = handler_slot();
+  }
+  if (copy) {
+    copy(report);
+    return;
+  }
+  std::cerr << report.ToString() << std::endl;
+  std::abort();
+}
+
+/// Records `from → to` (if new) and reports an inversion when the reverse
+/// direction is already reachable. Returns the graph epoch used, so the
+/// caller can refresh its thread-local cache.
+void RecordEdge(const LockClass* from, const LockClass* to,
+                const std::vector<const LockClass*>& held) {
+  InversionReport report;
+  {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mu);
+    std::vector<Edge>& edges = g.out[from->id];
+    for (const Edge& edge : edges) {
+      if (edge.to == to->id) return;  // already recorded (and checked)
+    }
+    const std::vector<const Edge*> reverse = FindPath(g, to->id, from->id);
+    if (reverse.empty()) {
+      edges.push_back(Edge{to->id, "held " + RenderHeldStack(held) +
+                                       ", acquiring " + to->name});
+      ++g.num_edges;
+      return;
+    }
+    // Inversion: to → … → from already exists; render both paths while the
+    // graph is stable, then fail outside the lock (the handler may rethrow
+    // into test code that acquires instrumented locks).
+    report.from = from->name;
+    report.to = to->name;
+    report.acquiring_path =
+        "held " + RenderHeldStack(held) + ", acquiring " + to->name;
+    std::ostringstream os;
+    uint32_t at = to->id;
+    for (const Edge* edge : reverse) {
+      os << "\n    " << ClassName(at) << " -> " << ClassName(edge->to)
+         << "  (first: " << edge->site << ")";
+      at = edge->to;
+    }
+    report.existing_path = os.str();
+  }
+  Fail(report);
+}
+
+}  // namespace
+
+std::string InversionReport::ToString() const {
+  std::ostringstream os;
+  os << "lockdep: lock-order inversion detected\n"
+     << "  acquiring '" << to << "' while holding '" << from << "'\n"
+     << "  path 1 (this thread): " << acquiring_path << "\n"
+     << "  path 2 (recorded acquired-before chain '" << to << "' -> ... -> '"
+     << from << "'):" << existing_path;
+  return os.str();
+}
+
+const LockClass* RegisterClass(const char* name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.classes.find(name);
+  if (it == reg.classes.end()) {
+    auto cls = std::make_unique<LockClass>();
+    cls->id = reg.next_id++;
+    cls->name = name;
+    it = reg.classes.emplace(name, std::move(cls)).first;
+  }
+  return it->second.get();
+}
+
+void OnAcquire(const LockClass* cls) {
+  ThreadState& state = thread_state();
+  const uint64_t epoch = graph().epoch.load(std::memory_order_acquire);
+  if (state.cache_epoch != epoch) {
+    state.seen_edges.clear();
+    state.cache_epoch = epoch;
+  }
+  for (const LockClass* held : state.held) {
+    if (held == cls) {
+      // Same-class nesting: two instances of one class held at once is a
+      // self-cycle (the sibling thread can hold them in the other order).
+      InversionReport report;
+      report.from = cls->name;
+      report.to = cls->name;
+      report.acquiring_path = "held " + RenderHeldStack(state.held) +
+                              ", acquiring " + cls->name;
+      report.existing_path =
+          "\n    (recursive acquisition of one lock class)";
+      Fail(report);
+      break;
+    }
+    const uint64_t key = (static_cast<uint64_t>(held->id) << 32) | cls->id;
+    if (state.seen_edges.insert(key).second) {
+      RecordEdge(held, cls, state.held);
+    }
+  }
+  state.held.push_back(cls);
+}
+
+void OnRelease(const LockClass* cls) {
+  ThreadState& state = thread_state();
+  // Locks may be released out of LIFO order; erase the innermost match.
+  for (auto it = state.held.rbegin(); it != state.held.rend(); ++it) {
+    if (*it == cls) {
+      state.held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void AssertHeld(const LockClass* cls) {
+  const ThreadState& state = thread_state();
+  for (const LockClass* held : state.held) {
+    if (held == cls) return;
+  }
+  std::cerr << "lockdep: AssertHeld failed: '" << cls->name
+            << "' is not held by this thread (held "
+            << RenderHeldStack(state.held) << ")" << std::endl;
+  std::abort();
+}
+
+FailureHandler SetFailureHandlerForTest(FailureHandler handler) {
+  std::lock_guard<std::mutex> lock(handler_mu());
+  FailureHandler previous = handler_slot();
+  handler_slot() = std::move(handler);
+  return previous;
+}
+
+void ResetGraphForTest() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.out.clear();
+  g.num_edges = 0;
+  g.epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+size_t NumEdgesForTest() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.num_edges;
+}
+
+}  // namespace lockdep
+}  // namespace fractal

@@ -1,0 +1,94 @@
+// Lockdep-style runtime lock-order checker (modeled on the Linux kernel's
+// lockdep). Every annotated `Mutex` (util/mutex.h) belongs to a *lock
+// class*, keyed by the name given at construction — all instances created
+// from the same name share one class, exactly like lockdep keying on the
+// lock's initialization site. On every acquisition the checker records, in
+// a global directed graph, an acquired-before edge from each lock class the
+// acquiring thread already holds to the class being acquired. If adding an
+// edge A→B closes a cycle (a path B→…→A already exists), the checker
+// reports a lock-order inversion with *both* acquisition paths: the stack
+// of the thread that is acquiring now, and the recorded site that created
+// each edge of the pre-existing reverse path.
+//
+// Because the graph is global and persistent, an inversion is detected
+// deterministically on the first schedule that merely *acquires* the locks
+// in both orders at any point in the process lifetime — no actual deadlock
+// (and no unlucky interleaving, unlike TSan's lock-order heuristics on a
+// single run) is required.
+//
+// The checker is compiled in only when FRACTAL_LOCKDEP is defined (the
+// CMake option FRACTAL_ENABLE_LOCKDEP, default ON; release builds can turn
+// it off). All functions here are thread-safe.
+#ifndef FRACTAL_UTIL_LOCKDEP_H_
+#define FRACTAL_UTIL_LOCKDEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fractal {
+namespace lockdep {
+
+/// One lock class: all Mutex instances sharing a name. Immutable after
+/// registration; pointers remain valid for the process lifetime.
+struct LockClass {
+  uint32_t id = 0;
+  std::string name;
+};
+
+/// Registers (or looks up) the lock class named `name`. Never fails;
+/// returns a pointer valid forever.
+const LockClass* RegisterClass(const char* name);
+
+/// Records that the current thread is acquiring `cls`: adds
+/// held-class → cls edges to the global acquired-before graph, checking
+/// each new edge for a cycle, then pushes `cls` on the per-thread held
+/// stack. Call immediately *before* blocking on the underlying mutex so an
+/// inversion is reported instead of deadlocking.
+void OnAcquire(const LockClass* cls);
+
+/// Pops `cls` from the per-thread held stack (locks may be released in any
+/// order, not only LIFO).
+void OnRelease(const LockClass* cls);
+
+/// Aborts unless the calling thread holds a lock of class `cls` (class, not
+/// instance: the per-thread stack tracks classes).
+void AssertHeld(const LockClass* cls);
+
+/// A detected lock-order inversion, with both acquisition paths.
+struct InversionReport {
+  /// The edge whose insertion closed the cycle (acquiring `to` while
+  /// holding `from`).
+  std::string from;
+  std::string to;
+  /// Acquisition path 1: the current thread's held stack at detection.
+  std::string acquiring_path;
+  /// Acquisition path 2: the pre-existing to→…→from chain, with the held
+  /// stack that first recorded each edge.
+  std::string existing_path;
+  /// Human-readable rendering of the whole report.
+  std::string ToString() const;
+};
+
+/// Invoked on inversion. The default handler prints the report and aborts
+/// (a lock-order inversion is a latent deadlock — a programming error).
+using FailureHandler = std::function<void(const InversionReport&)>;
+
+/// Installs `handler` (tests use this to capture reports non-fatally) and
+/// returns the previous one. Pass nullptr to restore the default.
+FailureHandler SetFailureHandlerForTest(FailureHandler handler);
+
+/// Clears the global acquired-before graph (not the class registry). Tests
+/// that inject inversions call this so the poisoned edges do not leak into
+/// later tests. The per-thread held stacks of *other* threads are untouched
+/// — only call while no other thread holds an instrumented lock.
+void ResetGraphForTest();
+
+/// Number of distinct acquired-before edges recorded so far (observability
+/// for tests).
+size_t NumEdgesForTest();
+
+}  // namespace lockdep
+}  // namespace fractal
+
+#endif  // FRACTAL_UTIL_LOCKDEP_H_

@@ -26,7 +26,11 @@ enum class StatusCode {
 
 /// Result of a fallible operation: an error code plus a human-readable
 /// message. The default-constructed Status is OK.
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning a Status
+/// (Validate, graph I/O, executor entry points, ...) warn when a caller
+/// silently drops the result; with -Werror that is a build break.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -63,7 +67,7 @@ Status FailedPreconditionError(std::string message);
 /// Either a value of type T or an error Status. Accessing the value of a
 /// non-OK StatusOr aborts the process (library code is exception-free).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): mirror absl::StatusOr.
   StatusOr(Status status) : status_(std::move(status)) {

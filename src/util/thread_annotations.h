@@ -1,0 +1,61 @@
+// Clang Thread Safety Analysis annotation macros (-Wthread-safety).
+//
+// These expand to clang `capability` attributes when the compiler supports
+// them and to nothing otherwise (GCC accepts the code unannotated), so the
+// locking contracts below are zero-cost documentation everywhere and
+// compile-time-checked contracts under clang. Conventions used in this
+// codebase are documented in DESIGN.md ("Lock hierarchy and thread-safety
+// annotations"); the canonical reference is
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+//
+// Summary of the vocabulary:
+//   CAPABILITY("mutex")   — the annotated class is a lockable capability.
+//   SCOPED_CAPABILITY     — RAII type that acquires on construction and
+//                           releases on destruction (MutexLock).
+//   GUARDED_BY(mu)        — field may only be touched while `mu` is held.
+//   PT_GUARDED_BY(mu)     — pointee (not the pointer) is guarded by `mu`.
+//   REQUIRES(mu)          — caller must already hold `mu`.
+//   ACQUIRE(mu)/RELEASE(mu) — function acquires / releases `mu`.
+//   TRY_ACQUIRE(b, mu)    — acquires `mu` iff the function returns `b`.
+//   EXCLUDES(mu)          — caller must NOT hold `mu` (function locks it).
+//   ASSERT_CAPABILITY(mu) — runtime assertion that `mu` is held.
+//   NO_THREAD_SAFETY_ANALYSIS — opt a function out (used only where the
+//                           protocol is not expressible, with a comment).
+#ifndef FRACTAL_UTIL_THREAD_ANNOTATIONS_H_
+#define FRACTAL_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FRACTAL_TSA_HAS(x) __has_attribute(x)
+#else
+#define FRACTAL_TSA_HAS(x) 0
+#endif
+
+#if FRACTAL_TSA_HAS(capability)
+#define FRACTAL_TSA(x) __attribute__((x))
+#else
+#define FRACTAL_TSA(x)  // no-op on compilers without TSA (GCC, MSVC)
+#endif
+
+#define CAPABILITY(x) FRACTAL_TSA(capability(x))
+#define SCOPED_CAPABILITY FRACTAL_TSA(scoped_lockable)
+#define GUARDED_BY(x) FRACTAL_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) FRACTAL_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) FRACTAL_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) FRACTAL_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) FRACTAL_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) FRACTAL_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) FRACTAL_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) FRACTAL_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) FRACTAL_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) FRACTAL_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) FRACTAL_TSA(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) FRACTAL_TSA(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  FRACTAL_TSA(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) FRACTAL_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) FRACTAL_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) FRACTAL_TSA(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) FRACTAL_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS FRACTAL_TSA(no_thread_safety_analysis)
+
+#endif  // FRACTAL_UTIL_THREAD_ANNOTATIONS_H_

@@ -20,10 +20,10 @@ struct DfsDriver {
   const Graph& graph;
   const ExtensionStrategy& strategy;
   uint32_t target_depth;
-  ExtensionContext ctx;
+  ExtensionContext ctx{};
   uint64_t count = 0;
-  std::set<std::vector<VertexId>> seen_vertex_sets;
-  std::set<std::vector<EdgeId>> seen_edge_sets;
+  std::set<std::vector<VertexId>> seen_vertex_sets{};
+  std::set<std::vector<EdgeId>> seen_edge_sets{};
 
   void Run() {
     Subgraph subgraph;

@@ -144,7 +144,7 @@ TEST_P(SeededProperty, ReductionNeverAddsOrLosesSurvivingStructure) {
 
 TEST_P(SeededProperty, ReductionIsIdempotent) {
   const Graph g = GenerateRandomGraph(30, 80, 2, 1, GetParam());
-  auto keep = [](const Graph& graph, VertexId v) { return v % 3 != 0; };
+  auto keep = [](const Graph& /*graph*/, VertexId v) { return v % 3 != 0; };
   const Graph once = ReduceGraph(g, keep, nullptr);
   const Graph twice = ReduceGraph(once, keep, nullptr);
   EXPECT_EQ(once.NumEdges(), twice.NumEdges());
