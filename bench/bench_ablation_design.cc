@@ -15,7 +15,8 @@
 
 using namespace fractal;
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Ablations: quick-pattern cache, KClist enumerator, "
                 "transparent FSM reduction",
                 "DESIGN.md design-choice index");

@@ -22,7 +22,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Figure 11: Motifs runtime (Fractal vs Arabesque vs MRSUB)",
                 "paper Figure 11");
 

@@ -12,7 +12,8 @@
 
 using namespace fractal;
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header(
       "Figure 12: Cliques runtime (Fractal vs Arabesque vs GraphFrames vs "
       "QKCount)",

@@ -10,7 +10,8 @@
 
 using namespace fractal;
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Figure 13: FSM runtime vs support (Fractal vs Arabesque "
                 "vs ScaleMine)",
                 "paper Figure 13");

@@ -10,7 +10,8 @@
 
 using namespace fractal;
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header(
       "Figures 14+15: subgraph querying q1..q8 (Fractal vs SEED vs "
       "Arabesque)",

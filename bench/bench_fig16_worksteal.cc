@@ -45,7 +45,8 @@ Fractoid FsmShapedPipeline(const FractalGraph& graph) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header(
       "Figure 16: work stealing drilldown (FSM-style, 4 configurations)",
       "paper Figure 16 + section 5.2.2");

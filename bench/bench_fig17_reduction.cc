@@ -9,7 +9,8 @@
 
 using namespace fractal;
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Figure 17: graph reduction for keyword search vs #cores",
                 "paper Figure 17 + section 5.2.3");
 

@@ -72,7 +72,8 @@ void PrintCost(const char* kernel, const char* baseline_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Figure 18: COST analysis (threads to beat single-thread "
                 "baselines)",
                 "paper Figure 18 + section 5.2.4");

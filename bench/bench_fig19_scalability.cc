@@ -30,7 +30,8 @@ double Efficiency(const std::vector<StepTelemetry>& steps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Figure 19: strong scalability (work-unit efficiency)",
                 "paper Figure 19");
 

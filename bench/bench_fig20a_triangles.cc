@@ -13,7 +13,8 @@
 
 using namespace fractal;
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Figure 20a: triangle counting across datasets",
                 "paper Figure 20a (Appendix C)");
 

@@ -23,7 +23,8 @@ double ModeledSeconds(double one_thread_wall, uint64_t total_units,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Figure 20b: COST of optimized cliques (KClist enumerator) "
                 "and triangles",
                 "paper Figure 20b (Appendix C)");

@@ -37,7 +37,8 @@ void PrintUtilization(const StepTelemetry& step, uint64_t steal_cost) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Figure 8: utilization without work balancing (4-cliques)",
                 "paper Figure 8 + section 4.2 motivating example");
 

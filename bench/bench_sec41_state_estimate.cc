@@ -8,7 +8,8 @@
 
 using namespace fractal;
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Section 4.1: intermediate-state estimate (BFS vs DFS)",
                 "paper section 4.1 motivating example (Mico, 163GB @4 / "
                 "46TB @5)");

@@ -8,7 +8,8 @@
 
 using namespace fractal;
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Section 4.3: graph reduction example (keyword search)",
                 "paper section 4.3 motivating example (Q1/Q2 on Wikidata)");
 

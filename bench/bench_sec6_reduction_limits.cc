@@ -80,7 +80,8 @@ Graph DenseCorePlusPeriphery() {
   return std::move(builder).Build();
 }
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Section 6: where graph reduction does NOT pay off "
                 "(k-cliques)",
                 "paper section 6, 'Graph reduction' paragraph");

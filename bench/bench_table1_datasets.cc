@@ -6,7 +6,8 @@
 
 using namespace fractal;
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Table 1: graphs used for evaluation",
                 "paper Table 1 (synthetic analogs, DESIGN.md section 1)");
 

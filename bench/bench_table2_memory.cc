@@ -10,7 +10,8 @@
 
 using namespace fractal;
 
-int main() {
+int main(int argc, char** argv) {
+  fractal::bench::TraceSession trace_session(argc, argv);
   bench::Header("Table 2: memory per worker (Arabesque vs Fractal)",
                 "paper Table 2");
 

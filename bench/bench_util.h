@@ -7,16 +7,69 @@
 #define FRACTAL_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/context.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
 namespace fractal {
 namespace bench {
+
+/// Opt-in tracing for a whole bench run: construct at the top of main with
+/// argc/argv. Recognizes `--trace-out <path>` / `--trace-out=<path>` (or the
+/// FRACTAL_TRACE_OUT environment variable as a fallback) and `--metrics`;
+/// all other flags are left untouched for the bench itself. Tracing is
+/// enabled for the session and the merged Chrome trace JSON is exported on
+/// destruction.
+class TraceSession {
+ public:
+  TraceSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
+        path_ = argv[++i];
+      } else if (!std::strncmp(argv[i], "--trace-out=", 12)) {
+        path_ = argv[i] + 12;
+      } else if (!std::strcmp(argv[i], "--metrics")) {
+        dump_metrics_ = true;
+      }
+    }
+    if (path_.empty()) {
+      const char* env = std::getenv("FRACTAL_TRACE_OUT");
+      if (env != nullptr) path_ = env;
+    }
+    if (!path_.empty()) obs::Tracer::Get().Enable();
+  }
+
+  ~TraceSession() {
+    if (!path_.empty()) {
+      obs::Tracer::Get().Disable();
+      const Status status = obs::Tracer::Get().ExportChromeTrace(path_);
+      if (status.ok()) {
+        std::printf("trace written to %s\n", path_.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    if (dump_metrics_) {
+      std::printf("%s", obs::MetricsRegistry::Get().DumpText().c_str());
+    }
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
+  bool dump_metrics_ = false;
+};
 
 /// The default simulated cluster used by comparative benches: 2 workers x 2
 /// cores with both stealing levels on (scaled down from the paper's 10

@@ -4,7 +4,9 @@
 #   1. Release build + the tier-1 ctest suite (ROADMAP.md). Warnings are
 #      errors on every target (-Wall -Wextra -Werror, CMakeLists.txt).
 #      This stage also proves the tree builds with lockdep compiled out
-#      (the production configuration).
+#      (the production configuration), then exercises the observability
+#      layer end to end: a small motif bench run with --trace-out whose
+#      exported Chrome trace is schema-checked by tools/check_trace.py.
 #   2. Static analysis: a clang build with -Wthread-safety promoted to an
 #      error (checking the GUARDED_BY/REQUIRES contracts of util/mutex.h),
 #      then clang-tidy with the curated .clang-tidy profile. Each tool is
@@ -25,13 +27,26 @@ cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
 # Every suite that spawns threads (directly or through the Cluster runtime).
-SANITIZED_SUITES='core_test|runtime_test|lockdep_test|enumerate_test|apps_test|extras_test'
-SANITIZED_TARGETS='core_test runtime_test lockdep_test enumerate_test apps_test extras_test'
+SANITIZED_SUITES='core_test|runtime_test|obs_test|lockdep_test|enumerate_test|apps_test|extras_test'
+SANITIZED_TARGETS='core_test runtime_test obs_test lockdep_test enumerate_test apps_test extras_test'
 
 echo "=== tier 1: Release build + full ctest suite ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release -DFRACTAL_ENABLE_LOCKDEP=OFF
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== trace export: fractal_cli --trace-out + schema check ==="
+TRACE_JSON="build-ci/motifs_trace.json"
+./build-ci/examples/fractal_cli --kernel motifs --k 3 --workers 2 \
+  --threads 2 --trace-out "$TRACE_JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/check_trace.py "$TRACE_JSON"
+else
+  # Degraded check: the file exists, is non-trivial, and closes cleanly.
+  test -s "$TRACE_JSON"
+  grep -q '"traceEvents"' "$TRACE_JSON"
+  echo "python3 not installed; structural trace validation skipped"
+fi
 
 echo "=== static analysis: -Wthread-safety + clang-tidy ==="
 if command -v clang++ >/dev/null 2>&1; then

@@ -21,6 +21,8 @@
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pattern/catalog.h"
 #include "util/timer.h"
 
@@ -34,7 +36,9 @@ void Usage() {
       "       [--graph <adjacency-list file> | --edgelist <snap file>]\n"
       "       [--k <size>] [--support <min support>] [--max-edges <n>]\n"
       "       [--query <triangle|square|diamond|house|q1..q8>]\n"
-      "       [--workers <n>] [--threads <n>] [--no-stealing]\n");
+      "       [--workers <n>] [--threads <n>] [--no-stealing]\n"
+      "       [--trace-out <chrome-trace.json>] [--metrics]\n"
+      "       [--progress-ms <interval>]\n");
 }
 
 }  // namespace
@@ -44,6 +48,8 @@ int main(int argc, char** argv) {
 
   std::string kernel = "triangles";
   std::string graph_path, edgelist_path, query_name = "triangle";
+  std::string trace_out;
+  bool dump_metrics = false;
   uint32_t k = 3, support = 100, max_edges = 3;
   ExecutionConfig config;
   config.num_workers = 1;
@@ -78,6 +84,14 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--no-stealing")) {
       config.internal_work_stealing = false;
       config.external_work_stealing = false;
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      trace_out = next("--trace-out");
+    } else if (!std::strncmp(argv[i], "--trace-out=", 12)) {
+      trace_out = argv[i] + 12;
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      dump_metrics = true;
+    } else if (!std::strcmp(argv[i], "--progress-ms")) {
+      config.progress_interval_ms = std::atoi(next("--progress-ms"));
     } else if (!std::strcmp(argv[i], "--help")) {
       Usage();
       return 0;
@@ -117,6 +131,8 @@ int main(int argc, char** argv) {
     input = GeneratePowerLaw(params);
   }
   std::printf("graph: %s\n", input.DebugString().c_str());
+
+  if (!trace_out.empty()) obs::Tracer::Get().Enable();
 
   FractalContext fctx(config);
   FractalGraph graph = fctx.FromGraph(std::move(input));
@@ -182,5 +198,20 @@ int main(int argc, char** argv) {
   std::printf("done in %.3fs (%u workers x %u threads)\n",
               timer.ElapsedSeconds(), config.num_workers,
               config.threads_per_worker);
+  if (!trace_out.empty()) {
+    obs::Tracer::Get().Disable();
+    const Status status = obs::Tracer::Get().ExportChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (open in ui.perfetto.dev or "
+                "chrome://tracing)\n",
+                trace_out.c_str());
+  }
+  if (dump_metrics) {
+    std::printf("%s", obs::MetricsRegistry::Get().DumpText().c_str());
+  }
   return 0;
 }

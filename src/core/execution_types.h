@@ -45,6 +45,10 @@ struct ExecutionConfig {
   /// Simulated network parameters for WS_ext.
   NetworkConfig network;
 
+  /// When > 0 (and no cluster is injected), the ephemeral cluster logs
+  /// step progress (work-unit throughput, steal rates) at this interval.
+  int64_t progress_interval_ms = 0;
+
   /// Collect matched subgraphs of the final step (otherwise only counted).
   bool collect_subgraphs = false;
   /// Cap on collected subgraphs (protects memory on huge result sets).

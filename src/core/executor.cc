@@ -12,6 +12,7 @@
 
 #include "core/fractoid_task.h"
 #include "core/step.h"
+#include "obs/trace.h"
 #include "runtime/cluster.h"
 #include "util/timer.h"
 
@@ -29,6 +30,7 @@ ClusterOptions ToClusterOptions(const ExecutionConfig& config) {
   options.external_work_stealing =
       config.external_work_stealing && config.num_workers >= 2;
   options.network = config.network;
+  options.progress_interval_ms = config.progress_interval_ms;
   return options;
 }
 
@@ -63,6 +65,7 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
                                          const SubgraphSink& sink) {
   const Status config_status = config.Validate();
   FRACTAL_CHECK(config_status.ok()) << config_status;
+  FRACTAL_TRACE_SPAN("executor/execute");
 
   // The runtime: injected and shared across executions, or ephemeral —
   // created once here and reused by every step of this execution.
@@ -84,6 +87,7 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
   WallTimer total_timer;
 
   for (size_t step_index = 0; step_index < steps.size(); ++step_index) {
+    FRACTAL_TRACE_SPAN_V("executor/step", step_index);
     const StepPlan& plan = steps[step_index];
     const bool is_final = step_index + 1 == steps.size();
 
@@ -159,6 +163,7 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
         break;
       }
       ++result.steps_retried;
+      FRACTAL_TRACE_INSTANT("executor/step_retry", step_index);
       injection_pending = false;  // the injected fault fires once
       FRACTAL_CHECK(++attempt <= config.max_step_retries)
           << "step kept failing after retries";

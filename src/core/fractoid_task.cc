@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fractal {
@@ -66,6 +68,7 @@ void FractoidStepTask::ProcessStolen(
   s.subgraph = work.prefix;
   strategy_.Apply(graph_, work.extension, &s.subgraph);
   ++t.stats.work_units;
+  obs::WorkUnitsCounter().Add(1);
   Process(t, s, work.primitive_index);
   s.subgraph.Clear();
 }
@@ -110,6 +113,7 @@ void FractoidStepTask::Process(ThreadContext& t, CoreState& s,
   switch (primitive.kind) {
     case Primitive::Kind::kExpand: {
       const uint32_t depth = s.subgraph.Depth();
+      FRACTAL_TRACE_INSTANT("dfs/expand", depth);
       FRACTAL_DCHECK(depth < num_levels_);
       SubgraphEnumerator& frame = *t.frames[depth];
       std::vector<uint32_t>& scratch = s.scratch[depth];

@@ -1,10 +1,28 @@
 #include "enumerate/enumerator.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fractal {
+namespace {
+
+// Cached handle: the registry lookup (which locks MetricsRegistry::mu) runs
+// once; callers grab the reference before taking SubgraphEnumerator::mu.
+obs::Counter& EnumerateStealsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Get().GetCounter("enumerate.steals");
+  return counter;
+}
+
+}  // namespace
 
 void SubgraphEnumerator::Refill(const Subgraph& prefix,
                                 uint32_t primitive_index,
                                 std::vector<uint32_t>&& extensions) {
+  // Span and histogram record before mu_ is taken (and the span's end after
+  // it is released): no trace-buffer work under the enumerator steal lock.
+  FRACTAL_TRACE_SPAN_V("enumerate/refill", extensions.size());
+  obs::ExtensionBatchHistogram().Record(extensions.size());
   MutexLock lock(mu_);
   prefix_ = prefix;
   primitive_index_ = primitive_index;
@@ -21,6 +39,7 @@ void SubgraphEnumerator::Deactivate() {
 }
 
 std::optional<SubgraphEnumerator::StolenWork> SubgraphEnumerator::TrySteal() {
+  obs::Counter& steals = EnumerateStealsCounter();
   MutexLock lock(mu_);
   if (!active_.load(std::memory_order_acquire)) return std::nullopt;
   const uint32_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
@@ -29,6 +48,7 @@ std::optional<SubgraphEnumerator::StolenWork> SubgraphEnumerator::TrySteal() {
   work.prefix = prefix_;
   work.extension = extensions_[index];
   work.primitive_index = primitive_index_;
+  steals.Add(1);  // lock-free atomic; safe under mu_
   return work;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace fractal {
 namespace {
 
@@ -25,6 +27,7 @@ bool AnyKeywordMatches(std::span<const uint32_t> have,
 
 Graph ReduceGraph(const Graph& graph, const VertexPredicate& vertex_filter,
                   const EdgePredicate& edge_filter) {
+  FRACTAL_TRACE_SPAN_V("graph/reduce", graph.NumEdges());
   const uint32_t num_vertices = graph.NumVertices();
   std::vector<uint8_t> keep_vertex(num_vertices, 1);
   for (VertexId v = 0; v < num_vertices; ++v) {
@@ -70,6 +73,7 @@ Graph ReduceGraph(const Graph& graph, const VertexPredicate& vertex_filter,
 
 Graph ReduceToKeywords(const Graph& graph,
                        std::span<const uint32_t> query_keywords) {
+  FRACTAL_TRACE_SPAN_V("graph/reduce_to_keywords", query_keywords.size());
   FRACTAL_CHECK(graph.HasKeywords())
       << "ReduceToKeywords requires an attributed graph";
   std::vector<uint32_t> sorted(query_keywords.begin(), query_keywords.end());

@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace fractal {
+namespace obs {
+
+uint64_t Histogram::ApproxPercentile(double p) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  const double target = (p / 100.0) * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += BucketCount(i);
+    if (static_cast<double>(seen) >= target) return BucketLowerBound(i);
+  }
+  return BucketLowerBound(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  MutexLock lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << StrFormat("counter   %-32s %llu\n", name.c_str(),
+                     (unsigned long long)counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << StrFormat("gauge     %-32s %lld\n", name.c_str(),
+                     (long long)gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << StrFormat(
+        "histogram %-32s count=%llu sum=%llu mean=%.1f p50~%llu p99~%llu\n",
+        name.c_str(), (unsigned long long)histogram->Count(),
+        (unsigned long long)histogram->Sum(), histogram->Mean(),
+        (unsigned long long)histogram->ApproxPercentile(50),
+        (unsigned long long)histogram->ApproxPercentile(99));
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  MutexLock lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "" : ",") << "\"" << name
+        << "\":" << counter->Value();
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "" : ",") << "\"" << name << "\":" << gauge->Value();
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "" : ",") << "\"" << name
+        << "\":{\"count\":" << histogram->Count()
+        << ",\"sum\":" << histogram->Sum() << ",\"buckets\":{";
+    bool first_bucket = true;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t bucket_count = histogram->BucketCount(i);
+      if (bucket_count == 0) continue;
+      out << (first_bucket ? "" : ",") << "\""
+          << Histogram::BucketLowerBound(i) << "\":" << bucket_count;
+      first_bucket = false;
+    }
+    out << "}}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+namespace {
+
+Counter& NamedCounter(const char* name) {
+  return MetricsRegistry::Get().GetCounter(name);
+}
+Histogram& NamedHistogram(const char* name) {
+  return MetricsRegistry::Get().GetHistogram(name);
+}
+
+}  // namespace
+
+Counter& WorkUnitsCounter() {
+  static Counter& counter = NamedCounter("runtime.work_units");
+  return counter;
+}
+Counter& InternalStealsCounter() {
+  static Counter& counter = NamedCounter("runtime.steals_internal");
+  return counter;
+}
+Counter& ExternalStealsCounter() {
+  static Counter& counter = NamedCounter("runtime.steals_external");
+  return counter;
+}
+Counter& BytesShippedCounter() {
+  static Counter& counter = NamedCounter("runtime.bytes_shipped");
+  return counter;
+}
+Counter& ExtensionTestsCounter() {
+  static Counter& counter = NamedCounter("runtime.extension_tests");
+  return counter;
+}
+Counter& StepsCounter() {
+  static Counter& counter = NamedCounter("runtime.steps");
+  return counter;
+}
+
+Histogram& StealRttHistogram() {
+  static Histogram& histogram = NamedHistogram("bus.steal_rtt_us");
+  return histogram;
+}
+Histogram& EncodeTimeHistogram() {
+  static Histogram& histogram = NamedHistogram("codec.encode_ns");
+  return histogram;
+}
+Histogram& DecodeTimeHistogram() {
+  static Histogram& histogram = NamedHistogram("codec.decode_ns");
+  return histogram;
+}
+Histogram& ExtensionBatchHistogram() {
+  static Histogram& histogram = NamedHistogram("enumerate.batch_size");
+  return histogram;
+}
+
+}  // namespace obs
+}  // namespace fractal

@@ -1,0 +1,159 @@
+// Process-wide metrics registry: named counters, gauges, and log-scale
+// (power-of-two) bucketed histograms, with a text and a JSON dump. Unlike
+// tracing (obs/trace.h), metrics are always on: handles are plain atomics
+// and one update costs a relaxed fetch_add — cheap enough for the runtime's
+// hot paths even on the work-unit counter.
+//
+// Lookup is by name and locks the registry, so call sites cache the handle:
+//
+//   static obs::Counter& c = obs::MetricsRegistry::Get().GetCounter("x");
+//   c.Add(1);
+//
+// Handles are never invalidated (the registry leaks; metric objects are
+// node-allocated). Well-known runtime counters used by both the worker
+// instrumentation and the step-progress reporter are exposed as accessors
+// at the bottom so both sides agree on the names — the barrier-aggregated
+// StepTelemetry reports the same quantities per step, these accumulate
+// them process-wide and live (sampleable mid-step).
+#ifndef FRACTAL_OBS_METRICS_H_
+#define FRACTAL_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fractal {
+namespace obs {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-scale histogram: bucket 0 holds the value 0, bucket i (i >= 1) holds
+/// values in [2^(i-1), 2^i - 1]. 65 buckets cover the full uint64 range, so
+/// Record never clips. Concurrent Record calls are lock-free.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  static size_t BucketIndex(uint64_t value) {
+    return value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+  }
+  /// Smallest value landing in bucket `i`.
+  static uint64_t BucketLowerBound(size_t i) {
+    return i == 0 ? 0 : uint64_t{1} << (i - 1);
+  }
+  /// Largest value landing in bucket `i`.
+  static uint64_t BucketUpperBound(size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return UINT64_MAX;
+    return (uint64_t{1} << i) - 1;
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double Mean() const {
+    const uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+  /// Lower bound of the bucket containing the p-th percentile (p in
+  /// [0,100]); approximate by construction (bucket resolution).
+  uint64_t ApproxPercentile(double p) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Name -> metric registry. Get* creates on first use; returned references
+/// are stable for the process lifetime. `MetricsRegistry::mu` is a leaf
+/// lock (DESIGN.md §5): held only for the map lookup, never while
+/// acquiring anything else.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  Counter& GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) EXCLUDES(mu_);
+  Histogram& GetHistogram(const std::string& name) EXCLUDES(mu_);
+
+  /// Human-readable dump, one metric per line, sorted by name.
+  std::string DumpText() const EXCLUDES(mu_);
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}; histogram
+  /// buckets are keyed by their lower bound and only nonzero ones appear.
+  std::string DumpJson() const EXCLUDES(mu_);
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable Mutex mu_{"MetricsRegistry::mu"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+};
+
+// --- Well-known runtime metrics -------------------------------------------
+// Cumulative across steps and executions; the per-step barrier snapshot of
+// the same quantities is StepTelemetry (runtime/telemetry.h).
+
+/// Extensions consumed and processed ("runtime.work_units").
+Counter& WorkUnitsCounter();
+/// Successful WS_int claims ("runtime.steals_internal").
+Counter& InternalStealsCounter();
+/// Successful WS_ext claims ("runtime.steals_external").
+Counter& ExternalStealsCounter();
+/// Serialized bytes received via WS_ext ("runtime.bytes_shipped").
+Counter& BytesShippedCounter();
+/// Extension candidate tests, credited at the step barrier
+/// ("runtime.extension_tests", the paper's EC metric).
+Counter& ExtensionTestsCounter();
+/// Fractal steps completed ("runtime.steps").
+Counter& StepsCounter();
+
+/// WS_ext request round-trip time in microseconds, successful steals only
+/// ("bus.steal_rtt_us").
+Histogram& StealRttHistogram();
+/// Stolen-work serialization time in nanoseconds ("codec.encode_ns").
+Histogram& EncodeTimeHistogram();
+/// Stolen-work deserialization time in nanoseconds ("codec.decode_ns").
+Histogram& DecodeTimeHistogram();
+/// Extension batch size per enumerator refill ("enumerate.batch_size").
+Histogram& ExtensionBatchHistogram();
+
+}  // namespace obs
+}  // namespace fractal
+
+#endif  // FRACTAL_OBS_METRICS_H_

@@ -1,0 +1,61 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace fractal {
+namespace obs {
+
+StepProgressReporter::StepProgressReporter(int64_t interval_ms) {
+  thread_ = std::thread([this, interval_ms] {
+    Loop(std::max<int64_t>(1, interval_ms));
+  });
+}
+
+StepProgressReporter::~StepProgressReporter() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+    cv_.NotifyAll();
+  }
+  thread_.join();
+}
+
+void StepProgressReporter::Loop(int64_t interval_ms) {
+  WallTimer timer;
+  uint64_t last_work = WorkUnitsCounter().Value();
+  uint64_t last_internal = InternalStealsCounter().Value();
+  uint64_t last_external = ExternalStealsCounter().Value();
+  uint64_t last_bytes = BytesShippedCounter().Value();
+  double last_seconds = 0;
+
+  MutexLock lock(mu_);
+  while (!stop_) {
+    if (cv_.WaitFor(mu_, interval_ms)) continue;  // notified: re-check stop_
+    if (stop_) break;
+    const double now_seconds = timer.ElapsedSeconds();
+    const double interval = std::max(now_seconds - last_seconds, 1e-9);
+    const uint64_t work = WorkUnitsCounter().Value();
+    const uint64_t internal = InternalStealsCounter().Value();
+    const uint64_t external = ExternalStealsCounter().Value();
+    const uint64_t bytes = BytesShippedCounter().Value();
+    FRACTAL_LOG(Info) << "step progress: +" << (work - last_work)
+                      << " work units (" << static_cast<uint64_t>(
+                             static_cast<double>(work - last_work) / interval)
+                      << "/s), +" << (internal - last_internal)
+                      << " int steals, +" << (external - last_external)
+                      << " ext steals, +" << (bytes - last_bytes)
+                      << " bytes shipped";
+    last_work = work;
+    last_internal = internal;
+    last_external = external;
+    last_bytes = bytes;
+    last_seconds = now_seconds;
+  }
+}
+
+}  // namespace obs
+}  // namespace fractal

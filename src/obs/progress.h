@@ -1,0 +1,47 @@
+// Mid-step progress reporting. A StepProgressReporter owns one background
+// thread that periodically samples the live runtime counters (work units,
+// steal counts, shipped bytes — obs/metrics.h) and logs the deltas as
+// work-unit throughput and steal rates, so a long fractal step shows signs
+// of life before the barrier-aggregated StepTelemetry exists.
+//
+// Started by Cluster::RunStep when ClusterOptions::progress_interval_ms > 0
+// (default off); the reporter is scoped to the step — construction spawns
+// the thread, destruction stops and joins it. `StepProgressReporter::mu` is
+// a leaf lock (DESIGN.md §5).
+#ifndef FRACTAL_OBS_PROGRESS_H_
+#define FRACTAL_OBS_PROGRESS_H_
+
+#include <cstdint>
+#include <thread>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fractal {
+namespace obs {
+
+class StepProgressReporter {
+ public:
+  /// Spawns the sampling thread; logs every `interval_ms` milliseconds.
+  explicit StepProgressReporter(int64_t interval_ms);
+
+  /// Stops and joins the sampling thread. Emits no final report: the step
+  /// barrier's StepTelemetry is the authoritative end-of-step summary.
+  ~StepProgressReporter();
+
+  StepProgressReporter(const StepProgressReporter&) = delete;
+  StepProgressReporter& operator=(const StepProgressReporter&) = delete;
+
+ private:
+  void Loop(int64_t interval_ms);
+
+  Mutex mu_{"StepProgressReporter::mu"};
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace fractal
+
+#endif  // FRACTAL_OBS_PROGRESS_H_

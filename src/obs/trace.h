@@ -1,0 +1,224 @@
+// Always-available, low-overhead execution tracing (the observability layer
+// of DESIGN.md §6). Every thread that records events owns a fixed-capacity
+// ring buffer of timestamped begin/end/instant events with string-interned
+// names; rings are merged on demand into one Chrome `trace_event` JSON file
+// that loads in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Recording is armed globally with Tracer::Enable(). While tracing is
+// *disabled* (the default), every instrumentation site costs one relaxed
+// atomic load plus a predicted branch — a couple of nanoseconds — so the
+// spans stay compiled into release builds. While *enabled*, one event costs
+// a clock read plus a short uncontended critical section on the recording
+// thread's own ring (~tens of ns); see the overhead budget in DESIGN.md §6.
+//
+// Usage:
+//   FRACTAL_TRACE_SPAN("worker/drain_roots");           // RAII begin/end
+//   FRACTAL_TRACE_SPAN_V("executor/step", step_index);  // span with a value
+//   FRACTAL_TRACE_INSTANT("dfs/expand", depth);         // point event
+//
+// Names are `layer/what` literals; the layer prefix is how the CI trace
+// checker groups spans. Ring wraparound drops the *oldest* events of a
+// thread; the exporter repairs the resulting unbalanced begin/end pairs
+// (orphan ends are dropped, still-open begins are closed at the last
+// timestamp), so the emitted JSON always has balanced B/E pairs.
+//
+// Thread safety: everything here may be called from any thread at any time.
+// Lock classes (both leaves, DESIGN.md §5): `Tracer::mu` (thread registry +
+// name table) and `Tracer::ThreadBuffer::mu` (one per recording thread).
+#ifndef FRACTAL_OBS_TRACE_H_
+#define FRACTAL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace fractal {
+namespace obs {
+
+enum class TracePhase : uint8_t { kBegin, kEnd, kInstant };
+
+/// One recorded event. 24 bytes; rings are arrays of these.
+struct TraceEvent {
+  int64_t ts_nanos = 0;   // relative to the Enable() epoch in snapshots
+  uint32_t name_id = 0;   // interned via Tracer::InternName
+  TracePhase phase = TracePhase::kInstant;
+  uint64_t arg = 0;       // span/instant payload (exported as args.v)
+};
+
+/// Snapshot of one thread's ring plus its trace identity.
+struct ThreadTrace {
+  uint32_t pid = 0;          // Chrome "process": 0 = driver, 1+w = worker w
+  uint32_t tid = 0;          // Chrome "thread" within the pid
+  std::string thread_name;
+  std::string process_name;
+  uint64_t dropped = 0;      // events lost to ring wraparound
+  std::vector<TraceEvent> events;  // oldest -> newest, timestamps ascending
+};
+
+/// Consistent snapshot of every ring, for export and tests.
+struct TraceSnapshot {
+  std::vector<std::string> names;  // indexed by TraceEvent::name_id; [0]=""
+  std::vector<ThreadTrace> threads;
+};
+
+struct ThreadBuffer;  // defined in trace.cc
+
+/// Process-wide trace recorder. Never destroyed (leaked singleton), so
+/// worker threads may record during static destruction of other objects.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultEventsPerThread = 1u << 16;
+
+  static Tracer& Get();
+
+  /// The macro fast path: one relaxed load. When false, instrumentation
+  /// sites return before touching any per-thread state.
+  static bool TracingEnabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts a fresh tracing session: clears every thread's ring, sizes the
+  /// rings to `events_per_thread` events, resets the time epoch, and arms
+  /// recording. Thread identities survive across sessions.
+  void Enable(size_t events_per_thread = kDefaultEventsPerThread)
+      EXCLUDES(mu_);
+
+  /// Disarms recording. Recorded events are kept for export; spans already
+  /// open still record their end event so pairs stay balanced.
+  void Disable();
+
+  /// Interns `name`, returning its stable nonzero id. Idempotent.
+  uint32_t InternName(const char* name) EXCLUDES(mu_);
+
+  /// Labels the calling thread for the exported trace. Workers call this
+  /// once at thread start (only when tracing is already enabled — enable
+  /// the tracer before building the cluster): pid groups threads into
+  /// Perfetto "processes" (1 + worker id; pid 0 is the driver), tid orders
+  /// them within the group. Unlabeled threads get pid 0 and a unique
+  /// auto-assigned tid.
+  void SetCurrentThreadIdentity(uint32_t pid, uint32_t tid,
+                                const std::string& thread_name,
+                                const std::string& process_name)
+      EXCLUDES(mu_);
+
+  // Recording entry points; prefer the FRACTAL_TRACE_* macros.
+  void RecordBegin(uint32_t name_id, uint64_t arg = 0);
+  void RecordEnd(uint32_t name_id);
+  void RecordInstant(uint32_t name_id, uint64_t arg = 0);
+
+  /// Copies every ring (timestamps rebased to the Enable() epoch,
+  /// clamped at 0). Safe to call while other threads record.
+  TraceSnapshot Snapshot() const EXCLUDES(mu_);
+
+  /// Renders the merged rings as Chrome trace_event JSON ("traceEvents"
+  /// array of B/E/i/M events). Guaranteed balanced B/E pairs per thread
+  /// and non-decreasing timestamps within each thread.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`.
+  Status ExportChromeTrace(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+
+  ThreadBuffer& LocalBuffer() EXCLUDES(mu_);
+  void Record(TracePhase phase, uint32_t name_id, uint64_t arg);
+
+  static std::atomic<bool> enabled_;
+
+  mutable Mutex mu_{"Tracer::mu"};
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
+  /// Treiber stack of rings whose owning thread exited, available for reuse
+  /// (see Tracer::LocalBuffer): bounds registry growth under thread churn.
+  /// Lock-free on purpose — the push runs in a thread_local destructor at
+  /// thread exit, after the instrumented Mutex's own per-thread lockdep
+  /// state may already be destroyed, so no Mutex may be taken there. Pops
+  /// are serialized under mu_ (single consumer), which makes the stack
+  /// ABA-safe.
+  std::atomic<ThreadBuffer*> free_list_{nullptr};
+  std::vector<std::string> names_ GUARDED_BY(mu_);  // [0] reserved
+  size_t capacity_ GUARDED_BY(mu_) = 0;
+  uint32_t next_auto_tid_ GUARDED_BY(mu_) = 0;
+  int64_t epoch_nanos_ GUARDED_BY(mu_) = 0;
+};
+
+/// Per-call-site name cache: interns on first use, then one relaxed load.
+/// Constant-initialized so `static TraceName` at block scope has no guard.
+class TraceName {
+ public:
+  constexpr explicit TraceName(const char* name) : name_(name) {}
+
+  uint32_t id() {
+    uint32_t v = id_.load(std::memory_order_relaxed);
+    if (v == 0) {
+      v = Tracer::Get().InternName(name_);
+      id_.store(v, std::memory_order_relaxed);
+    }
+    return v;
+  }
+
+ private:
+  const char* name_;
+  std::atomic<uint32_t> id_{0};
+};
+
+/// RAII begin/end pair. When tracing is disabled at construction, both ends
+/// are skipped (even if tracing is enabled mid-span, keeping pairs
+/// balanced); when enabled at construction, the end always records.
+class TraceSpan {
+ public:
+  explicit TraceSpan(TraceName& name, uint64_t arg = 0) {
+    if (!Tracer::TracingEnabled()) return;
+    name_id_ = name.id();
+    Tracer::Get().RecordBegin(name_id_, arg);
+  }
+  ~TraceSpan() {
+    if (name_id_ != 0) Tracer::Get().RecordEnd(name_id_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  uint32_t name_id_ = 0;  // 0 = not recording
+};
+
+inline void TraceInstant(TraceName& name, uint64_t arg = 0) {
+  if (!Tracer::TracingEnabled()) return;
+  Tracer::Get().RecordInstant(name.id(), arg);
+}
+
+}  // namespace obs
+}  // namespace fractal
+
+#define FRACTAL_TRACE_CONCAT_INNER_(a, b) a##b
+#define FRACTAL_TRACE_CONCAT_(a, b) FRACTAL_TRACE_CONCAT_INNER_(a, b)
+
+/// Traces the enclosing scope as a span named by the string literal `name`,
+/// carrying `value` (shown as args.v on the begin event).
+#define FRACTAL_TRACE_SPAN_V(name, value)                                  \
+  static ::fractal::obs::TraceName FRACTAL_TRACE_CONCAT_(                  \
+      fractal_trace_name_, __LINE__){name};                                \
+  ::fractal::obs::TraceSpan FRACTAL_TRACE_CONCAT_(fractal_trace_span_,     \
+                                                  __LINE__)(               \
+      FRACTAL_TRACE_CONCAT_(fractal_trace_name_, __LINE__),                \
+      static_cast<uint64_t>(value))
+
+/// Traces the enclosing scope as a span named by the string literal `name`.
+#define FRACTAL_TRACE_SPAN(name) FRACTAL_TRACE_SPAN_V(name, 0)
+
+/// Records a point event named `name` with payload `value`.
+#define FRACTAL_TRACE_INSTANT(name, value)                            \
+  do {                                                                \
+    static ::fractal::obs::TraceName fractal_trace_iname_{name};      \
+    ::fractal::obs::TraceInstant(fractal_trace_iname_,                \
+                                 static_cast<uint64_t>(value));       \
+  } while (0)
+
+#endif  // FRACTAL_OBS_TRACE_H_

@@ -1,6 +1,11 @@
 #include "runtime/cluster.h"
 
+#include <optional>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace fractal {
 
@@ -51,6 +56,10 @@ Cluster::~Cluster() {
 Cluster::StepResult Cluster::RunStep(StepTask& task,
                                      std::vector<uint32_t> root_extensions,
                                      const StepOptions& options) {
+  // Declared before run_lock so the begin event records before the lock is
+  // taken and the end event after it is released (no trace-buffer work while
+  // holding runtime locks).
+  FRACTAL_TRACE_SPAN_V("cluster/run_step", root_extensions.size());
   // One step at a time: concurrent submissions (e.g. two executions sharing
   // this cluster) serialize here. While no step is running, every execution
   // thread is parked on work_cv_ and every service thread is blocked on the
@@ -80,6 +89,14 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   control_.timer.Restart();
 
   {
+    // Mid-step progress logging: samples the global obs counters, so it
+    // needs no access to the (thread-owned) per-thread stats. Stopped (and
+    // joined) before the telemetry harvest below.
+    std::optional<obs::StepProgressReporter> progress;
+    if (options_.progress_interval_ms > 0) {
+      progress.emplace(options_.progress_interval_ms);
+    }
+    FRACTAL_TRACE_SPAN_V("cluster/step_barrier", total_threads);
     MutexLock lock(mu_);
     threads_remaining_ = total_threads;
     ++step_generation_;
@@ -98,6 +115,11 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   step_.task = nullptr;
   step_.roots.clear();
   steps_run_.fetch_add(1, std::memory_order_relaxed);
+  // Extension tests are flushed into per-thread stats by FinishThread, so
+  // the cumulative counter is credited here at the barrier rather than in
+  // the hot loop.
+  obs::StepsCounter().Add(1);
+  obs::ExtensionTestsCounter().Add(result.telemetry.TotalExtensionTests());
   return result;
 }
 

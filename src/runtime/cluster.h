@@ -41,6 +41,11 @@ struct ClusterOptions {
 
   /// Simulated network parameters for WS_ext.
   NetworkConfig network;
+
+  /// When > 0, RunStep runs a StepProgressReporter that logs work-unit
+  /// throughput and steal rates every `progress_interval_ms` while the step
+  /// is in flight (obs/progress.h).
+  int64_t progress_interval_ms = 0;
 };
 
 class Cluster {

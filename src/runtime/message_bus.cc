@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace fractal {
 
 MessageBus::MessageBus(uint32_t num_workers, const NetworkConfig& config)
@@ -28,6 +30,9 @@ std::optional<std::vector<uint8_t>> MessageBus::RequestSteal(
   FRACTAL_CHECK(victim != requester) << "steal from self must be internal";
   if (stopped()) return std::nullopt;
 
+  // Span covers the full round trip (request delay, victim service time,
+  // reply delay); declared before any lock so both ends record lock-free.
+  FRACTAL_TRACE_SPAN_V("bus/request_steal", victim);
   Request request;
   SimulateDelay(/*payload_bytes=*/16);  // request message
   {
@@ -36,11 +41,16 @@ std::optional<std::vector<uint8_t>> MessageBus::RequestSteal(
     inbox.queue.push_back(&request);
     inbox.cv.NotifyOne();
   }
-  MutexLock lock(request.mu);
-  while (!request.done) request.cv.Wait(request.mu);
-  if (!request.payload.has_value()) return std::nullopt;
-  SimulateDelay(request.payload->size());  // reply message
-  return std::move(request.payload);
+  std::optional<std::vector<uint8_t>> payload;
+  {
+    MutexLock lock(request.mu);
+    while (!request.done) request.cv.Wait(request.mu);
+    payload = std::move(request.payload);
+  }
+  if (!payload.has_value()) return std::nullopt;
+  FRACTAL_TRACE_INSTANT("bus/reply_bytes", payload->size());
+  SimulateDelay(payload->size());  // reply message
+  return payload;
 }
 
 std::optional<MessageBus::RequestToken> MessageBus::WaitForRequest(
@@ -61,6 +71,7 @@ std::optional<MessageBus::RequestToken> MessageBus::WaitForRequest(
 void MessageBus::Reply(RequestToken token,
                        std::optional<std::vector<uint8_t>> payload) {
   Request* request = static_cast<Request*>(token);
+  FRACTAL_TRACE_SPAN_V("bus/reply", payload.has_value() ? payload->size() : 0);
   MutexLock lock(request->mu);
   request->payload = std::move(payload);
   request->done = true;

@@ -48,11 +48,15 @@ uint64_t StepTelemetry::SimulatedMakespanUnits(
 }
 
 double StepTelemetry::IdealMakespanUnits() const {
-  if (threads.empty()) return 0;
+  if (threads.empty()) return 0.0;  // no threads: no meaningful lower bound
   return static_cast<double>(TotalWorkUnits()) / threads.size();
 }
 
 double StepTelemetry::BalanceEfficiency(uint64_t steal_cost_units) const {
+  // An empty step (no threads, or threads that did no work) is vacuously
+  // balanced: report 1.0 instead of dividing 0/0 — or, when steal costs
+  // make the simulated makespan nonzero with zero work, 0/makespan.
+  if (threads.empty() || TotalWorkUnits() == 0) return 1.0;
   const uint64_t makespan = SimulatedMakespanUnits(steal_cost_units);
   if (makespan == 0) return 1.0;
   return IdealMakespanUnits() / static_cast<double>(makespan);

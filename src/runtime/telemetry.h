@@ -68,8 +68,8 @@ struct ExecutionTelemetry {
   std::vector<StepTelemetry> steps;
   double wall_seconds = 0;
 
-  uint64_t TotalWorkUnits() const;
-  uint64_t TotalExtensionTests() const;
+  [[nodiscard]] uint64_t TotalWorkUnits() const;
+  [[nodiscard]] uint64_t TotalExtensionTests() const;
 };
 
 }  // namespace fractal

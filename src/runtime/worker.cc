@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/cluster.h"
 #include "runtime/codec.h"
 #include "util/check.h"
+#include "util/strings.h"
 
 namespace fractal {
 
@@ -37,6 +40,15 @@ void Worker::Join() {
 }
 
 void Worker::ThreadLoop(ThreadContext& t) {
+  // Trace identity: Perfetto groups threads by pid, so each worker becomes
+  // one "process" (pid 0 is the driver thread). Gated so clusters spawned
+  // with tracing off (the common case — ephemeral per-execution clusters)
+  // pay one relaxed load here instead of a registration.
+  if (obs::Tracer::TracingEnabled()) {
+    obs::Tracer::Get().SetCurrentThreadIdentity(
+        worker_id_ + 1, t.local_core, StrFormat("core%u", t.local_core),
+        StrFormat("worker%u", worker_id_));
+  }
   uint64_t seen_generation = 0;
   while (true) {
     {
@@ -83,6 +95,7 @@ void Worker::RunStepOnThread(ThreadContext& t) {
   std::vector<uint32_t> slice(step.roots.begin() + begin,
                               step.roots.begin() + end);
   if (step.num_levels > 0 && !slice.empty()) {
+    FRACTAL_TRACE_SPAN_V("worker/drain_roots", slice.size());
     WallTimer busy_timer;
     task.DrainRoots(t, std::move(slice));
     t.busy_seconds += busy_timer.ElapsedSeconds();
@@ -106,6 +119,7 @@ void Worker::RunStepOnThread(ThreadContext& t) {
     if (options.internal_work_stealing) work = ClaimInternalWork(t);
     if (!work.has_value() && external_enabled) work = ClaimExternalWork(t);
     if (work.has_value()) {
+      FRACTAL_TRACE_SPAN("worker/process_stolen");
       WallTimer busy_timer;
       task.ProcessStolen(t, *work);
       t.busy_seconds += busy_timer.ElapsedSeconds();
@@ -116,6 +130,7 @@ void Worker::RunStepOnThread(ThreadContext& t) {
       backoff_micros = 50;
     } else {
       ++t.stats.steal_failures;
+      FRACTAL_TRACE_INSTANT("worker/steal_miss", backoff_micros);
       std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
       backoff_micros = std::min(backoff_micros * 2, max_backoff_micros);
     }
@@ -137,6 +152,7 @@ std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimInternalWork(
       if (!frame.LooksNonEmpty()) continue;
       if (auto work = frame.TrySteal()) {
         ++t.stats.internal_steals;
+        obs::InternalStealsCounter().Add(1);
         return work;
       }
     }
@@ -149,14 +165,22 @@ std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimExternalWork(
   const uint32_t num_workers = cluster_->options().num_workers;
   for (uint32_t offset = 1; offset < num_workers; ++offset) {
     const uint32_t victim = (worker_id_ + offset) % num_workers;
+    WallTimer rtt_timer;
     auto payload = cluster_->bus_->RequestSteal(worker_id_, victim);
     if (!payload.has_value()) continue;
+    obs::StealRttHistogram().Record(
+        static_cast<uint64_t>(rtt_timer.ElapsedMicros()));
     SubgraphEnumerator::StolenWork work;
+    WallTimer decode_timer;
     if (!SubgraphCodec::DecodeStolenWork(*payload, &work)) {
       FRACTAL_CHECK(false) << "corrupted stolen-work payload";
     }
+    obs::DecodeTimeHistogram().Record(
+        static_cast<uint64_t>(decode_timer.ElapsedNanos()));
     ++t.stats.external_steals;
     t.stats.bytes_shipped += payload->size();
+    obs::ExternalStealsCounter().Add(1);
+    obs::BytesShippedCounter().Add(payload->size());
     return work;
   }
   return std::nullopt;
@@ -175,13 +199,23 @@ std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimLocalWork() {
 }
 
 void Worker::StealServiceLoop() {
+  if (obs::Tracer::TracingEnabled()) {
+    obs::Tracer::Get().SetCurrentThreadIdentity(
+        worker_id_ + 1, cluster_->options().threads_per_worker,
+        "steal-service", StrFormat("worker%u", worker_id_));
+  }
   // Requests only arrive while a step is running (requesters hold the
   // step's `working` count while blocked on the bus), so the frames this
   // scans are always live. Shutdown of the bus ends the loop.
   while (auto token = cluster_->bus_->WaitForRequest(worker_id_)) {
+    FRACTAL_TRACE_SPAN("worker/steal_service");
     auto work = ClaimLocalWork();
     if (work.has_value()) {
-      cluster_->bus_->Reply(*token, SubgraphCodec::EncodeStolenWork(*work));
+      WallTimer encode_timer;
+      std::vector<uint8_t> payload = SubgraphCodec::EncodeStolenWork(*work);
+      obs::EncodeTimeHistogram().Record(
+          static_cast<uint64_t>(encode_timer.ElapsedNanos()));
+      cluster_->bus_->Reply(*token, std::move(payload));
     } else {
       cluster_->bus_->Reply(*token, std::nullopt);
     }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "enumerate/enumerator.h"
+#include "obs/metrics.h"
 #include "runtime/telemetry.h"
 #include "util/timer.h"
 
@@ -85,6 +86,7 @@ struct ThreadContext {
   /// lost and the whole step is re-executed.
   bool ConsumeWorkUnit() {
     ++stats.work_units;
+    obs::WorkUnitsCounter().Add(1);
     if (control->arm_fault_injection &&
         worker_id == static_cast<uint32_t>(control->crash_worker) &&
         control->crash_units.fetch_add(1, std::memory_order_relaxed) >=

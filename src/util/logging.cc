@@ -3,11 +3,38 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace fractal {
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+/// Parses FRACTAL_LOG_LEVEL (case-insensitive name or digit 0-3) once at
+/// startup. Unset or unparsable values keep the kInfo default.
+int InitialLogLevel() {
+  const char* env = std::getenv("FRACTAL_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (env[1] == '\0' && env[0] >= '0' && env[0] <= '3') {
+    return env[0] - '0';
+  }
+  auto matches = [env](const char* name) {
+    const char* p = env;
+    for (; *name != '\0'; ++name, ++p) {
+      const char c = (*p >= 'A' && *p <= 'Z') ? *p - 'A' + 'a' : *p;
+      if (c != *name) return false;
+    }
+    return *p == '\0';
+  };
+  if (matches("debug")) return static_cast<int>(LogLevel::kDebug);
+  if (matches("info")) return static_cast<int>(LogLevel::kInfo);
+  if (matches("warning")) return static_cast<int>(LogLevel::kWarning);
+  if (matches("error")) return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -21,6 +48,23 @@ const char* LevelTag(LogLevel level) {
       return "E";
   }
   return "?";
+}
+
+/// Monotonic seconds since the first log statement of the process: stable
+/// under clock adjustments and directly comparable with trace timestamps
+/// (both are steady_clock based).
+double MonotonicSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - origin).count();
+}
+
+/// Small sequential ids instead of opaque std::thread::id hashes: the first
+/// thread that logs becomes t000, the next t001, ...
+uint32_t CachedThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 }  // namespace
@@ -43,7 +87,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') basename = p + 1;
   }
-  stream_ << "[" << LevelTag(level) << " " << basename << ":" << line << "] ";
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%s %12.6f t%03u ", LevelTag(level),
+                MonotonicSeconds(), CachedThreadId());
+  stream_ << prefix << basename << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

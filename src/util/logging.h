@@ -1,5 +1,9 @@
-// Leveled logging to stderr: FRACTAL_LOG(INFO) << "..."; Thread-safe at the
-// line level (each statement is flushed as one write).
+// Leveled logging to stderr: FRACTAL_LOG(Info) << "..."; Thread-safe at the
+// line level (each statement is flushed as one write). Every line carries a
+// monotonic timestamp (seconds since the process's first log statement) and
+// a small sequential thread id: "[I 12.345678 t003 file.cc:42] ...".
+// The initial level comes from the FRACTAL_LOG_LEVEL environment variable
+// (debug|info|warning|error, or 0-3); SetLogLevel overrides at runtime.
 #ifndef FRACTAL_UTIL_LOGGING_H_
 #define FRACTAL_UTIL_LOGGING_H_
 

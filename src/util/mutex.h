@@ -23,6 +23,7 @@
 #ifndef FRACTAL_UTIL_MUTEX_H_
 #define FRACTAL_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -127,6 +128,14 @@ class CondVar {
   /// Atomically releases `mu`, waits for a notification (or a spurious
   /// wakeup — always re-check the predicate), and re-acquires `mu`.
   void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Like Wait, but returns after at most `timeout_ms` milliseconds.
+  /// Returns true when woken by a notification (or spuriously — always
+  /// re-check the predicate), false on timeout.
+  bool WaitFor(Mutex& mu, int64_t timeout_ms) REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::milliseconds(timeout_ms)) ==
+           std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

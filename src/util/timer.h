@@ -24,6 +24,12 @@ class WallTimer {
         .count();
   }
 
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -330,6 +330,25 @@ TEST(TelemetryTest, AggregatesAndMakespan) {
   EXPECT_FALSE(step.ToTable().empty());
 }
 
+TEST(TelemetryTest, DegenerateStepsHaveDefinedBalance) {
+  // No threads at all: vacuously balanced, ideal makespan zero.
+  StepTelemetry empty;
+  EXPECT_DOUBLE_EQ(empty.IdealMakespanUnits(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.BalanceEfficiency(0), 1.0);
+  EXPECT_DOUBLE_EQ(empty.BalanceEfficiency(50), 1.0);
+
+  // Threads that did no work: still balanced (no 0/0), even when steal
+  // costs make the simulated makespan nonzero.
+  StepTelemetry idle;
+  ThreadStats stole_but_empty;
+  stole_but_empty.external_steals = 4;
+  idle.threads = {ThreadStats{}, stole_but_empty};
+  EXPECT_EQ(idle.TotalWorkUnits(), 0u);
+  EXPECT_DOUBLE_EQ(idle.IdealMakespanUnits(), 0.0);
+  EXPECT_DOUBLE_EQ(idle.BalanceEfficiency(0), 1.0);
+  EXPECT_DOUBLE_EQ(idle.BalanceEfficiency(25), 1.0);
+}
+
 TEST(TelemetryTest, ExecutionTotals) {
   ExecutionTelemetry execution;
   StepTelemetry s1, s2;

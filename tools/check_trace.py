@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""CI validator for exported Chrome trace JSON (obs/trace.h).
+
+Checks: the file parses, traceEvents is non-empty, every event carries the
+schema keys, timestamps are non-decreasing per (pid, tid), begin/end pairs
+are balanced per thread with LIFO name matching, and spans cover at least
+four distinct runtime layers. Usage: check_trace.py <trace.json>
+"""
+import json
+import sys
+
+REQUIRED_LAYERS = {"executor", "worker", "cluster", "enumerate", "bus"}
+
+def main(path):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace["traceEvents"]
+    assert events, "trace has no events"
+    last_ts, stacks, layers = {}, {}, set()
+    for ev in events:
+        assert {"name", "ph", "pid", "tid"} <= ev.keys(), f"bad event {ev}"
+        if ev["ph"] == "M":
+            continue
+        assert ev["ph"] in ("B", "E", "i"), f"unexpected phase {ev['ph']}"
+        key = (ev["pid"], ev["tid"])
+        assert ev["ts"] >= last_ts.get(key, 0), f"ts regressed on {key}"
+        last_ts[key] = ev["ts"]
+        if ev["ph"] == "B":
+            stacks.setdefault(key, []).append(ev["name"])
+            layers.add(ev["name"].split("/")[0])
+        elif ev["ph"] == "E":
+            stack = stacks.get(key, [])
+            assert stack, f"unbalanced E '{ev['name']}' on {key}"
+            assert stack.pop() == ev["name"], f"mismatched E on {key}"
+    for key, stack in stacks.items():
+        assert not stack, f"unclosed B {stack} on {key}"
+    seen = layers & REQUIRED_LAYERS
+    assert len(seen) >= 4, f"only {sorted(seen)} of {sorted(REQUIRED_LAYERS)}"
+    print(f"trace OK: {len(events)} events, layers {sorted(layers)}")
+
+if __name__ == "__main__":
+    main(sys.argv[1])
