@@ -7,18 +7,23 @@
 #      (the production configuration), then exercises the observability
 #      layer end to end: a small motif bench run with --trace-out whose
 #      exported Chrome trace is schema-checked by tools/check_trace.py.
-#   2. Static analysis: a clang build with -Wthread-safety promoted to an
+#   2. Chaos sweep: resilience_test's ChaosTest replays CHAOS_SEEDS seeded
+#      random fault plans (worker crashes, dead steal services, dropped and
+#      delayed requests, stragglers) and fails on any result divergence
+#      from the fault-free baseline.
+#   3. Static analysis: a clang build with -Wthread-safety promoted to an
 #      error (checking the GUARDED_BY/REQUIRES contracts of util/mutex.h),
 #      then clang-tidy with the curated .clang-tidy profile. Each tool is
 #      used when installed and the stage fails on any diagnostic; on
 #      containers without clang the stage degrades to the GCC -Werror
 #      build of stage 1 plus the runtime lockdep checking of stages 3-4.
-#   3. ASan/UBSan build running every thread-spawning suite.
-#   4. TSan build running the same suites, so the persistent-thread
+#   4. ASan/UBSan build running every thread-spawning suite (including a
+#      reduced-seed chaos sweep).
+#   5. TSan build running the same suites, so the persistent-thread
 #      Cluster/Worker runtime (parked execution threads, steal-service
 #      threads, enumerator cursors) is race-checked on every PR.
 #
-# Stages 3-4 keep FRACTAL_ENABLE_LOCKDEP=ON (the default), so every
+# Stages 4-5 keep FRACTAL_ENABLE_LOCKDEP=ON (the default), so every
 # sanitized test run also checks the lock-order graph deterministically.
 #
 # Usage: ./ci.sh            (JOBS=<n> to override parallelism)
@@ -27,8 +32,12 @@ cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
 # Every suite that spawns threads (directly or through the Cluster runtime).
-SANITIZED_SUITES='core_test|runtime_test|obs_test|lockdep_test|enumerate_test|apps_test|extras_test'
-SANITIZED_TARGETS='core_test runtime_test obs_test lockdep_test enumerate_test apps_test extras_test'
+SANITIZED_SUITES='core_test|runtime_test|obs_test|lockdep_test|enumerate_test|apps_test|extras_test|resilience_test'
+SANITIZED_TARGETS='core_test runtime_test obs_test lockdep_test enumerate_test apps_test extras_test resilience_test'
+# Chaos seeds for the fault-injection sweep: a wide sweep on the fast
+# Release build, a narrower one under the (10-20x slower) sanitizers.
+CHAOS_SEEDS="${CHAOS_SEEDS:-32}"
+CHAOS_SEEDS_SANITIZED="${CHAOS_SEEDS_SANITIZED:-8}"
 
 echo "=== tier 1: Release build + full ctest suite ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release -DFRACTAL_ENABLE_LOCKDEP=OFF
@@ -47,6 +56,12 @@ else
   grep -q '"traceEvents"' "$TRACE_JSON"
   echo "python3 not installed; structural trace validation skipped"
 fi
+
+echo "=== chaos: ${CHAOS_SEEDS}-seed random fault plans stay bit-exact ==="
+# Seeded random fault plans (crashes, dead steal services, drops, delays,
+# stragglers) against the fault-free baseline; any divergence fails CI.
+FRACTAL_CHAOS_SEEDS="$CHAOS_SEEDS" ./build-ci/tests/resilience_test \
+  --gtest_filter='ChaosTest.*'
 
 echo "=== static analysis: -Wthread-safety + clang-tidy ==="
 if command -v clang++ >/dev/null 2>&1; then
@@ -77,7 +92,8 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 # shellcheck disable=SC2086
 cmake --build build-asan -j "$JOBS" --target $SANITIZED_TARGETS
-ctest --test-dir build-asan --output-on-failure -R "$SANITIZED_SUITES"
+FRACTAL_CHAOS_SEEDS="$CHAOS_SEEDS_SANITIZED" \
+  ctest --test-dir build-asan --output-on-failure -R "$SANITIZED_SUITES"
 
 echo "=== TSan: ${SANITIZED_SUITES} ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -85,6 +101,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 # shellcheck disable=SC2086
 cmake --build build-tsan -j "$JOBS" --target $SANITIZED_TARGETS
-ctest --test-dir build-tsan --output-on-failure -R "$SANITIZED_SUITES"
+FRACTAL_CHAOS_SEEDS="$CHAOS_SEEDS_SANITIZED" \
+  ctest --test-dir build-tsan --output-on-failure -R "$SANITIZED_SUITES"
 
 echo "CI OK"

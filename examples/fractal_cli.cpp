@@ -24,6 +24,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pattern/catalog.h"
+#include "runtime/fault.h"
 #include "util/timer.h"
 
 namespace {
@@ -38,7 +39,17 @@ void Usage() {
       "       [--query <triangle|square|diamond|house|q1..q8>]\n"
       "       [--workers <n>] [--threads <n>] [--no-stealing]\n"
       "       [--trace-out <chrome-trace.json>] [--metrics]\n"
-      "       [--progress-ms <interval>]\n");
+      "       [--progress-ms <interval>]\n"
+      "       [--fault-spec <plan>] [--fault-seed <n>]\n"
+      "       [--crash-worker <w>] [--crash-after <units>]\n"
+      "\n"
+      "fault injection (see runtime/fault.h):\n"
+      "  --fault-spec takes ';'-separated entries, e.g.\n"
+      "    'crash:w=1,after=50' 'crash:w=1,p=0.001' 'crash-service:w=0,"
+      "after=3'\n"
+      "    'drop:p=0.05' 'delay:p=0.1,us=5000' 'slow:w=1,us=20'\n"
+      "  --crash-worker/--crash-after desugar into a crash:w=...,after=...\n"
+      "  entry; --fault-seed seeds probabilistic decisions.\n");
 }
 
 }  // namespace
@@ -49,6 +60,10 @@ int main(int argc, char** argv) {
   std::string kernel = "triangles";
   std::string graph_path, edgelist_path, query_name = "triangle";
   std::string trace_out;
+  std::string fault_spec;
+  uint64_t fault_seed = 0;
+  int crash_worker = -1;
+  long long crash_after = 100;
   bool dump_metrics = false;
   uint32_t k = 3, support = 100, max_edges = 3;
   ExecutionConfig config;
@@ -92,6 +107,14 @@ int main(int argc, char** argv) {
       dump_metrics = true;
     } else if (!std::strcmp(argv[i], "--progress-ms")) {
       config.progress_interval_ms = std::atoi(next("--progress-ms"));
+    } else if (!std::strcmp(argv[i], "--fault-spec")) {
+      fault_spec = next("--fault-spec");
+    } else if (!std::strcmp(argv[i], "--fault-seed")) {
+      fault_seed = std::strtoull(next("--fault-seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--crash-worker")) {
+      crash_worker = std::atoi(next("--crash-worker"));
+    } else if (!std::strcmp(argv[i], "--crash-after")) {
+      crash_after = std::atoll(next("--crash-after"));
     } else if (!std::strcmp(argv[i], "--help")) {
       Usage();
       return 0;
@@ -100,6 +123,28 @@ int main(int argc, char** argv) {
       Usage();
       return 2;
     }
+  }
+
+  // Desugar the fault flags into one FaultPlan: --fault-spec provides the
+  // schedule, and the legacy --crash-worker/--crash-after pair appends a
+  // deterministic crash entry.
+  {
+    FaultPlan plan(fault_seed);
+    if (!fault_spec.empty()) {
+      auto parsed = FaultPlan::Parse(fault_spec, fault_seed);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --fault-spec: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      plan = std::move(parsed).value();
+    }
+    if (crash_worker >= 0) {
+      plan.CrashWorker(crash_worker,
+                       static_cast<uint64_t>(crash_after > 0 ? crash_after
+                                                             : 1));
+    }
+    config.fault_plan = std::move(plan);
   }
 
   Graph input;

@@ -32,6 +32,7 @@ EstimationResult EstimateMotifCounts(const FractalGraph& graph, uint32_t k,
               [](const Subgraph&, Computation&) -> uint64_t { return 1; },
               [](uint64_t& a, uint64_t&& b) { a += b; })
           .Execute(config);
+  FRACTAL_CHECK(execution.status.ok()) << execution.status;
   const double scale = 1.0 / std::pow(keep_probability, k);
   const auto& storage =
       execution.Aggregation<Pattern, uint64_t, PatternHash>("motifs");

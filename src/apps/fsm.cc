@@ -107,6 +107,7 @@ FsmResult RunFsmWithOptions(const FractalGraph& graph,
   Fractoid fsm =
       WithSupportAggregation(graph.EFractoid().Expand(1), min_support);
   ExecutionResult execution = fsm.Execute(config);
+  FRACTAL_CHECK(execution.status.ok()) << execution.status;
   auto harvest = [&result, &execution]() -> size_t {
     const auto& storage =
         execution.Aggregation<Pattern, DomainSupport, PatternHash>("support");
@@ -146,6 +147,7 @@ FsmResult RunFsmWithOptions(const FractalGraph& graph,
     result.mined_graph_edges = reduced.graph().NumEdges();
     fsm = WithSupportAggregation(reduced.EFractoid().Expand(1), min_support);
     execution = fsm.Execute(config);  // cheap: reduced bootstrap
+    FRACTAL_CHECK(execution.status.ok()) << execution.status;
     account();
   }
 
@@ -163,6 +165,7 @@ FsmResult RunFsmWithOptions(const FractalGraph& graph,
         });
     fsm = WithSupportAggregation(fsm.Expand(1), min_support);
     execution = fsm.Execute(config);
+    FRACTAL_CHECK(execution.status.ok()) << execution.status;
     new_frequent = harvest();
     account();
     ++result.iterations;

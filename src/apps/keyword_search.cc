@@ -87,6 +87,7 @@ KeywordSearchResult RunKeywordSearch(const FractalGraph& graph,
       search_graph, index,
       std::vector<uint32_t>(keywords.begin(), keywords.end()));
   ExecutionResult execution = fractoid.Execute(config);
+  FRACTAL_CHECK(execution.status.ok()) << execution.status;
 
   KeywordSearchResult result;
   result.num_matches = execution.num_subgraphs;

@@ -22,6 +22,7 @@ MotifsResult CountMotifs(const FractalGraph& graph, uint32_t k,
                          const ExecutionConfig& config) {
   MotifsResult result;
   result.execution = MotifsFractoid(graph, k).Execute(config);
+  FRACTAL_CHECK(result.execution.status.ok()) << result.execution.status;
   const auto& storage =
       result.execution.Aggregation<Pattern, uint64_t, PatternHash>("motifs");
   for (const auto& [pattern, count] : storage.entries()) {

@@ -12,6 +12,7 @@
 
 #include "core/aggregation.h"
 #include "enumerate/subgraph.h"
+#include "runtime/fault.h"
 #include "runtime/message_bus.h"
 #include "runtime/telemetry.h"
 #include "util/mutex.h"
@@ -21,6 +22,23 @@
 namespace fractal {
 
 class Cluster;
+
+/// How the executor responds to step failures (injected worker crashes).
+/// The from-scratch execution model (paper §4) makes recovery a pure
+/// re-execution: a failed step is discarded wholesale and re-run, so any
+/// successful attempt produces bit-identical results.
+struct RetryPolicy {
+  /// Total attempts per step (first try included). Must be >= 1. When the
+  /// budget is exhausted the execution fails with a ResourceExhausted
+  /// status in ExecutionResult::status instead of aborting.
+  uint32_t max_attempts = 3;
+  /// Sleep between attempts (doubled per attempt). 0 retries immediately.
+  int64_t backoff_micros = 0;
+  /// Mark crashed workers dead on the cluster so re-execution runs
+  /// degraded on the surviving subset (instead of re-running on a worker
+  /// that would just crash again deterministically).
+  bool exclude_crashed_workers = true;
+};
 
 /// How a fractoid is executed on the simulated cluster (paper §4/5.2.2
 /// work-stealing configurations map to the two stealing flags).
@@ -58,26 +76,26 @@ struct ExecutionConfig {
   /// (paper §4.1: W4 aggregation results are never recomputed).
   bool reuse_cached_aggregations = true;
 
-  /// Fault injection for resilience testing: worker `crash_worker` "dies"
-  /// (abandons its threads' state) once it has consumed
-  /// `crash_after_work_units` extensions during a step. The from-scratch
-  /// execution model makes recovery trivial: the step is simply re-executed
+  /// Fault injection for resilience testing (runtime/fault.h): a seeded,
+  /// deterministic schedule of worker crashes, steal-service deaths,
+  /// message drops/delays, and stragglers. The from-scratch execution
+  /// model makes recovery trivial: a failed step is simply re-executed
   /// (the paper inherits this resilience from Spark's lineage; here the
-  /// executor retries directly). The injection fires at most once.
-  int32_t crash_worker = -1;
-  uint64_t crash_after_work_units = 0;
-  /// Step re-execution attempts after a worker failure.
-  uint32_t max_step_retries = 2;
+  /// executor retries directly, per `retry`). Empty plan = no faults.
+  FaultPlan fault_plan;
+  /// Step re-execution policy after worker failures.
+  RetryPolicy retry;
 
   uint32_t TotalThreads() const { return num_workers * threads_per_worker; }
 
   /// Checks the configuration before any thread is spawned: at least one
-  /// worker and one thread per worker, and crash_worker (when set) must
-  /// name an existing worker. Called at execution entry so misconfiguration
-  /// fails fast with a message instead of crashing mid-step. External work
-  /// stealing with a single worker is not an error here — it is normalized
-  /// off (WS_ext needs a second worker; an explicit single-worker
-  /// external-stealing Cluster is rejected by Cluster::Validate).
+  /// worker and one thread per worker, the fault plan must target existing
+  /// workers, and the retry policy must allow at least one attempt. Called
+  /// at execution entry so misconfiguration fails fast with a message
+  /// instead of crashing mid-step. External work stealing with a single
+  /// worker is not an error here — it is normalized off (WS_ext needs a
+  /// second worker; an explicit single-worker external-stealing Cluster is
+  /// rejected by Cluster::Validate).
   [[nodiscard]] Status Validate() const;
 };
 
@@ -99,6 +117,12 @@ struct ExecutionState {
 
 /// Everything one fractoid execution produced.
 struct ExecutionResult {
+  /// Overall outcome. Ok when every step completed (possibly after
+  /// recovered retries); ResourceExhausted when a step kept failing past
+  /// RetryPolicy::max_attempts; FailedPrecondition when no live workers
+  /// remained. On error the data fields below are incomplete and must not
+  /// be consumed.
+  Status status;
   /// Subgraphs reaching the end of the final step's pipeline.
   uint64_t num_subgraphs = 0;
   /// Collected subgraphs (when ExecutionConfig::collect_subgraphs).
@@ -116,9 +140,12 @@ struct ExecutionResult {
   /// Number of fractal steps the workflow compiled into / actually ran.
   uint32_t num_steps = 0;
   uint32_t steps_executed = 0;
-  /// Step executions abandoned due to (injected) worker failures and
-  /// recovered by re-execution.
+  /// Step executions abandoned due to (injected) worker failures
+  /// (recovered or not); equals failures.size().
   uint32_t steps_retried = 0;
+  /// One record per abandoned step attempt: which worker crashed, why, and
+  /// what the attempt cost (runtime/telemetry.h).
+  std::vector<StepFailure> failures;
 
   /// Typed view of the final aggregation registered under `name`.
   template <typename K, typename V, typename Hash = std::hash<K>>

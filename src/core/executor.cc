@@ -2,18 +2,23 @@
 // (Algorithm 2), binds cached aggregation storages, submits one
 // FractoidStepTask per step to the runtime Cluster (ephemeral per
 // execution, or injected and shared via ExecutionConfig::cluster), retries
-// crashed steps, and merges/publishes the results. All thread lifecycle,
-// partitioning, and work stealing live in runtime/cluster.* / worker.*.
+// crashed steps per the RetryPolicy (optionally excluding crashed workers
+// so re-execution runs degraded on the survivors), and merges/publishes
+// the results. All thread lifecycle, partitioning, and work stealing live
+// in runtime/cluster.* / worker.*.
 #include "core/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "core/fractoid_task.h"
 #include "core/step.h"
 #include "obs/trace.h"
 #include "runtime/cluster.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace fractal {
@@ -44,13 +49,15 @@ Status ExecutionConfig::Validate() const {
     if (threads_per_worker == 0) {
       return InvalidArgumentError("threads_per_worker must be at least 1");
     }
+    if (num_workers > 64) {
+      return InvalidArgumentError("num_workers must be at most 64");
+    }
   }
   const uint32_t effective_workers =
       cluster != nullptr ? cluster->options().num_workers : num_workers;
-  if (crash_worker >= 0 &&
-      static_cast<uint32_t>(crash_worker) >= effective_workers) {
-    return InvalidArgumentError(
-        "crash_worker names a worker outside the cluster");
+  FRACTAL_RETURN_IF_ERROR(fault_plan.Validate(effective_workers));
+  if (retry.max_attempts == 0) {
+    return InvalidArgumentError("retry.max_attempts must be at least 1");
   }
   return Status::Ok();
 }
@@ -85,6 +92,13 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
   ExecutionResult result;
   result.num_steps = static_cast<uint32_t>(steps.size());
   WallTimer total_timer;
+
+  // One injector for the whole execution: deterministic entries fire once
+  // across retries, probabilistic ones re-arm per step (FaultInjector).
+  std::shared_ptr<FaultInjector> injector;
+  if (!config.fault_plan.empty()) {
+    injector = std::make_shared<FaultInjector>(config.fault_plan);
+  }
 
   for (size_t step_index = 0; step_index < steps.size(); ++step_index) {
     FRACTAL_TRACE_SPAN_V("executor/step", step_index);
@@ -125,14 +139,20 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
     if (skip) continue;
 
     // Execute the step; on (injected) worker failure, the from-scratch
-    // model lets us simply re-run it with a fresh task.
-    bool injection_pending =
-        config.crash_worker >= 0 && result.steps_retried == 0;
+    // model lets us simply re-run it with a fresh task — degraded on the
+    // surviving workers when the policy excludes crashed ones. Failure is
+    // reported through result.status, never by aborting the process.
     std::vector<uint32_t> new_aggregate_indices;
     FractoidStepTask::Output output;
     Cluster::StepResult step_result;
-    uint32_t attempt = 0;
-    while (true) {
+    bool step_ok = false;
+    for (uint32_t attempt = 1; attempt <= config.retry.max_attempts;
+         ++attempt) {
+      if (cluster->num_live_workers() == 0) {
+        result.status = FailedPreconditionError(
+            "no live workers remain to execute the step on");
+        break;
+      }
       FractoidStepTask task(fractoid, plan, is_final, config,
                             cluster->TotalThreads(),
                             (is_final && sink) ? &sink : nullptr, completed);
@@ -150,24 +170,46 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
 
       Cluster::StepOptions step_options;
       step_options.num_levels = task.num_levels();
-      step_options.arm_fault_injection = injection_pending;
-      step_options.crash_worker = config.crash_worker;
-      step_options.crash_after_work_units = config.crash_after_work_units;
+      step_options.fault_injector = injector;
       step_result = cluster->RunStep(task, std::move(roots), step_options);
 
-      if (!step_result.failed) {
+      if (step_result.ok()) {
+        // threads[0] is the first live worker's first thread.
         step_result.telemetry.threads[0].extension_tests +=
             root_extension_tests;
         new_aggregate_indices = task.new_aggregates();
         output = task.MergeOutputs();
+        step_ok = true;
         break;
       }
       ++result.steps_retried;
       FRACTAL_TRACE_INSTANT("executor/step_retry", step_index);
-      injection_pending = false;  // the injected fault fires once
-      FRACTAL_CHECK(++attempt <= config.max_step_retries)
-          << "step kept failing after retries";
+      const int32_t crashed_worker = step_result.failure->worker;
+      result.failures.push_back(std::move(*step_result.failure));
+      if (attempt == config.retry.max_attempts) {
+        result.status = ResourceExhaustedError(StrFormat(
+            "step %u failed %u times (last failure: %s)",
+            static_cast<uint32_t>(step_index), attempt,
+            result.failures.back().ToString().c_str()));
+        break;
+      }
+      if (config.retry.exclude_crashed_workers && crashed_worker >= 0) {
+        if (cluster->num_live_workers() <= 1) {
+          result.status = FailedPreconditionError(StrFormat(
+              "step %u: last live worker crashed (%s); nothing left to "
+              "re-execute on",
+              static_cast<uint32_t>(step_index),
+              result.failures.back().ToString().c_str()));
+          break;
+        }
+        cluster->MarkWorkerDead(static_cast<uint32_t>(crashed_worker));
+      }
+      if (config.retry.backoff_micros > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            config.retry.backoff_micros << (attempt - 1)));
+      }
     }
+    if (!step_ok) break;  // result.status carries the failure
 
     result.telemetry.steps.push_back(std::move(step_result.telemetry));
     result.peak_state_bytes =

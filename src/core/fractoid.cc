@@ -90,22 +90,31 @@ ExecutionResult Fractoid::Execute(const ExecutionConfig& config) const {
   return ExecuteFractoid(*this, config);
 }
 
+// The convenience wrappers drop ExecutionResult::status, so they CHECK it:
+// callers that inject faults (and can see ResourceExhausted) must use
+// Execute() and handle the status themselves.
 uint64_t Fractoid::CountSubgraphs(const ExecutionConfig& config) const {
-  return ExecuteFractoid(*this, config).num_subgraphs;
+  const ExecutionResult result = ExecuteFractoid(*this, config);
+  FRACTAL_CHECK(result.status.ok()) << result.status;
+  return result.num_subgraphs;
 }
 
 std::vector<Subgraph> Fractoid::CollectSubgraphs(
     const ExecutionConfig& config) const {
   ExecutionConfig collecting = config;
   collecting.collect_subgraphs = true;
-  return ExecuteFractoid(*this, collecting).subgraphs;
+  ExecutionResult result = ExecuteFractoid(*this, collecting);
+  FRACTAL_CHECK(result.status.ok()) << result.status;
+  return std::move(result.subgraphs);
 }
 
 uint64_t Fractoid::ForEachSubgraph(
     const std::function<void(const Subgraph&)>& sink,
     const ExecutionConfig& config) const {
   FRACTAL_CHECK(sink != nullptr);
-  return ExecuteFractoidStreaming(*this, config, sink).num_subgraphs;
+  const ExecutionResult result = ExecuteFractoidStreaming(*this, config, sink);
+  FRACTAL_CHECK(result.status.ok()) << result.status;
+  return result.num_subgraphs;
 }
 
 uint32_t Fractoid::NumExpansions() const {

@@ -67,8 +67,12 @@ void FractoidStepTask::ProcessStolen(
   s.computation->SetIds(t.worker_id, t.core_id);
   s.subgraph = work.prefix;
   strategy_.Apply(graph_, work.extension, &s.subgraph);
-  ++t.stats.work_units;
-  obs::WorkUnitsCounter().Add(1);
+  if (!t.ConsumeWorkUnit()) {
+    // The worker crashed: drop the stolen unit — the whole step attempt is
+    // discarded and re-executed anyway.
+    s.subgraph.Clear();
+    return;
+  }
   Process(t, s, work.primitive_index);
   s.subgraph.Clear();
 }
@@ -82,7 +86,6 @@ void FractoidStepTask::DrainFrame(ThreadContext& t, CoreState& s,
                                   SubgraphEnumerator& frame) {
   const uint32_t next_index = frame.primitive_index();
   while (const auto extension = frame.ConsumeNext()) {
-    if (t.StepFailed()) break;
     if (!t.ConsumeWorkUnit()) break;
     strategy_.Apply(graph_, *extension, &s.subgraph);
     Process(t, s, next_index);

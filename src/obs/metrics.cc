@@ -139,6 +139,28 @@ Counter& StepsCounter() {
   static Counter& counter = NamedCounter("runtime.steps");
   return counter;
 }
+Counter& StepsDegradedCounter() {
+  static Counter& counter = NamedCounter("runtime.steps_degraded");
+  return counter;
+}
+Counter& WorkersCrashedCounter() {
+  static Counter& counter = NamedCounter("runtime.workers_crashed");
+  return counter;
+}
+Counter& StealTimeoutsCounter() {
+  static Counter& counter = NamedCounter("bus.steal_timeouts");
+  return counter;
+}
+Counter& DroppedRequestsCounter() {
+  static Counter& counter = NamedCounter("bus.requests_dropped");
+  return counter;
+}
+
+Gauge& SuspectVictimsGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Get().GetGauge("runtime.suspect_victims");
+  return gauge;
+}
 
 Histogram& StealRttHistogram() {
   static Histogram& histogram = NamedHistogram("bus.steal_rtt_us");
@@ -154,6 +176,10 @@ Histogram& DecodeTimeHistogram() {
 }
 Histogram& ExtensionBatchHistogram() {
   static Histogram& histogram = NamedHistogram("enumerate.batch_size");
+  return histogram;
+}
+Histogram& RetryBackoffHistogram() {
+  static Histogram& histogram = NamedHistogram("bus.retry_backoff_us");
   return histogram;
 }
 

@@ -142,6 +142,22 @@ Counter& BytesShippedCounter();
 Counter& ExtensionTestsCounter();
 /// Fractal steps completed ("runtime.steps").
 Counter& StepsCounter();
+/// Steps executed on a degraded (W−1 or fewer) live-worker subset
+/// ("runtime.steps_degraded").
+Counter& StepsDegradedCounter();
+/// Simulated worker crashes observed at step barriers
+/// ("runtime.workers_crashed").
+Counter& WorkersCrashedCounter();
+/// WS_ext steal requests that hit their deadline ("bus.steal_timeouts").
+Counter& StealTimeoutsCounter();
+/// WS_ext steal requests dropped in flight by fault injection
+/// ("bus.requests_dropped").
+Counter& DroppedRequestsCounter();
+
+/// (requester, victim) pairs currently marked suspect by the steal-RPC
+/// health tracker; reset to 0 at each step start
+/// ("runtime.suspect_victims").
+Gauge& SuspectVictimsGauge();
 
 /// WS_ext request round-trip time in microseconds, successful steals only
 /// ("bus.steal_rtt_us").
@@ -152,6 +168,9 @@ Histogram& EncodeTimeHistogram();
 Histogram& DecodeTimeHistogram();
 /// Extension batch size per enumerator refill ("enumerate.batch_size").
 Histogram& ExtensionBatchHistogram();
+/// Steal-retry backoff sleeps in microseconds, one sample per retry
+/// ("bus.retry_backoff_us").
+Histogram& RetryBackoffHistogram();
 
 }  // namespace obs
 }  // namespace fractal

@@ -1,5 +1,6 @@
 #include "runtime/cluster.h"
 
+#include <bit>
 #include <optional>
 #include <utility>
 
@@ -9,9 +10,23 @@
 
 namespace fractal {
 
+namespace {
+// All-live mask for a worker count (num_workers <= 64, enforced by
+// Validate).
+uint64_t FullMask(uint32_t num_workers) {
+  return num_workers >= 64 ? ~uint64_t{0}
+                           : ((uint64_t{1} << num_workers) - 1);
+}
+}  // namespace
+
 Status Cluster::Validate(const ClusterOptions& options) {
   if (options.num_workers == 0) {
     return InvalidArgumentError("cluster needs at least one worker");
+  }
+  if (options.num_workers > 64) {
+    return InvalidArgumentError(
+        "cluster supports at most 64 workers (the live-worker mask is one "
+        "machine word)");
   }
   if (options.threads_per_worker == 0) {
     return InvalidArgumentError(
@@ -33,6 +48,7 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Create(
 Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   const Status status = Validate(options_);
   FRACTAL_CHECK(status.ok()) << status;
+  live_mask_.store(FullMask(options_.num_workers), std::memory_order_relaxed);
   if (options_.external_work_stealing) {
     bus_ = std::make_unique<MessageBus>(options_.num_workers,
                                         options_.network);
@@ -53,6 +69,26 @@ Cluster::~Cluster() {
   for (auto& worker : workers_) worker->Join();
 }
 
+uint32_t Cluster::num_live_workers() const {
+  return static_cast<uint32_t>(
+      std::popcount(live_mask() & FullMask(options_.num_workers)));
+}
+
+void Cluster::MarkWorkerDead(uint32_t worker) {
+  FRACTAL_CHECK(worker < options_.num_workers);
+  live_mask_.fetch_and(~(uint64_t{1} << worker), std::memory_order_acq_rel);
+}
+
+void Cluster::RestoreAllWorkers() {
+  live_mask_.store(FullMask(options_.num_workers), std::memory_order_release);
+}
+
+void Cluster::NoteSuspectVictim() {
+  const uint64_t count =
+      suspects_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::SuspectVictimsGauge().Set(static_cast<int64_t>(count));
+}
+
 Cluster::StepResult Cluster::RunStep(StepTask& task,
                                      std::vector<uint32_t> root_extensions,
                                      const StepOptions& options) {
@@ -65,11 +101,25 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   // thread is parked on work_cv_ and every service thread is blocked on the
   // bus with an empty queue, so the preparation below is race-free.
   MutexLock run_lock(run_mu_);
-  const uint32_t total_threads = TotalThreads();
+
+  // Snapshot the live mask: the step runs on the surviving subset only.
+  const uint64_t live_mask =
+      live_mask_.load(std::memory_order_acquire) &
+      FullMask(options_.num_workers);
+  const uint32_t live_workers =
+      static_cast<uint32_t>(std::popcount(live_mask));
+  FRACTAL_CHECK(live_workers > 0)
+      << "no live workers left to run the step on";
+  const uint32_t live_threads = live_workers * options_.threads_per_worker;
+  if (live_workers < options_.num_workers) {
+    FRACTAL_TRACE_INSTANT("runtime/step_degraded", live_workers);
+    obs::StepsDegradedCounter().Add(1);
+  }
 
   step_.task = &task;
   step_.roots = std::move(root_extensions);
   step_.num_levels = options.num_levels;
+  step_.live_mask = live_mask;
   for (auto& worker : workers_) {
     for (uint32_t core = 0; core < worker->num_threads(); ++core) {
       ThreadContext& t = worker->thread(core);
@@ -77,15 +127,18 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
         t.frames.push_back(std::make_unique<SubgraphEnumerator>());
       }
     }
+    worker->ResetStepHealth();
   }
+  suspects_.store(0, std::memory_order_relaxed);
+  obs::SuspectVictimsGauge().Set(0);
 
-  control_.failed.store(false, std::memory_order_relaxed);
-  control_.working.store(total_threads, std::memory_order_relaxed);
-  control_.crash_units.store(0, std::memory_order_relaxed);
-  control_.arm_fault_injection =
-      options.arm_fault_injection && options.crash_worker >= 0;
-  control_.crash_worker = options.crash_worker;
-  control_.crash_after_work_units = options.crash_after_work_units;
+  FaultInjector* injector = options.fault_injector.get();
+  if (injector != nullptr) injector->BeginStep();
+  // The bus holds its own shared_ptr so straggling service threads can
+  // consult the injector beyond this step's barrier without dangling.
+  if (bus_ != nullptr) bus_->SetFaultInjector(options.fault_injector);
+  control_.injector = injector;
+  control_.working.store(live_threads, std::memory_order_relaxed);
   control_.timer.Restart();
 
   {
@@ -96,22 +149,43 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
     if (options_.progress_interval_ms > 0) {
       progress.emplace(options_.progress_interval_ms);
     }
-    FRACTAL_TRACE_SPAN_V("cluster/step_barrier", total_threads);
+    FRACTAL_TRACE_SPAN_V("cluster/step_barrier", live_threads);
     MutexLock lock(mu_);
-    threads_remaining_ = total_threads;
+    threads_remaining_ = live_threads;
     ++step_generation_;
     work_cv_.NotifyAll();
     while (threads_remaining_ != 0) done_cv_.Wait(mu_);
   }
 
   StepResult result;
-  result.failed = control_.failed.load(std::memory_order_acquire);
+  result.live_workers = live_workers;
   result.telemetry.wall_seconds = control_.timer.ElapsedSeconds();
-  for (auto& worker : workers_) {
-    for (uint32_t core = 0; core < worker->num_threads(); ++core) {
-      result.telemetry.threads.push_back(worker->thread(core).stats);
+  // Harvest live workers only: dead workers skipped the step and their
+  // ThreadContexts hold stale stats from their last participating step.
+  for (uint32_t worker = 0; worker < options_.num_workers; ++worker) {
+    if (((live_mask >> worker) & 1) == 0) continue;
+    Worker& w = *workers_[worker];
+    for (uint32_t core = 0; core < w.num_threads(); ++core) {
+      result.telemetry.threads.push_back(w.thread(core).stats);
     }
   }
+  const uint64_t crashed_mask =
+      injector != nullptr ? injector->crashed_mask() : 0;
+  if (crashed_mask != 0) {
+    StepFailure failure;
+    failure.worker = std::countr_zero(crashed_mask);
+    failure.cause = injector->CrashCause(
+        static_cast<uint32_t>(failure.worker));
+    Worker& crashed = *workers_[static_cast<uint32_t>(failure.worker)];
+    for (uint32_t core = 0; core < crashed.num_threads(); ++core) {
+      failure.work_units_lost += crashed.thread(core).stats.work_units;
+    }
+    failure.wall_seconds_lost = result.telemetry.wall_seconds;
+    obs::WorkersCrashedCounter().Add(
+        static_cast<uint64_t>(std::popcount(crashed_mask)));
+    result.failure = std::move(failure);
+  }
+  control_.injector = nullptr;
   step_.task = nullptr;
   step_.roots.clear();
   steps_run_.fetch_add(1, std::memory_order_relaxed);

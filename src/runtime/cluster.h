@@ -7,15 +7,25 @@
 // per-step thread churn of multi-step workflows (FSM runs one step per
 // pattern size, Algorithm 2).
 //
+// Resilience (DESIGN.md §7): the cluster maintains a live-worker mask.
+// Workers marked dead by the executor's retry policy are excluded from root
+// partitioning, steal victim selection, and barrier accounting, so a step
+// re-executes on the surviving W−1 subset ("degraded re-execution"). The
+// from-scratch model of the paper (§4) makes this exact: a failed step is
+// discarded wholesale and re-run, so results stay bit-identical.
+//
 // One Cluster can be shared by many fractoid executions (see
 // ExecutionConfig::cluster); step submissions serialize.
 #ifndef FRACTAL_RUNTIME_CLUSTER_H_
 #define FRACTAL_RUNTIME_CLUSTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "runtime/fault.h"
 #include "runtime/message_bus.h"
 #include "runtime/worker.h"
 #include "util/mutex.h"
@@ -27,7 +37,8 @@ namespace fractal {
 /// Shape and stealing policy of a cluster (paper §4/5.2.2: the WS_int /
 /// WS_ext configurations map to the two stealing flags).
 struct ClusterOptions {
-  /// Simulated worker processes (paper: machines/executors).
+  /// Simulated worker processes (paper: machines/executors). At most 64
+  /// (the live-worker mask is one machine word).
   uint32_t num_workers = 1;
   /// Execution threads ("cores") per worker.
   uint32_t threads_per_worker = 2;
@@ -39,7 +50,8 @@ struct ClusterOptions {
   /// executor normalizes the flag off for single-worker configs).
   bool external_work_stealing = false;
 
-  /// Simulated network parameters for WS_ext.
+  /// Simulated network parameters for WS_ext, including steal-RPC deadlines
+  /// and retry/backoff policy.
   NetworkConfig network;
 
   /// When > 0, RunStep runs a StepProgressReporter that logs work-unit
@@ -51,8 +63,8 @@ struct ClusterOptions {
 class Cluster {
  public:
   /// Checks that `options` describe a constructible cluster: at least one
-  /// worker and one thread per worker, and no external stealing without a
-  /// second worker to steal from.
+  /// worker (and at most 64) and one thread per worker, and no external
+  /// stealing without a second worker to steal from.
   static Status Validate(const ClusterOptions& options);
 
   /// Validated construction path: returns an error Status instead of
@@ -74,29 +86,35 @@ class Cluster {
   struct StepOptions {
     /// Number of E-levels of the step (frame stack depth per thread).
     uint32_t num_levels = 0;
-    /// Fault injection (resilience testing): when armed, worker
-    /// `crash_worker` abandons the step after `crash_after_work_units`
-    /// consumed extensions. Fires at most once per arming.
-    bool arm_fault_injection = false;
-    int32_t crash_worker = -1;
-    uint64_t crash_after_work_units = 0;
+    /// Fault hooks of the step (runtime/fault.h); null disables injection.
+    /// Shared ownership: the message bus keeps a reference for straggling
+    /// service threads beyond the step barrier.
+    std::shared_ptr<FaultInjector> fault_injector;
   };
 
   struct StepResult {
-    /// A worker "crashed": all step output must be discarded and the step
-    /// re-executed (the from-scratch model makes this recovery trivial).
-    bool failed = false;
+    /// Set when a worker "crashed" during the step: all step output must be
+    /// discarded and the step re-executed (the from-scratch model makes
+    /// that recovery trivial). Carries which worker failed, why, and what
+    /// the abandoned attempt cost.
+    std::optional<StepFailure> failure;
+    /// Telemetry of the live workers' threads (dead workers contribute
+    /// nothing).
     StepTelemetry telemetry;
+    /// Workers that participated in the step (popcount of the live mask).
+    uint32_t live_workers = 0;
+
+    bool ok() const { return !failure.has_value(); }
   };
 
-  /// Submits one fractal step and blocks until every thread of every worker
-  /// has finished it (submit/barrier). `root_extensions` — the extensions
-  /// of the empty subgraph — are partitioned contiguously across global
-  /// core ids (paper §4: "an initial partition of extensions ... determined
-  /// on-the-fly using its unique core identifier"). Thread-safe: concurrent
-  /// submissions from different executions serialize. The result carries
-  /// the failure flag of the step (see StepResult::failed) and must not be
-  /// dropped.
+  /// Submits one fractal step and blocks until every live thread of every
+  /// live worker has finished it (submit/barrier). `root_extensions` — the
+  /// extensions of the empty subgraph — are partitioned contiguously across
+  /// the live cores (paper §4: "an initial partition of extensions ...
+  /// determined on-the-fly using its unique core identifier"). Thread-safe:
+  /// concurrent submissions from different executions serialize. The result
+  /// carries the failure record of the step (see StepResult::failure) and
+  /// must not be dropped.
   [[nodiscard]] StepResult RunStep(StepTask& task,
                                    std::vector<uint32_t> root_extensions,
                                    const StepOptions& options)
@@ -109,8 +127,33 @@ class Cluster {
   /// Steps executed since construction (reuse visible to tests/benches).
   uint64_t steps_run() const { return steps_run_.load(); }
 
+  /// Live-worker mask: bit w set means worker w participates in steps.
+  /// Mutated between steps by the executor's retry policy (MarkWorkerDead
+  /// after a crash, RestoreAllWorkers on reuse); RunStep snapshots it.
+  uint64_t live_mask() const {
+    return live_mask_.load(std::memory_order_acquire);
+  }
+  uint32_t num_live_workers() const;
+  /// Excludes `worker` from subsequent steps (degraded re-execution). Must
+  /// not be called while a step is in flight.
+  void MarkWorkerDead(uint32_t worker);
+  /// Re-admits every worker (e.g. when a cluster is reused by a later
+  /// execution after a simulated crash).
+  void RestoreAllWorkers();
+
+  /// Number of (requester, victim) pairs currently marked suspect by the
+  /// steal-RPC health tracker; reset at every step start. Feeds the
+  /// runtime.suspect_victims gauge.
+  uint64_t suspect_victims() const {
+    return suspects_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Worker;
+
+  /// Called by workers when a victim crosses the consecutive-timeout
+  /// threshold (NetworkConfig::suspect_after_timeouts).
+  void NoteSuspectVictim();
 
   /// Step submission shared with the workers' threads. Written by RunStep
   /// before the wake-up notification; read by execution threads after they
@@ -120,12 +163,18 @@ class Cluster {
     StepTask* task = nullptr;
     std::vector<uint32_t> roots;
     uint32_t num_levels = 0;
+    /// Snapshot of live_mask_ for this step: threads of non-live workers
+    /// skip the step (and its barrier), and victim selection is restricted
+    /// to live workers.
+    uint64_t live_mask = ~uint64_t{0};
   };
 
   ClusterOptions options_;
   std::unique_ptr<MessageBus> bus_;  // null unless external stealing
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> steps_run_{0};
+  std::atomic<uint64_t> live_mask_{~uint64_t{0}};
+  std::atomic<uint64_t> suspects_{0};
 
   /// Serializes RunStep callers. Outermost lock of the runtime: acquired
   /// before Cluster::mu (lock hierarchy in DESIGN.md).

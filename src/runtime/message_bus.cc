@@ -2,8 +2,12 @@
 
 #include <chrono>
 #include <thread>
+#include <utility>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/fault.h"
+#include "util/timer.h"
 
 namespace fractal {
 
@@ -24,33 +28,82 @@ void MessageBus::SimulateDelay(size_t payload_bytes) const {
   }
 }
 
-std::optional<std::vector<uint8_t>> MessageBus::RequestSteal(
-    uint32_t requester, uint32_t victim) {
+void MessageBus::SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  MutexLock lock(injector_mu_);
+  injector_ = std::move(injector);
+}
+
+std::shared_ptr<FaultInjector> MessageBus::fault_injector() const {
+  MutexLock lock(injector_mu_);
+  return injector_;
+}
+
+StealReply MessageBus::RequestSteal(uint32_t requester, uint32_t victim) {
   FRACTAL_CHECK(victim < inboxes_.size());
   FRACTAL_CHECK(victim != requester) << "steal from self must be internal";
-  if (stopped()) return std::nullopt;
+  if (stopped()) return {StealOutcome::kShutdown, {}};
+
+  const int64_t timeout_micros = config_.request_timeout_micros;
+  if (const std::shared_ptr<FaultInjector> injector = fault_injector()) {
+    // A crashed worker's endpoint refuses instantly (connection reset) —
+    // unlike a dead steal *service*, which silently never replies and
+    // costs the requester its full deadline.
+    if (injector->WorkerCrashed(victim)) return {StealOutcome::kNoWork, {}};
+    const int64_t spike = injector->StealRequestDelayMicros();
+    if (spike > 0) {
+      FRACTAL_TRACE_INSTANT("bus/delay_spike", spike);
+      std::this_thread::sleep_for(std::chrono::microseconds(spike));
+    }
+    if (timeout_micros > 0 && injector->DropStealRequest()) {
+      // The request is lost in flight: nothing was enqueued, so the
+      // requester burns its deadline waiting for a reply that never comes.
+      obs::DroppedRequestsCounter().Add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(timeout_micros));
+      return {StealOutcome::kTimeout, {}};
+    }
+  }
 
   // Span covers the full round trip (request delay, victim service time,
   // reply delay); declared before any lock so both ends record lock-free.
   FRACTAL_TRACE_SPAN_V("bus/request_steal", victim);
-  Request request;
+  auto request = std::make_shared<Request>();
   SimulateDelay(/*payload_bytes=*/16);  // request message
   {
     Inbox& inbox = *inboxes_[victim];
     MutexLock lock(inbox.mu);
-    inbox.queue.push_back(&request);
+    inbox.queue.push_back(request);
     inbox.cv.NotifyOne();
   }
+  WallTimer deadline;
+  bool timed_out = false;
   std::optional<std::vector<uint8_t>> payload;
   {
-    MutexLock lock(request.mu);
-    while (!request.done) request.cv.Wait(request.mu);
-    payload = std::move(request.payload);
+    MutexLock lock(request->mu);
+    while (request->state != Request::State::kDone) {
+      if (request->state == Request::State::kPending && timeout_micros > 0) {
+        const int64_t remaining = timeout_micros - deadline.ElapsedMicros();
+        if (remaining <= 0) {
+          // Abandon only from kPending: once the victim committed
+          // (kReplying) the claimed work must reach us, so we keep
+          // waiting — bounded by the victim's local claim+encode time.
+          request->state = Request::State::kAbandoned;
+          timed_out = true;
+          break;
+        }
+        request->cv.WaitForMicros(request->mu, remaining);
+      } else {
+        request->cv.Wait(request->mu);
+      }
+    }
+    if (!timed_out) payload = std::move(request->payload);
   }
-  if (!payload.has_value()) return std::nullopt;
+  if (timed_out) return {StealOutcome::kTimeout, {}};
+  if (!payload.has_value()) {
+    return {stopped() ? StealOutcome::kShutdown : StealOutcome::kNoWork, {}};
+  }
   FRACTAL_TRACE_INSTANT("bus/reply_bytes", payload->size());
   SimulateDelay(payload->size());  // reply message
-  return payload;
+  return {StealOutcome::kWork, std::move(*payload)};
 }
 
 std::optional<MessageBus::RequestToken> MessageBus::WaitForRequest(
@@ -63,18 +116,36 @@ std::optional<MessageBus::RequestToken> MessageBus::WaitForRequest(
   // part of the lock hierarchy (DESIGN.md).
   while (inbox.queue.empty() && !stopped()) inbox.cv.Wait(inbox.mu);
   if (inbox.queue.empty()) return std::nullopt;
-  Request* request = inbox.queue.front();
+  std::shared_ptr<Request> request = std::move(inbox.queue.front());
   inbox.queue.pop_front();
-  return static_cast<RequestToken>(request);
+  return RequestToken(std::move(request));
 }
 
-void MessageBus::Reply(RequestToken token,
+bool MessageBus::BeginReply(const RequestToken& token) {
+  auto request = std::static_pointer_cast<Request>(token);
+  MutexLock lock(request->mu);
+  if (request->state != Request::State::kPending) {
+    return false;  // the requester abandoned it at its deadline
+  }
+  request->state = Request::State::kReplying;
+  return true;
+}
+
+void MessageBus::Reply(const RequestToken& token,
                        std::optional<std::vector<uint8_t>> payload) {
-  Request* request = static_cast<Request*>(token);
+  auto request = std::static_pointer_cast<Request>(token);
   FRACTAL_TRACE_SPAN_V("bus/reply", payload.has_value() ? payload->size() : 0);
   MutexLock lock(request->mu);
+  if (request->state == Request::State::kAbandoned) {
+    // Reachable only without BeginReply (Shutdown drain / direct replies):
+    // the requester is gone and — by the claim-after-commit contract — no
+    // work was claimed for it, so dropping the reply loses nothing.
+    FRACTAL_CHECK(!payload.has_value())
+        << "work claimed for an abandoned steal request";
+    return;
+  }
   request->payload = std::move(payload);
-  request->done = true;
+  request->state = Request::State::kDone;
   request->cv.NotifyOne();
 }
 
@@ -88,13 +159,15 @@ void MessageBus::Shutdown() {
     // Drain the queue under the inbox lock, but fail the drained requests
     // after releasing it: Reply takes Request::mu, which must not nest
     // inside Inbox::mu.
-    std::deque<Request*> pending;
+    std::deque<std::shared_ptr<Request>> pending;
     {
       MutexLock lock(inbox->mu);
       pending.swap(inbox->queue);
       inbox->cv.NotifyAll();
     }
-    for (Request* request : pending) Reply(request, std::nullopt);
+    for (std::shared_ptr<Request>& request : pending) {
+      Reply(request, std::nullopt);
+    }
   }
 }
 

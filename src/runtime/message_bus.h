@@ -4,6 +4,15 @@
 // byte payload delivered through this bus, with a configurable simulated
 // network latency and per-byte cost so that external work stealing keeps its
 // real-world cost asymmetry versus internal stealing.
+//
+// Steal RPCs are bounded: a request carries a deadline
+// (NetworkConfig::request_timeout_micros) and no code path blocks
+// indefinitely on a dead peer. Exactness under timeouts rests on a
+// claim-after-commit rendezvous: the victim's service must BeginReply()
+// (commit to answering) *before* it claims any work from its frames, and a
+// requester may abandon a request only while it is still uncommitted — so
+// claimed work is never orphaned by a timed-out requester, and re-executed
+// steps stay bit-identical to fault-free runs (DESIGN.md §7).
 #ifndef FRACTAL_RUNTIME_MESSAGE_BUS_H_
 #define FRACTAL_RUNTIME_MESSAGE_BUS_H_
 
@@ -19,16 +28,43 @@
 
 namespace fractal {
 
+class FaultInjector;
+
 /// Simulated network parameters for inter-worker messaging.
 struct NetworkConfig {
   /// One-way message delivery latency in microseconds.
   int64_t latency_micros = 50;
   /// Additional shipping cost per kilobyte of payload, in microseconds.
   int64_t per_kb_micros = 10;
+
+  /// Deadline for one steal request round trip, in microseconds. 0 waits
+  /// forever (the pre-resilience behavior; disables drop injection too).
+  int64_t request_timeout_micros = 100000;
+  /// Attempts per victim after consecutive timeouts (>= 1 effective).
+  uint32_t max_steal_retries = 3;
+  /// Base backoff between retries; attempt n sleeps base << n plus full
+  /// jitter. 0 disables backoff sleeps.
+  int64_t retry_backoff_micros = 100;
+  /// Consecutive timeouts against one victim before it is marked suspect
+  /// and skipped for the rest of the step. 0 disables suspicion.
+  uint32_t suspect_after_timeouts = 3;
+};
+
+/// How a steal request ended (requester side).
+enum class StealOutcome : uint8_t {
+  kWork,      // payload carries serialized stolen work
+  kNoWork,    // victim was responsive but had nothing (or has crashed)
+  kTimeout,   // no reply within the deadline (dead service / dropped msg)
+  kShutdown,  // the bus is shutting down
+};
+
+struct StealReply {
+  StealOutcome outcome = StealOutcome::kNoWork;
+  std::vector<uint8_t> payload;  // non-empty only for kWork
 };
 
 /// Point-to-point request/reply bus between workers. One instance serves
-/// one step execution; Shutdown() releases all waiters.
+/// one cluster; Shutdown() releases all waiters.
 class MessageBus {
  public:
   MessageBus(uint32_t num_workers, const NetworkConfig& config);
@@ -37,34 +73,56 @@ class MessageBus {
   MessageBus& operator=(const MessageBus&) = delete;
 
   /// Requester side: sends a steal request to `victim` and blocks for the
-  /// reply. Returns the serialized stolen work, or nullopt when the victim
-  /// had nothing (or the bus shut down). Simulated latency is charged here.
-  std::optional<std::vector<uint8_t>> RequestSteal(uint32_t requester,
-                                                   uint32_t victim);
+  /// reply, at most `request_timeout_micros` while the request is
+  /// uncommitted. Simulated latency (and injected drops/delays) is charged
+  /// here.
+  StealReply RequestSteal(uint32_t requester, uint32_t victim);
 
   /// Victim service side: blocks until a request arrives for `worker` or
-  /// the bus shuts down (nullopt). The returned token must be passed to
-  /// Reply exactly once.
-  using RequestToken = void*;
+  /// the bus shuts down (nullopt). Tokens are shared handles: a token the
+  /// requester has abandoned is still safe to touch (BeginReply fails).
+  using RequestToken = std::shared_ptr<void>;
   std::optional<RequestToken> WaitForRequest(uint32_t worker);
 
+  /// Victim service side: commits to answering `token`. Must be called
+  /// before claiming any work for it; returns false when the requester
+  /// already abandoned the request (then no work may be claimed and Reply
+  /// must not be called).
+  [[nodiscard]] bool BeginReply(const RequestToken& token);
+
   /// Victim service side: answers a request (empty payload == no work).
-  void Reply(RequestToken token, std::optional<std::vector<uint8_t>> payload);
+  /// Requires a successful BeginReply, or an uncommitted request (the
+  /// Shutdown drain and direct test use).
+  void Reply(const RequestToken& token,
+             std::optional<std::vector<uint8_t>> payload);
 
   /// Releases all waiters; subsequent requests fail fast.
   void Shutdown();
+
+  /// Fault hooks consulted on the request path (drops, delays, dead
+  /// services). Shared ownership: a straggling service thread can hold the
+  /// injector of a finished execution without dangling. Null disables.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector)
+      EXCLUDES(injector_mu_);
+  std::shared_ptr<FaultInjector> fault_injector() const
+      EXCLUDES(injector_mu_);
 
   uint32_t num_workers() const {
     return static_cast<uint32_t>(inboxes_.size());
   }
 
  private:
-  /// One in-flight steal request, stack-allocated by the requester; the
-  /// victim's service thread completes it through Reply.
+  /// One in-flight steal request. State machine (all transitions under mu):
+  ///   kPending --BeginReply--> kReplying --Reply--> kDone
+  ///   kPending --deadline----> kAbandoned           (requester gave up)
+  /// A requester that times out while the victim is already kReplying keeps
+  /// waiting (bounded by the local claim+encode time): the committed claim
+  /// must reach exactly one consumer.
   struct Request {
+    enum class State : uint8_t { kPending, kReplying, kDone, kAbandoned };
     Mutex mu{"MessageBus::Request::mu"};
     CondVar cv;
-    bool done GUARDED_BY(mu) = false;
+    State state GUARDED_BY(mu) = State::kPending;
     std::optional<std::vector<uint8_t>> payload GUARDED_BY(mu);
   };
 
@@ -72,7 +130,7 @@ class MessageBus {
   struct Inbox {
     Mutex mu{"MessageBus::Inbox::mu"};
     CondVar cv;
-    std::deque<Request*> queue GUARDED_BY(mu);
+    std::deque<std::shared_ptr<Request>> queue GUARDED_BY(mu);
   };
 
   void SimulateDelay(size_t payload_bytes) const;
@@ -89,6 +147,9 @@ class MessageBus {
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   mutable Mutex stop_mu_{"MessageBus::stop_mu"};
   bool stopped_ GUARDED_BY(stop_mu_) = false;
+  /// Leaf lock guarding the injector handle (DESIGN.md §5).
+  mutable Mutex injector_mu_{"MessageBus::injector_mu"};
+  std::shared_ptr<FaultInjector> injector_ GUARDED_BY(injector_mu_);
 };
 
 }  // namespace fractal

@@ -78,6 +78,12 @@ std::string StepTelemetry::ToTable() const {
   return out.str();
 }
 
+std::string StepFailure::ToString() const {
+  return StrFormat("worker %d crashed (%s) after %llu work units, %.3fs lost",
+                   worker, cause.empty() ? "unknown cause" : cause.c_str(),
+                   (unsigned long long)work_units_lost, wall_seconds_lost);
+}
+
 uint64_t ExecutionTelemetry::TotalWorkUnits() const {
   uint64_t total = 0;
   for (const StepTelemetry& s : steps) total += s.TotalWorkUnits();

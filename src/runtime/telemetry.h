@@ -24,6 +24,7 @@ struct ThreadStats {
   uint64_t internal_steals = 0;   // successful WS_int claims
   uint64_t external_steals = 0;   // successful WS_ext claims
   uint64_t steal_failures = 0;    // unsuccessful scan rounds
+  uint64_t steal_timeouts = 0;    // WS_ext requests that hit the deadline
   uint64_t bytes_shipped = 0;     // serialized bytes received via WS_ext
   int64_t own_work_micros = -1;   // when the initial partition drained
   int64_t finish_micros = 0;      // when the thread went permanently idle
@@ -61,6 +62,19 @@ struct StepTelemetry {
 
   /// Multi-line per-thread summary table for benches.
   std::string ToTable() const;
+};
+
+/// Structured record of one abandoned step execution: which worker crashed,
+/// why, and what the abandoned attempt cost. Replaces the bare `failed`
+/// bool of StepResult; carried through ExecutionResult::failures so callers
+/// can audit every recovery the executor performed.
+struct StepFailure {
+  int32_t worker = -1;           // first crashed worker of the attempt
+  std::string cause;             // human-readable fault description
+  uint64_t work_units_lost = 0;  // units the crashed worker had consumed
+  double wall_seconds_lost = 0;  // wall time of the abandoned attempt
+
+  std::string ToString() const;
 };
 
 /// Accumulates telemetry across the steps of a whole fractoid execution.

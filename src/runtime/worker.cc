@@ -1,6 +1,7 @@
 #include "runtime/worker.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 
 #include "obs/metrics.h"
@@ -13,13 +14,16 @@
 namespace fractal {
 
 Worker::Worker(Cluster* cluster, uint32_t worker_id)
-    : cluster_(cluster), worker_id_(worker_id) {
+    : cluster_(cluster),
+      worker_id_(worker_id),
+      victim_health_(cluster->options().num_workers) {
   const uint32_t per_worker = cluster_->options().threads_per_worker;
   for (uint32_t core = 0; core < per_worker; ++core) {
     auto t = std::make_unique<ThreadContext>();
     t->worker_id = worker_id_;
     t->local_core = core;
     t->core_id = worker_id_ * per_worker + core;
+    t->jitter = SplitMix64(0x9e3779b9u ^ (uint64_t{t->core_id} << 17));
     threads_.push_back(std::move(t));
   }
 }
@@ -37,6 +41,13 @@ void Worker::Join() {
   for (std::thread& thread : exec_threads_) thread.join();
   exec_threads_.clear();
   if (service_thread_.joinable()) service_thread_.join();
+}
+
+void Worker::ResetStepHealth() {
+  for (VictimHealth& health : victim_health_) {
+    health.consecutive_timeouts.store(0, std::memory_order_relaxed);
+    health.suspect.store(false, std::memory_order_relaxed);
+  }
 }
 
 void Worker::ThreadLoop(ThreadContext& t) {
@@ -60,6 +71,10 @@ void Worker::ThreadLoop(ThreadContext& t) {
       if (cluster_->shutdown_) return;
       seen_generation = cluster_->step_generation_;
     }
+    // Degraded steps run on the live-worker subset only: threads of dead
+    // workers skip the step entirely and must not touch the barrier count
+    // (it was initialized to the live thread total).
+    if (((cluster_->step_.live_mask >> worker_id_) & 1) == 0) continue;
     RunStepOnThread(t);
     {
       MutexLock lock(cluster_->mu_);
@@ -83,15 +98,25 @@ void Worker::RunStepOnThread(ThreadContext& t) {
   t.control = &control;
 
   // Initial partition: a contiguous block of the root extensions selected
-  // by the global core id (paper §4: "an initial partition of extensions
-  // ... determined on-the-fly using its unique core identifier"; the Spark
-  // substrate hands each core one contiguous input partition). Contiguous
-  // blocks concentrate hub-adjacent roots, producing the raw skew the
+  // by the thread's rank among *live* cores (paper §4: "an initial
+  // partition of extensions ... determined on-the-fly using its unique core
+  // identifier"; the Spark substrate hands each core one contiguous input
+  // partition). Dead workers' cores are excised from the ranking so a
+  // degraded step still covers every root with no holes. Contiguous blocks
+  // concentrate hub-adjacent roots, producing the raw skew the
   // work-stealing hierarchy then fixes (§4.2).
+  const uint64_t live_mask = step.live_mask;
+  const uint32_t per_worker = options.threads_per_worker;
+  const uint32_t live_threads =
+      static_cast<uint32_t>(std::popcount(live_mask)) * per_worker;
+  const uint32_t live_rank =
+      static_cast<uint32_t>(
+          std::popcount(live_mask & ((uint64_t{1} << worker_id_) - 1))) *
+          per_worker +
+      t.local_core;
   const size_t total = step.roots.size();
-  const uint32_t threads = cluster_->TotalThreads();
-  const size_t begin = total * t.core_id / threads;
-  const size_t end = total * (t.core_id + 1) / threads;
+  const size_t begin = total * live_rank / live_threads;
+  const size_t end = total * (live_rank + 1) / live_threads;
   std::vector<uint32_t> slice(step.roots.begin() + begin,
                               step.roots.begin() + end);
   if (step.num_levels > 0 && !slice.empty()) {
@@ -107,11 +132,16 @@ void Worker::RunStepOnThread(ThreadContext& t) {
   // with the thread count: on an oversubscribed host, aggressive idle
   // rescans starve the threads that still hold work.
   const bool external_enabled = cluster_->bus_ != nullptr;
+  FaultInjector* injector = control.injector;
   const int64_t max_backoff_micros =
-      std::max<int64_t>(400, 100 * threads);
+      std::max<int64_t>(400, 100 * live_threads);
   int64_t backoff_micros = 50;
   while (true) {
-    if (control.failed.load(std::memory_order_acquire)) break;
+    // Crash containment: a crashed worker's threads stop contributing
+    // immediately; survivors have drained their own frames above and —
+    // since any crash dooms the step to re-execution — stop stealing more
+    // of it instead of burning time on discarded work.
+    if (injector != nullptr && injector->crashed_mask() != 0) break;
     if (control.working.load(std::memory_order_acquire) == 0) break;
     control.working.fetch_add(1, std::memory_order_acq_rel);
     bool got = false;
@@ -162,26 +192,71 @@ std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimInternalWork(
 
 std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimExternalWork(
     ThreadContext& t) {
-  const uint32_t num_workers = cluster_->options().num_workers;
+  const ClusterOptions& options = cluster_->options();
+  const NetworkConfig& net = options.network;
+  const uint32_t num_workers = options.num_workers;
+  const uint64_t live_mask = cluster_->step_.live_mask;
+  FaultInjector* injector = cluster_->control_.injector;
+  const uint32_t max_attempts = std::max<uint32_t>(1, net.max_steal_retries);
   for (uint32_t offset = 1; offset < num_workers; ++offset) {
     const uint32_t victim = (worker_id_ + offset) % num_workers;
-    WallTimer rtt_timer;
-    auto payload = cluster_->bus_->RequestSteal(worker_id_, victim);
-    if (!payload.has_value()) continue;
-    obs::StealRttHistogram().Record(
-        static_cast<uint64_t>(rtt_timer.ElapsedMicros()));
-    SubgraphEnumerator::StolenWork work;
-    WallTimer decode_timer;
-    if (!SubgraphCodec::DecodeStolenWork(*payload, &work)) {
-      FRACTAL_CHECK(false) << "corrupted stolen-work payload";
+    if (((live_mask >> victim) & 1) == 0) continue;  // dead before the step
+    if (injector != nullptr && injector->WorkerCrashed(victim)) continue;
+    VictimHealth& health = victim_health_[victim];
+    if (health.suspect.load(std::memory_order_relaxed)) continue;
+    for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+      WallTimer rtt_timer;
+      const StealReply reply = cluster_->bus_->RequestSteal(worker_id_, victim);
+      if (reply.outcome == StealOutcome::kShutdown) return std::nullopt;
+      if (reply.outcome == StealOutcome::kNoWork) {
+        // Responsive but empty: try the next victim.
+        health.consecutive_timeouts.store(0, std::memory_order_relaxed);
+        break;
+      }
+      if (reply.outcome == StealOutcome::kWork) {
+        health.consecutive_timeouts.store(0, std::memory_order_relaxed);
+        obs::StealRttHistogram().Record(
+            static_cast<uint64_t>(rtt_timer.ElapsedMicros()));
+        SubgraphEnumerator::StolenWork work;
+        WallTimer decode_timer;
+        if (!SubgraphCodec::DecodeStolenWork(reply.payload, &work)) {
+          FRACTAL_CHECK(false) << "corrupted stolen-work payload";
+        }
+        obs::DecodeTimeHistogram().Record(
+            static_cast<uint64_t>(decode_timer.ElapsedNanos()));
+        ++t.stats.external_steals;
+        t.stats.bytes_shipped += reply.payload.size();
+        obs::ExternalStealsCounter().Add(1);
+        obs::BytesShippedCounter().Add(reply.payload.size());
+        return work;
+      }
+      // kTimeout: accrue health, back off, retry — or give the victim up
+      // as suspect for the rest of the step.
+      ++t.stats.steal_timeouts;
+      obs::StealTimeoutsCounter().Add(1);
+      const uint32_t consecutive =
+          health.consecutive_timeouts.fetch_add(1, std::memory_order_relaxed) +
+          1;
+      if (net.suspect_after_timeouts > 0 &&
+          consecutive >= net.suspect_after_timeouts) {
+        if (!health.suspect.exchange(true, std::memory_order_relaxed)) {
+          cluster_->NoteSuspectVictim();
+          FRACTAL_TRACE_INSTANT("worker/victim_suspect", victim);
+        }
+        break;
+      }
+      if (attempt + 1 < max_attempts && net.retry_backoff_micros > 0) {
+        // Exponential backoff with full jitter: decorrelates the retries
+        // of many starving threads hammering one slow victim.
+        const int64_t base = net.retry_backoff_micros << attempt;
+        const int64_t backoff =
+            base +
+            static_cast<int64_t>(t.jitter.NextBounded(
+                static_cast<uint64_t>(base) + 1));
+        obs::RetryBackoffHistogram().Record(static_cast<uint64_t>(backoff));
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      }
     }
-    obs::DecodeTimeHistogram().Record(
-        static_cast<uint64_t>(decode_timer.ElapsedNanos()));
-    ++t.stats.external_steals;
-    t.stats.bytes_shipped += payload->size();
-    obs::ExternalStealsCounter().Add(1);
-    obs::BytesShippedCounter().Add(payload->size());
-    return work;
   }
   return std::nullopt;
 }
@@ -206,9 +281,27 @@ void Worker::StealServiceLoop() {
   }
   // Requests only arrive while a step is running (requesters hold the
   // step's `working` count while blocked on the bus), so the frames this
-  // scans are always live. Shutdown of the bus ends the loop.
+  // scans are always live: BeginReply succeeds only for a requester that is
+  // still waiting, and abandoned tokens are dropped without touching any
+  // frame. Shutdown of the bus ends the loop.
   while (auto token = cluster_->bus_->WaitForRequest(worker_id_)) {
     FRACTAL_TRACE_SPAN("worker/steal_service");
+    if (const std::shared_ptr<FaultInjector> injector =
+            cluster_->bus_->fault_injector()) {
+      if (!injector->OnStealRequestArrived(worker_id_)) {
+        // Dead steal service: the request is swallowed without a reply and
+        // the requester times out at its deadline.
+        continue;
+      }
+      if (injector->WorkerCrashed(worker_id_)) {
+        // Crashed worker: refuse fast instead of serving its frames.
+        cluster_->bus_->Reply(*token, std::nullopt);
+        continue;
+      }
+    }
+    // Claim-after-commit: commit to this requester *before* claiming work,
+    // so a request abandoned at its deadline can never orphan a claim.
+    if (!cluster_->bus_->BeginReply(*token)) continue;
     auto work = ClaimLocalWork();
     if (work.has_value()) {
       WallTimer encode_timer;

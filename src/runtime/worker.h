@@ -30,25 +30,35 @@
 
 #include "enumerate/enumerator.h"
 #include "obs/metrics.h"
+#include "runtime/fault.h"
 #include "runtime/telemetry.h"
+#include "util/random.h"
 #include "util/timer.h"
 
 namespace fractal {
 
 class Cluster;
 
-/// Shared state of one running step: the failure flag and the fault
-/// injection counters (paper resilience model: a "crashed" worker abandons
-/// the whole step, which is then re-executed from scratch). Owned by the
-/// Cluster and reset before each step.
+/// Shared state of one running step. Owned by the Cluster and reset before
+/// each step. Fault hooks route through `injector` (runtime/fault.h); the
+/// null check is the entire disabled-path cost on the work-unit hot path.
 struct StepControl {
-  std::atomic<bool> failed{false};
   std::atomic<uint64_t> working{0};  // threads still producing work
-  std::atomic<uint64_t> crash_units{0};
-  bool arm_fault_injection = false;
-  int32_t crash_worker = -1;
-  uint64_t crash_after_work_units = 0;
+  /// Fault hooks of the step; null => faults disabled. Raw pointer is safe
+  /// here: execution threads only touch it between the step-generation
+  /// bump and the barrier, strictly inside RunStep (the bus keeps a
+  /// shared_ptr for its unbounded service-thread tail).
+  FaultInjector* injector = nullptr;
   WallTimer timer;  // restarted at step start; telemetry timestamps
+};
+
+/// Per-victim responsiveness tracking for WS_ext (one slot per victim,
+/// per requesting worker): consecutive steal-RPC timeouts accrue until the
+/// victim is marked suspect and skipped for the rest of the step
+/// (NetworkConfig::suspect_after_timeouts). Reset at every step start.
+struct VictimHealth {
+  std::atomic<uint32_t> consecutive_timeouts{0};
+  std::atomic<bool> suspect{false};
 };
 
 /// Per-execution-thread runtime state, owned by a Worker and persistent
@@ -75,26 +85,21 @@ struct ThreadContext {
   /// Valid for the duration of a step.
   StepControl* control = nullptr;
 
-  /// Whether the current step has been abandoned (a worker "crashed").
-  bool StepFailed() const {
-    return control->failed.load(std::memory_order_relaxed);
-  }
+  /// Deterministic per-thread stream for steal-retry backoff jitter.
+  SplitMix64 jitter{0};
 
-  /// Counts one consumed extension and performs the crash-injection check.
-  /// Returns false when the step must be abandoned: the dying worker's
-  /// in-flight state (including thread-local aggregation accumulators) is
-  /// lost and the whole step is re-executed.
+  /// Counts one consumed extension and runs the fault hook. Returns false
+  /// once this thread's worker has (simulated-)crashed: the thread unwinds,
+  /// dropping its in-flight state (including thread-local aggregation
+  /// accumulators), while the surviving workers drain their own frames to
+  /// the barrier — the step is then re-executed from scratch. With no
+  /// injector armed the hook costs a single predictable-branch load.
   bool ConsumeWorkUnit() {
     ++stats.work_units;
     obs::WorkUnitsCounter().Add(1);
-    if (control->arm_fault_injection &&
-        worker_id == static_cast<uint32_t>(control->crash_worker) &&
-        control->crash_units.fetch_add(1, std::memory_order_relaxed) >=
-            control->crash_after_work_units) {
-      control->failed.store(true, std::memory_order_release);
-      return false;
-    }
-    return true;
+    FaultInjector* injector = control->injector;
+    if (injector == nullptr) return true;
+    return injector->OnWorkUnit(worker_id);
   }
 };
 
@@ -157,10 +162,16 @@ class Worker {
   std::optional<SubgraphEnumerator::StolenWork> ClaimInternalWork(
       ThreadContext& t);
 
-  /// WS_ext: requests work from the other workers through the message bus.
+  /// WS_ext: requests work from the other workers through the message bus,
+  /// skipping dead/crashed/suspect victims, retrying timed-out victims with
+  /// exponential backoff + jitter, and accruing per-victim timeout health.
   /// Charges the simulated network cost and records shipped bytes.
   std::optional<SubgraphEnumerator::StolenWork> ClaimExternalWork(
       ThreadContext& t);
+
+  /// Resets per-step victim-health state; called by RunStep while all
+  /// threads are parked.
+  void ResetStepHealth();
 
   /// Steal-service side of WS_ext: answers requests from other workers by
   /// claiming work from this worker's own frames.
@@ -169,6 +180,8 @@ class Worker {
 
   Cluster* cluster_;
   uint32_t worker_id_;
+  /// One slot per potential victim (indexed by worker id).
+  std::vector<VictimHealth> victim_health_;
   std::vector<std::unique_ptr<ThreadContext>> threads_;
   std::vector<std::thread> exec_threads_;
   std::thread service_thread_;

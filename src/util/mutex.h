@@ -137,6 +137,14 @@ class CondVar {
            std::cv_status::no_timeout;
   }
 
+  /// Microsecond-granularity WaitFor; used by the message bus for steal-RPC
+  /// deadlines (NetworkConfig::request_timeout_micros is far below 1 ms in
+  /// tests). Same contract as WaitFor.
+  bool WaitForMicros(Mutex& mu, int64_t timeout_us) REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::microseconds(timeout_us)) ==
+           std::cv_status::no_timeout;
+  }
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -290,10 +290,14 @@ TEST(ExecutionConfigTest, ValidateCatchesBadShapes) {
 
   ExecutionConfig bad_crash;
   bad_crash.num_workers = 2;
-  bad_crash.crash_worker = 2;  // workers are 0 and 1
+  bad_crash.fault_plan = FaultPlan().CrashWorker(2, 50);  // workers: 0, 1
   EXPECT_FALSE(bad_crash.Validate().ok());
-  bad_crash.crash_worker = 1;
+  bad_crash.fault_plan = FaultPlan().CrashWorker(1, 50);
   EXPECT_TRUE(bad_crash.Validate().ok());
+
+  ExecutionConfig zero_attempts;
+  zero_attempts.retry.max_attempts = 0;
+  EXPECT_FALSE(zero_attempts.Validate().ok());
 }
 
 TEST(ExecutionConfigTest, ValidateChecksCrashWorkerAgainstInjectedCluster) {
@@ -303,9 +307,10 @@ TEST(ExecutionConfigTest, ValidateChecksCrashWorkerAgainstInjectedCluster) {
   Cluster cluster(options);
   ExecutionConfig config;
   config.cluster = &cluster;
-  config.crash_worker = 1;
+  config.fault_plan = FaultPlan().CrashWorker(1, 10);
   EXPECT_TRUE(config.Validate().ok());
-  config.crash_worker = 2;  // outside the injected cluster
+  // Crash target outside the injected cluster's topology.
+  config.fault_plan = FaultPlan().CrashWorker(2, 10);
   EXPECT_FALSE(config.Validate().ok());
 }
 
@@ -330,14 +335,23 @@ TEST(ExecutorTest, InjectedClusterSurvivesWorkerCrashRecovery) {
 
   ExecutionConfig faulty = healthy;
   faulty.cluster = &cluster;
-  faulty.crash_worker = 1;
-  faulty.crash_after_work_units = 50;  // mid-step failure
+  faulty.fault_plan = FaultPlan().CrashWorker(1, 50);  // mid-step failure
   const ExecutionResult result = graph.VFractoid().Expand(3).Execute(faulty);
+  ASSERT_TRUE(result.status.ok()) << result.status;
   EXPECT_EQ(result.num_subgraphs, expected);
   EXPECT_EQ(result.steps_retried, 1u);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].worker, 1);
+  EXPECT_GT(result.failures[0].work_units_lost, 0u);
 
-  // The abandoned step left no residue: the same cluster keeps serving
-  // healthy executions with exact counts.
+  // The retry policy excluded the crashed worker: the re-execution ran
+  // degraded on the survivor.
+  EXPECT_EQ(cluster.num_live_workers(), 1u);
+
+  // The abandoned step left no residue: after re-admitting the crashed
+  // worker, the same cluster keeps serving healthy executions with exact
+  // counts.
+  cluster.RestoreAllWorkers();
   ExecutionConfig reuse;
   reuse.cluster = &cluster;
   EXPECT_EQ(graph.VFractoid().Expand(3).CountSubgraphs(reuse), expected);
@@ -356,10 +370,10 @@ TEST(ExecutorTest, WorkerCrashIsRecoveredByStepRetry) {
       graph.VFractoid().Expand(3).CountSubgraphs(healthy);
 
   ExecutionConfig faulty = healthy;
-  faulty.crash_worker = 1;
-  faulty.crash_after_work_units = 50;  // mid-step failure
+  faulty.fault_plan = FaultPlan().CrashWorker(1, 50);  // mid-step failure
   const ExecutionResult result =
       graph.VFractoid().Expand(3).Execute(faulty);
+  ASSERT_TRUE(result.status.ok()) << result.status;
   EXPECT_EQ(result.num_subgraphs, expected);
   EXPECT_EQ(result.steps_retried, 1u);
 }
@@ -381,9 +395,9 @@ TEST(ExecutorTest, WorkerCrashDuringAggregationStillExact) {
   const auto clean = make().Execute(healthy);
 
   ExecutionConfig faulty = healthy;
-  faulty.crash_worker = 0;
-  faulty.crash_after_work_units = 20;
+  faulty.fault_plan = FaultPlan().CrashWorker(0, 20);
   const auto recovered = make().Execute(faulty);
+  ASSERT_TRUE(recovered.status.ok()) << recovered.status;
   EXPECT_EQ(recovered.steps_retried, 1u);
   const uint64_t clean_count =
       *TypedStorage<uint64_t, uint64_t>(*clean.aggregations.begin()->second)
@@ -402,10 +416,11 @@ TEST(ExecutorTest, CrashThresholdNeverReachedMeansNoRetry) {
   config.num_workers = 2;
   config.threads_per_worker = 1;
   config.network.latency_micros = 1;
-  config.crash_worker = 1;
-  config.crash_after_work_units = 100000000;  // unreachable
+  config.fault_plan = FaultPlan().CrashWorker(1, 100000000);  // unreachable
   const auto result = graph.VFractoid().Expand(2).Execute(config);
+  EXPECT_TRUE(result.status.ok()) << result.status;
   EXPECT_EQ(result.steps_retried, 0u);
+  EXPECT_TRUE(result.failures.empty());
 }
 
 TEST(ExecutorTest, WorkStealingProducesBalancedWork) {

@@ -1,0 +1,350 @@
+// Resilience suite: fault-injection framework, bounded steal RPCs, crash
+// containment, and degraded re-execution (DESIGN.md §7). The load-bearing
+// property throughout is *exactness*: under any fault plan, results must be
+// bit-identical to a fault-free run — the from-scratch step model discards
+// failed attempts wholesale, and the claim-after-commit steal rendezvous
+// guarantees no work unit is lost or duplicated by timeouts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "apps/cliques.h"
+#include "apps/motifs.h"
+#include "core/context.h"
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "runtime/cluster.h"
+#include "runtime/fault.h"
+#include "runtime/message_bus.h"
+#include "util/timer.h"
+
+namespace fractal {
+namespace {
+
+// --- FaultPlan parsing and validation -------------------------------------
+
+TEST(FaultPlanTest, ParseRoundTrip) {
+  const char* spec =
+      "crash:w=1,after=50;crash:w=0,p=0.001;crash-service:w=0,after=3;"
+      "drop:p=0.05;delay:p=0.1,us=5000;slow:w=1,us=20";
+  auto plan = FaultPlan::Parse(spec, 42);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().seed(), 42u);
+  ASSERT_EQ(plan.value().specs().size(), 6u);
+  EXPECT_EQ(plan.value().specs()[0].kind, FaultKind::kCrashWorker);
+  EXPECT_EQ(plan.value().specs()[1].kind, FaultKind::kCrashWorkerRandom);
+  EXPECT_EQ(plan.value().specs()[2].kind, FaultKind::kCrashStealService);
+  EXPECT_EQ(plan.value().specs()[3].kind, FaultKind::kDropRequest);
+  EXPECT_EQ(plan.value().specs()[4].kind, FaultKind::kDelayRequest);
+  EXPECT_EQ(plan.value().specs()[5].kind, FaultKind::kSlowWorker);
+
+  // ToString re-parses to the identical plan.
+  auto reparsed = FaultPlan::Parse(plan.value().ToString(), 42);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed.value().ToString(), plan.value().ToString());
+}
+
+TEST(FaultPlanTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(FaultPlan::Parse("explode:w=1", 0).ok());
+  EXPECT_FALSE(FaultPlan::Parse("crash:w=banana", 0).ok());
+  EXPECT_FALSE(FaultPlan::Parse("crash:", 0).ok());
+  EXPECT_FALSE(FaultPlan::Parse("drop:p=nope", 0).ok());
+}
+
+TEST(FaultPlanTest, ValidateChecksTargetsAndRates) {
+  EXPECT_FALSE(FaultPlan().CrashWorker(2, 10).Validate(2).ok());
+  EXPECT_TRUE(FaultPlan().CrashWorker(1, 10).Validate(2).ok());
+  // A deterministic crash at unit 0 would never fire (units are 1-based).
+  EXPECT_FALSE(FaultPlan().CrashWorker(0, 0).Validate(2).ok());
+  EXPECT_FALSE(FaultPlan().DropStealRequests(1.5).Validate(2).ok());
+  EXPECT_FALSE(FaultPlan().SlowWorker(0, -5).Validate(2).ok());
+}
+
+// --- FaultInjector semantics ----------------------------------------------
+
+TEST(FaultInjectorTest, DeterministicCrashFiresExactlyOnceUnderRaces) {
+  FaultInjector injector(FaultPlan().CrashWorker(0, 100));
+  injector.BeginStep();
+  // Many threads race through the work-unit hook; the unique fetch_add
+  // numbering plus the fired-exchange must yield exactly one crash event.
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> false_returns{0};
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&injector, &false_returns] {
+      for (int j = 0; j < 1000; ++j) {
+        if (!injector.OnWorkUnit(0)) false_returns.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(injector.crash_events(), 1u);
+  EXPECT_TRUE(injector.WorkerCrashed(0));
+  EXPECT_FALSE(injector.CrashCause(0).empty());
+  // Every unit consumed after the trigger observed the crash.
+  EXPECT_GT(false_returns.load(), 0u);
+
+  // Deterministic entries are one-shot across retries: the next step
+  // attempt must not re-fire.
+  injector.BeginStep();
+  EXPECT_FALSE(injector.WorkerCrashed(0));
+  for (int j = 0; j < 1000; ++j) injector.OnWorkUnit(0);
+  EXPECT_EQ(injector.crash_events(), 1u);
+  EXPECT_FALSE(injector.WorkerCrashed(0));
+}
+
+TEST(FaultInjectorTest, RandomCrashRearmsEachStep) {
+  // p=1 defeats retries: the worker crashes again on every attempt.
+  FaultInjector injector(FaultPlan(7).CrashWorkerRandomly(1, 1.0));
+  for (int step = 0; step < 3; ++step) {
+    injector.BeginStep();
+    EXPECT_FALSE(injector.OnWorkUnit(1));
+    EXPECT_TRUE(injector.WorkerCrashed(1));
+  }
+  EXPECT_EQ(injector.crash_events(), 3u);
+}
+
+TEST(FaultInjectorTest, StealServiceDeathIsSticky) {
+  FaultInjector injector(FaultPlan().CrashStealService(0, 2));
+  injector.BeginStep();
+  EXPECT_TRUE(injector.OnStealRequestArrived(0));   // request 1 served
+  EXPECT_TRUE(injector.OnStealRequestArrived(0));   // request 2 served
+  EXPECT_FALSE(injector.OnStealRequestArrived(0));  // dead from now on
+  injector.BeginStep();  // service death survives step retries
+  EXPECT_FALSE(injector.OnStealRequestArrived(0));
+}
+
+// --- Bounded steal RPCs ----------------------------------------------------
+
+TEST(StealDeadlineTest, RequestAgainstSilentVictimReturnsWithinDeadline) {
+  NetworkConfig net;
+  net.latency_micros = 0;
+  net.request_timeout_micros = 5000;
+  MessageBus bus(2, net);
+  // Nobody services worker 1's inbox — the exact shape of a dead steal
+  // service. The request must come back as kTimeout within the deadline
+  // (plus scheduling slack), never hang.
+  WallTimer timer;
+  const StealReply reply = bus.RequestSteal(0, 1);
+  const int64_t elapsed = timer.ElapsedMicros();
+  EXPECT_EQ(reply.outcome, StealOutcome::kTimeout);
+  EXPECT_GE(elapsed, net.request_timeout_micros);
+  // Generous slack for CI schedulers; the point is "bounded, not hung".
+  EXPECT_LT(elapsed, net.request_timeout_micros * 20);
+  bus.Shutdown();
+}
+
+TEST(StealDeadlineTest, AbandonedRequestRefusesLateReply) {
+  NetworkConfig net;
+  net.latency_micros = 0;
+  net.request_timeout_micros = 1000;
+  MessageBus bus(2, net);
+  std::thread requester([&bus] {
+    EXPECT_EQ(bus.RequestSteal(0, 1).outcome, StealOutcome::kTimeout);
+  });
+  // Pick the request up well after the requester's deadline: the
+  // claim-after-commit handshake must refuse the commit, so no work can be
+  // claimed for a requester that is no longer waiting.
+  auto token = bus.WaitForRequest(1);
+  ASSERT_TRUE(token.has_value());
+  requester.join();
+  EXPECT_FALSE(bus.BeginReply(*token));
+  bus.Reply(*token, std::nullopt);  // empty reply to an abandoned token: ok
+  bus.Shutdown();
+}
+
+TEST(StealDeadlineTest, DroppedRequestBurnsDeadlineAndCounts) {
+  NetworkConfig net;
+  net.latency_micros = 0;
+  net.request_timeout_micros = 2000;
+  MessageBus bus(2, net);
+  auto injector =
+      std::make_shared<FaultInjector>(FaultPlan(3).DropStealRequests(1.0));
+  injector->BeginStep();
+  bus.SetFaultInjector(injector);
+  const uint64_t dropped_before = obs::DroppedRequestsCounter().Value();
+  EXPECT_EQ(bus.RequestSteal(0, 1).outcome, StealOutcome::kTimeout);
+  EXPECT_GT(obs::DroppedRequestsCounter().Value(), dropped_before);
+  bus.Shutdown();
+}
+
+TEST(StealDeadlineTest, CrashedWorkerEndpointRefusesInstantly) {
+  NetworkConfig net;
+  net.latency_micros = 0;
+  net.request_timeout_micros = 1000000;  // 1s: a hang would be visible
+  MessageBus bus(2, net);
+  auto injector =
+      std::make_shared<FaultInjector>(FaultPlan().CrashWorker(1, 1));
+  injector->BeginStep();
+  EXPECT_FALSE(injector->OnWorkUnit(1));  // crash worker 1
+  bus.SetFaultInjector(injector);
+  WallTimer timer;
+  EXPECT_EQ(bus.RequestSteal(0, 1).outcome, StealOutcome::kNoWork);
+  // Connection-refused semantics: far faster than the deadline.
+  EXPECT_LT(timer.ElapsedMicros(), net.request_timeout_micros / 2);
+  bus.Shutdown();
+}
+
+// --- End-to-end recovery ---------------------------------------------------
+
+FractalGraph TestGraph(FractalContext& fctx) {
+  return fctx.FromGraph(GenerateRandomGraph(30, 90, 1, 1, 4242));
+}
+
+ExecutionConfig TwoWorkers() {
+  ExecutionConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 2;
+  config.network.latency_micros = 1;
+  return config;
+}
+
+TEST(RecoveryTest, DeadStealServiceNeverHangsTheStep) {
+  FractalContext fctx;
+  FractalGraph graph = TestGraph(fctx);
+  ExecutionConfig healthy = TwoWorkers();
+  const uint64_t expected =
+      graph.VFractoid().Expand(3).CountSubgraphs(healthy);
+
+  ExecutionConfig faulty = TwoWorkers();
+  faulty.network.request_timeout_micros = 2000;
+  faulty.network.max_steal_retries = 2;
+  faulty.network.retry_backoff_micros = 100;
+  faulty.network.suspect_after_timeouts = 2;
+  // Worker 1's steal service is dead from the first request, and worker 1
+  // itself straggles so worker 0 is guaranteed to go stealing externally.
+  faulty.fault_plan =
+      FaultPlan().CrashStealService(1, 0).SlowWorker(1, 20);
+  const uint64_t timeouts_before = obs::StealTimeoutsCounter().Value();
+  WallTimer timer;
+  const ExecutionResult result = graph.VFractoid().Expand(3).Execute(faulty);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.num_subgraphs, expected);
+  EXPECT_EQ(result.steps_retried, 0u);  // no worker crash, only timeouts
+  EXPECT_GT(obs::StealTimeoutsCounter().Value(), timeouts_before);
+  // Bounded: timeouts resolve within the deadline budget, not by hanging.
+  EXPECT_LT(timer.ElapsedSeconds(), 30.0);
+  // The per-thread timeout stat surfaced in telemetry too.
+  uint64_t stat_timeouts = 0;
+  for (const auto& step : result.telemetry.steps) {
+    for (const auto& t : step.threads) stat_timeouts += t.steal_timeouts;
+  }
+  EXPECT_GT(stat_timeouts, 0u);
+}
+
+TEST(RecoveryTest, DegradedReexecutionRunsOnSurvivors) {
+  FractalContext fctx;
+  FractalGraph graph = TestGraph(fctx);
+  ExecutionConfig healthy;
+  healthy.num_workers = 3;
+  healthy.threads_per_worker = 2;
+  healthy.network.latency_micros = 1;
+  const uint64_t expected =
+      graph.VFractoid().Expand(3).CountSubgraphs(healthy);
+
+  ClusterOptions options;
+  options.num_workers = 3;
+  options.threads_per_worker = 2;
+  options.external_work_stealing = true;
+  options.network.latency_micros = 1;
+  Cluster cluster(options);
+
+  ExecutionConfig faulty;
+  faulty.cluster = &cluster;
+  faulty.fault_plan = FaultPlan().CrashWorker(2, 30);
+  const uint64_t degraded_before = obs::StepsDegradedCounter().Value();
+  const ExecutionResult result = graph.VFractoid().Expand(3).Execute(faulty);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.num_subgraphs, expected);
+  EXPECT_EQ(result.steps_retried, 1u);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].worker, 2);
+
+  // The crashed worker was excluded: the successful attempt ran on the two
+  // survivors (W−1), visible in the live mask, the per-thread telemetry,
+  // and the degraded-steps metric.
+  EXPECT_EQ(cluster.num_live_workers(), 2u);
+  ASSERT_EQ(result.telemetry.steps.size(), 1u);
+  EXPECT_EQ(result.telemetry.steps[0].threads.size(), 4u);
+  EXPECT_GT(obs::StepsDegradedCounter().Value(), degraded_before);
+}
+
+TEST(RecoveryTest, ExhaustedRetriesReturnStatusNotAbort) {
+  FractalContext fctx;
+  FractalGraph graph = TestGraph(fctx);
+  ExecutionConfig config = TwoWorkers();
+  // p=1 random crash re-arms every attempt; keeping the crashed worker in
+  // rotation guarantees every attempt fails until the budget is exhausted.
+  config.fault_plan = FaultPlan(11).CrashWorkerRandomly(1, 1.0);
+  config.retry.max_attempts = 2;
+  config.retry.exclude_crashed_workers = false;
+  const ExecutionResult result = graph.VFractoid().Expand(2).Execute(config);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(result.steps_retried, 2u);
+  EXPECT_EQ(result.failures.size(), 2u);
+}
+
+TEST(RecoveryTest, LastWorkerCrashIsFailedPrecondition) {
+  FractalContext fctx;
+  FractalGraph graph = TestGraph(fctx);
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 2;
+  config.fault_plan = FaultPlan(5).CrashWorkerRandomly(0, 1.0);
+  const ExecutionResult result = graph.VFractoid().Expand(2).Execute(config);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Chaos sweep -----------------------------------------------------------
+
+// Seeded random fault plans must all converge to bit-identical results.
+// FRACTAL_CHAOS_SEEDS overrides the sweep width (ci.sh's chaos stage runs a
+// wider fixed matrix than the default).
+TEST(ChaosTest, RandomFaultPlansAreExact) {
+  int num_seeds = 20;
+  if (const char* env = std::getenv("FRACTAL_CHAOS_SEEDS")) {
+    num_seeds = std::atoi(env);
+    ASSERT_GT(num_seeds, 0);
+  }
+
+  FractalContext fctx;
+  FractalGraph graph = TestGraph(fctx);
+
+  ExecutionConfig baseline;
+  baseline.num_workers = 3;
+  baseline.threads_per_worker = 2;
+  baseline.network.latency_micros = 1;
+  const MotifsResult clean_motifs = CountMotifs(graph, 3, baseline);
+  const uint64_t clean_cliques = CountCliques(graph, 4, baseline);
+
+  for (int seed = 1; seed <= num_seeds; ++seed) {
+    ExecutionConfig chaotic = baseline;
+    // Tight deadline so dropped requests don't stall the sweep; delay
+    // spikes (<= ~2.2ms) can exceed it, which only costs a retry.
+    chaotic.network.request_timeout_micros = 3000;
+    chaotic.network.max_steal_retries = 2;
+    chaotic.network.retry_backoff_micros = 50;
+    chaotic.network.suspect_after_timeouts = 2;
+    chaotic.fault_plan =
+        FaultPlan::Random(static_cast<uint64_t>(seed), 3);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " plan '" +
+                 chaotic.fault_plan.ToString() + "'");
+
+    const MotifsResult motifs = CountMotifs(graph, 3, chaotic);
+    EXPECT_EQ(motifs.total, clean_motifs.total);
+    ASSERT_EQ(motifs.counts.size(), clean_motifs.counts.size());
+    for (const auto& [pattern, count] : clean_motifs.counts) {
+      const auto it = motifs.counts.find(pattern);
+      ASSERT_NE(it, motifs.counts.end());
+      EXPECT_EQ(it->second, count);
+    }
+    EXPECT_EQ(CountCliques(graph, 4, chaotic), clean_cliques);
+  }
+}
+
+}  // namespace
+}  // namespace fractal

@@ -101,18 +101,19 @@ TEST(MessageBusTest, RequestReplyRoundTrip) {
     EXPECT_FALSE(bus.WaitForRequest(1).has_value());
   });
 
-  auto payload = bus.RequestSteal(0, 1);
-  ASSERT_TRUE(payload.has_value());
-  EXPECT_EQ(*payload, (std::vector<uint8_t>{1, 2, 3}));
-  EXPECT_FALSE(bus.RequestSteal(0, 1).has_value());
+  StealReply reply = bus.RequestSteal(0, 1);
+  ASSERT_EQ(reply.outcome, StealOutcome::kWork);
+  EXPECT_EQ(reply.payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(bus.RequestSteal(0, 1).outcome, StealOutcome::kNoWork);
   bus.Shutdown();
+  EXPECT_EQ(bus.RequestSteal(0, 1).outcome, StealOutcome::kShutdown);
   service.join();
 }
 
 TEST(MessageBusTest, ShutdownFailsFast) {
   MessageBus bus(2, NetworkConfig{.latency_micros = 0});
   bus.Shutdown();
-  EXPECT_FALSE(bus.RequestSteal(0, 1).has_value());
+  EXPECT_EQ(bus.RequestSteal(0, 1).outcome, StealOutcome::kShutdown);
   EXPECT_FALSE(bus.WaitForRequest(0).has_value());
 }
 
@@ -129,8 +130,8 @@ TEST(MessageBusTest, ManyConcurrentRequesters) {
   for (int i = 0; i < 8; ++i) {
     requesters.emplace_back([&bus, i] {
       for (int j = 0; j < 20; ++j) {
-        auto payload = bus.RequestSteal(1 + (i % 2), 0);
-        ASSERT_TRUE(payload.has_value());
+        const StealReply reply = bus.RequestSteal(1 + (i % 2), 0);
+        ASSERT_EQ(reply.outcome, StealOutcome::kWork);
       }
     });
   }
