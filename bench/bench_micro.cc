@@ -7,6 +7,7 @@
 #include "core/context.h"
 #include "enumerate/enumerator.h"
 #include "enumerate/extension.h"
+#include "enumerate/reference_extension.h"
 #include "graph/generators.h"
 #include "graph/test_graphs.h"
 #include "pattern/canonical.h"
@@ -72,6 +73,115 @@ void BM_KClistExtensions(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KClistExtensions);
+
+// --- Extension data plane A/B: set-algebra kernels vs. reference scans ---
+// Dense Erdős–Rényi graph (400 vertices, 24k edges, ~30% density) where the
+// old quadratic candidate×word scans hurt most. The ci.sh perf-smoke stage
+// runs exactly these pairs (--benchmark_filter='Extensions(Kernel|Reference)')
+// and records the results in BENCH_extension.json.
+
+const Graph& DenseBenchGraph() {
+  static const Graph* graph = [] {
+    return new Graph(GenerateRandomGraph(/*num_vertices=*/400,
+                                         /*num_edges=*/24000,
+                                         /*num_vertex_labels=*/1,
+                                         /*num_edge_labels=*/1, /*seed=*/7));
+  }();
+  return *graph;
+}
+
+/// A depth-3 connected vertex-induced prefix on the dense graph: vertex 0,
+/// a neighbor, and a common neighbor of both.
+Subgraph DenseVertexPrefix(const Graph& graph) {
+  Subgraph subgraph;
+  subgraph.PushVertexInduced(graph, 0);
+  const VertexId second = graph.Neighbors(0)[0];
+  subgraph.PushVertexInduced(graph, second);
+  for (const VertexId v : graph.Neighbors(0)) {
+    if (v != second && graph.IsAdjacent(v, second)) {
+      subgraph.PushVertexInduced(graph, v);
+      break;
+    }
+  }
+  return subgraph;
+}
+
+template <typename Strategy>
+void RunVertexExtensionBench(benchmark::State& state) {
+  const Graph& graph = DenseBenchGraph();
+  Strategy strategy;
+  ExtensionContext ctx;
+  Subgraph subgraph = DenseVertexPrefix(graph);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    strategy.ComputeExtensions(graph, subgraph, ctx, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_VertexExtensionsKernel(benchmark::State& state) {
+  RunVertexExtensionBench<VertexInducedStrategy>(state);
+}
+BENCHMARK(BM_VertexExtensionsKernel);
+
+void BM_VertexExtensionsReference(benchmark::State& state) {
+  RunVertexExtensionBench<ReferenceVertexInducedStrategy>(state);
+}
+BENCHMARK(BM_VertexExtensionsReference);
+
+template <typename Strategy>
+void RunEdgeExtensionBench(benchmark::State& state) {
+  const Graph& graph = DenseBenchGraph();
+  Strategy strategy;
+  ExtensionContext ctx;
+  Subgraph subgraph;
+  subgraph.PushEdgeInduced(graph, 0);
+  const EdgeEndpoints& base = graph.Endpoints(0);
+  for (const EdgeId e : graph.IncidentEdges(base.dst)) {
+    if (e != 0) {
+      subgraph.PushEdgeInduced(graph, e);
+      break;
+    }
+  }
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    strategy.ComputeExtensions(graph, subgraph, ctx, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_EdgeExtensionsKernel(benchmark::State& state) {
+  RunEdgeExtensionBench<EdgeInducedStrategy>(state);
+}
+BENCHMARK(BM_EdgeExtensionsKernel);
+
+void BM_EdgeExtensionsReference(benchmark::State& state) {
+  RunEdgeExtensionBench<ReferenceEdgeInducedStrategy>(state);
+}
+BENCHMARK(BM_EdgeExtensionsReference);
+
+template <typename Strategy>
+void RunKClistExtensionBench(benchmark::State& state) {
+  const Graph& graph = DenseBenchGraph();
+  Strategy strategy;
+  ExtensionContext ctx;
+  Subgraph subgraph = DenseVertexPrefix(graph);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    strategy.ComputeExtensions(graph, subgraph, ctx, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_KClistExtensionsKernel(benchmark::State& state) {
+  RunKClistExtensionBench<KClistStrategy>(state);
+}
+BENCHMARK(BM_KClistExtensionsKernel);
+
+void BM_KClistExtensionsReference(benchmark::State& state) {
+  RunKClistExtensionBench<ReferenceKClistStrategy>(state);
+}
+BENCHMARK(BM_KClistExtensionsReference);
 
 void BM_CanonicalFormUncached(benchmark::State& state) {
   const Pattern pattern = [] {

@@ -7,6 +7,8 @@
 #      (the production configuration), then exercises the observability
 #      layer end to end: a small motif bench run with --trace-out whose
 #      exported Chrome trace is schema-checked by tools/check_trace.py.
+#      Finally a perf smoke runs the extension-kernel A/B microbenchmarks
+#      (kernels vs. reference scans) into BENCH_extension.json.
 #   2. Chaos sweep: resilience_test's ChaosTest replays CHAOS_SEEDS seeded
 #      random fault plans (worker crashes, dead steal services, dropped and
 #      delayed requests, stragglers) and fails on any result divergence
@@ -31,9 +33,11 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-# Every suite that spawns threads (directly or through the Cluster runtime).
-SANITIZED_SUITES='core_test|runtime_test|obs_test|lockdep_test|enumerate_test|apps_test|extras_test|resilience_test'
-SANITIZED_TARGETS='core_test runtime_test obs_test lockdep_test enumerate_test apps_test extras_test resilience_test'
+# Every suite that spawns threads (directly or through the Cluster runtime),
+# plus property_test so the kernel-vs-reference differential sweeps over the
+# extension data plane run under ASan/UBSan and TSan on every PR.
+SANITIZED_SUITES='core_test|runtime_test|obs_test|lockdep_test|enumerate_test|property_test|apps_test|extras_test|resilience_test'
+SANITIZED_TARGETS='core_test runtime_test obs_test lockdep_test enumerate_test property_test apps_test extras_test resilience_test'
 # Chaos seeds for the fault-injection sweep: a wide sweep on the fast
 # Release build, a narrower one under the (10-20x slower) sanitizers.
 CHAOS_SEEDS="${CHAOS_SEEDS:-32}"
@@ -56,6 +60,16 @@ else
   grep -q '"traceEvents"' "$TRACE_JSON"
   echo "python3 not installed; structural trace validation skipped"
 fi
+
+echo "=== perf smoke: extension kernels vs. reference scans ==="
+# A/B microbenchmark of the set-algebra extension kernels against the
+# pre-refactor reference scans (bench/bench_micro.cc, dense-graph pairs).
+# Results land in BENCH_extension.json for the CI artifact trail; the
+# differential property tests gate correctness, this stage tracks speed.
+./build-ci/bench/bench_micro \
+  --benchmark_filter='Extensions(Kernel|Reference)' \
+  --benchmark_out=BENCH_extension.json --benchmark_out_format=json
+test -s BENCH_extension.json
 
 echo "=== chaos: ${CHAOS_SEEDS}-seed random fault plans stay bit-exact ==="
 # Seeded random fault plans (crashes, dead steal services, drops, delays,

@@ -34,6 +34,9 @@ class Computation {
 
   ExtensionContext& extension_context() { return extension_context_; }
 
+  /// Per-thread scratch pool of the enumeration data plane (DESIGN.md §8).
+  ScratchArena& scratch_arena() { return extension_context_.arena; }
+
   uint32_t worker_id() const { return worker_id_; }
   uint32_t core_id() const { return core_id_; }
   void SetIds(uint32_t worker_id, uint32_t core_id) {

@@ -18,11 +18,12 @@ FractalGraph FractalContext::FromGraph(Graph graph) const {
 }
 
 Fractoid FractalGraph::VFractoid() const {
-  return Fractoid(graph_, std::make_shared<VertexInducedStrategy>());
+  // Factory honors FRACTAL_REFERENCE_EXTENSIONS (A/B escape hatch).
+  return Fractoid(graph_, MakeVertexInducedStrategy());
 }
 
 Fractoid FractalGraph::EFractoid() const {
-  return Fractoid(graph_, std::make_shared<EdgeInducedStrategy>());
+  return Fractoid(graph_, MakeEdgeInducedStrategy());
 }
 
 Fractoid FractalGraph::PFractoid(Pattern pattern) const {

@@ -40,7 +40,6 @@ FractoidStepTask::FractoidStepTask(
   for (uint32_t core = 0; core < total_threads; ++core) {
     auto s = std::make_unique<CoreState>();
     s->computation = std::make_unique<Computation>(&graph_);
-    s->scratch.resize(num_levels_);
     s->frame_bytes.assign(num_levels_, 0);
     for (const uint32_t agg_index : new_aggregates_) {
       s->storages.push_back(
@@ -119,20 +118,23 @@ void FractoidStepTask::Process(ThreadContext& t, CoreState& s,
       FRACTAL_TRACE_INSTANT("dfs/expand", depth);
       FRACTAL_DCHECK(depth < num_levels_);
       SubgraphEnumerator& frame = *t.frames[depth];
-      std::vector<uint32_t>& scratch = s.scratch[depth];
+      // Extensions are computed into an arena lease; Refill's swap then
+      // hands the frame's previous buffer back through the lease, so buffer
+      // capacity cycles through the pool instead of being reallocated.
+      ScratchArena::BufferLease scratch(s.computation->scratch_arena());
       strategy_.ComputeExtensions(graph_, s.subgraph,
                                   s.computation->extension_context(),
-                                  &scratch);
+                                  scratch.get());
       // Enumerator-state accounting (Table 2): the extension arrays plus
       // the prefix are Fractal's entire per-level intermediate state.
       s.state_bytes -= s.frame_bytes[depth];
       s.frame_bytes[depth] =
-          scratch.size() * sizeof(uint32_t) +
+          scratch->size() * sizeof(uint32_t) +
           s.subgraph.NumVertices() * sizeof(VertexId) +
           s.subgraph.NumEdges() * sizeof(EdgeId);
       s.state_bytes += s.frame_bytes[depth];
       s.peak_state_bytes = std::max(s.peak_state_bytes, s.state_bytes);
-      frame.Refill(s.subgraph, index + 1, std::move(scratch));
+      frame.Refill(s.subgraph, index + 1, std::move(*scratch.get()));
       DrainFrame(t, s, frame);
       break;
     }

@@ -60,8 +60,10 @@ class FractoidStepTask : public StepTask {
   struct CoreState {
     Subgraph subgraph;
     std::unique_ptr<Computation> computation;
-    std::vector<std::vector<uint32_t>> scratch;  // per E-depth
-    std::vector<uint64_t> frame_bytes;           // per E-depth
+    // Expansion buffers come from the computation's ScratchArena (leased in
+    // Process, recycled through SubgraphEnumerator::Refill's swap), so the
+    // DFS performs no per-level heap allocation in steady state.
+    std::vector<uint64_t> frame_bytes;  // per E-depth
 
     // Thread-local accumulators for the step's new aggregations, indexed
     // by storage slot (see storage_slots_).

@@ -38,18 +38,17 @@ void SubgraphEnumerator::Deactivate() {
   active_.store(false, std::memory_order_release);
 }
 
-std::optional<SubgraphEnumerator::StolenWork> SubgraphEnumerator::TrySteal() {
+bool SubgraphEnumerator::TrySteal(StolenWork* out) {
   obs::Counter& steals = EnumerateStealsCounter();
   MutexLock lock(mu_);
-  if (!active_.load(std::memory_order_acquire)) return std::nullopt;
+  if (!active_.load(std::memory_order_acquire)) return false;
   const uint32_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
-  if (index >= extensions_.size()) return std::nullopt;
-  StolenWork work;
-  work.prefix = prefix_;
-  work.extension = extensions_[index];
-  work.primitive_index = primitive_index_;
+  if (index >= extensions_.size()) return false;
+  out->prefix = prefix_;
+  out->extension = extensions_[index];
+  out->primitive_index = primitive_index_;
   steals.Add(1);  // lock-free atomic; safe under mu_
-  return work;
+  return true;
 }
 
 }  // namespace fractal

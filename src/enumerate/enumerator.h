@@ -64,9 +64,12 @@ class SubgraphEnumerator {
     uint32_t primitive_index = 0;
   };
 
-  /// Thief: claims one extension and snapshots the prefix. Returns nullopt
-  /// when inactive or exhausted.
-  std::optional<StolenWork> TrySteal() EXCLUDES(mu_);
+  /// Thief: claims one extension and snapshots the prefix into `*out`.
+  /// Returns false (leaving `*out` unspecified) when inactive or exhausted.
+  /// Out-parameter form so callers can reuse one StolenWork across attempts:
+  /// the prefix snapshot is then an amortized O(k) copy-assign into grown
+  /// storage instead of a fresh allocation per steal.
+  bool TrySteal(StolenWork* out) EXCLUDES(mu_);
 
   /// Racy hint for victim selection: whether unclaimed extensions remain.
   /// May be stale by the time the caller acts on it; TrySteal() revalidates

@@ -1,46 +1,57 @@
 #include "enumerate/extension.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "enumerate/reference_extension.h"
+#include "graph/adjacency.h"
 
 namespace fractal {
 namespace {
 
-/// Arabesque canonical check for vertex words: candidate u extends the word
-/// canonically iff u > word[0] and u > word[i] for every position i after
-/// u's first attachment point. Returns false when u is not connected at all.
-bool CanonicalVertexExtension(const Graph& graph,
-                              std::span<const VertexId> word, VertexId u) {
-  if (u < word[0]) return false;
-  bool found_neighbor = false;
-  for (const VertexId w : word) {
-    if (!found_neighbor) {
-      if (graph.IsAdjacent(w, u)) found_neighbor = true;
-    } else if (u < w) {
-      return false;
-    }
+/// Drops every element of `v` whose bit is set in the hub bitmap `row`
+/// (in-place stable compaction): set difference against a high-degree
+/// vertex's neighborhood at one load per element instead of a merge over
+/// its (by definition long) adjacency list.
+void FilterNotInBitmap(std::vector<uint32_t>& v, const uint64_t* row) {
+  size_t w = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    const uint32_t x = v[i];
+    if (((row[x >> 6] >> (x & 63)) & 1) == 0) v[w++] = x;
   }
-  return found_neighbor;
+  v.resize(w);
 }
 
-/// First position in the vertex word adjacent to u, or word size if none.
-uint32_t FirstAttachment(const Graph& graph, std::span<const VertexId> word,
-                         VertexId u) {
-  for (uint32_t i = 0; i < word.size(); ++i) {
-    if (graph.IsAdjacent(word[i], u)) return i;
+/// Keeps every element of `v` whose bit is set in `row` (in-place stable
+/// compaction): intersection against a hub's neighborhood.
+void FilterInBitmap(std::vector<uint32_t>& v, const uint64_t* row) {
+  size_t w = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    const uint32_t x = v[i];
+    if (((row[x >> 6] >> (x & 63)) & 1) != 0) v[w++] = x;
   }
-  return static_cast<uint32_t>(word.size());
-}
-
-/// Whether edges a and b share an endpoint.
-bool EdgesTouch(const Graph& graph, EdgeId a, EdgeId b) {
-  const EdgeEndpoints& ea = graph.Endpoints(a);
-  const EdgeEndpoints& eb = graph.Endpoints(b);
-  return ea.src == eb.src || ea.src == eb.dst || ea.dst == eb.src ||
-         ea.dst == eb.dst;
+  v.resize(w);
 }
 
 }  // namespace
 
+// Single-pass reformulation of the Arabesque extension rule (proof sketch in
+// DESIGN.md §8). The reference rule emits, at each word position p, every
+// u in N(word[p]) with (a) u not in the word, (b) first attachment exactly
+// p, and (c) u > word[0] and u > word[i] for all i > p. That set equals
+//
+//   (N(word[p]) restricted to > L_p) \ N(word[0]) \ ... \ N(word[p-1]),
+//     where L_p = max(word[0], max(word[p+1..])):
+//
+//   * the difference passes are exactly "first attachment == p";
+//   * the bound is exactly the canonicality constraint (c);
+//   * containment (a) is subsumed: word[j] with j > p or j == 0 falls under
+//     the bound; word[j] with 1 <= j < p is adjacent to some earlier word
+//     vertex (words grow connected), so a difference pass removes it; and
+//     word[p] itself is never in N(word[p]) (no self-loops).
+//
+// Ascending kernel outputs concatenated in position order reproduce the
+// reference emission order bit-for-bit.
 void VertexInducedStrategy::ComputeExtensions(const Graph& graph,
                                               const Subgraph& subgraph,
                                               ExtensionContext& ctx,
@@ -54,15 +65,54 @@ void VertexInducedStrategy::ComputeExtensions(const Graph& graph,
     return;
   }
   const auto word = subgraph.Vertices();
-  // Emit each candidate exactly once: from its first attachment position.
-  for (uint32_t position = 0; position < word.size(); ++position) {
-    for (const VertexId u : graph.Neighbors(word[position])) {
-      ++ctx.extension_tests;
-      if (subgraph.ContainsVertex(u)) continue;
-      if (FirstAttachment(graph, word, u) != position) continue;
-      if (!CanonicalVertexExtension(graph, word, u)) continue;
-      out->push_back(u);
+  const uint32_t k = static_cast<uint32_t>(word.size());
+
+  ScratchArena::BufferLease suffix_lease(ctx.arena);
+  ScratchArena::BufferLease cur_lease(ctx.arena);
+  ScratchArena::BufferLease next_lease(ctx.arena);
+  // suffix[i] = max(word[i..k-1]); suffix[k] = 0 so L_p below is one max.
+  std::vector<uint32_t>& suffix = *suffix_lease;
+  suffix.assign(k + 1, 0);
+  for (uint32_t i = k; i-- > 0;) {
+    suffix[i] = std::max(word[i], suffix[i + 1]);
+  }
+
+  for (uint32_t p = 0; p < k; ++p) {
+    const auto neighbors = graph.Neighbors(word[p]);
+    // EC parity with the reference: one test per scanned neighbor of
+    // word[p], charged in bulk.
+    ctx.extension_tests += neighbors.size();
+    const uint32_t bound = std::max(word[0], suffix[p + 1]);
+    if (p == 0) {
+      adjacency::CopyAbove(neighbors, bound, out);
+      continue;
     }
+    // Seed the working set by fusing the bound with the first difference
+    // against a non-hub earlier vertex; hub vertices are subtracted by
+    // bitmap filtering afterwards (order is immaterial for differences).
+    std::vector<uint32_t>* cur = cur_lease.get();
+    std::vector<uint32_t>* next = next_lease.get();
+    cur->clear();
+    bool seeded = false;
+    for (uint32_t q = 0; q < p; ++q) {
+      if (graph.HubRow(word[q]) != nullptr) continue;
+      if (!seeded) {
+        adjacency::DifferenceAbove(neighbors, graph.Neighbors(word[q]), bound,
+                                   cur);
+        seeded = true;
+        continue;
+      }
+      next->clear();
+      adjacency::Difference(*cur, graph.Neighbors(word[q]), next);
+      std::swap(cur, next);
+    }
+    if (!seeded) adjacency::CopyAbove(neighbors, bound, cur);
+    for (uint32_t q = 0; q < p && !cur->empty(); ++q) {
+      if (const uint64_t* row = graph.HubRow(word[q])) {
+        FilterNotInBitmap(*cur, row);
+      }
+    }
+    out->insert(out->end(), cur->begin(), cur->end());
   }
 }
 
@@ -71,58 +121,79 @@ void VertexInducedStrategy::Apply(const Graph& graph, uint32_t extension,
   subgraph->PushVertexInduced(graph, extension);
 }
 
+// Same scan structure as the reference (incident-edge lists are sorted by
+// *neighbor* id, not edge id, so set algebra over edge ids would permute the
+// output), but every per-candidate rescan is replaced by an O(1) check:
+//   * edge membership is the subgraph's bitset;
+//   * "first touching word position" is two lookups in an epoch-stamped
+//     vertex -> first-covering-position map built once per call;
+//   * the canonical word check is one compare against a precomputed suffix
+//     maximum of the edge word.
 void EdgeInducedStrategy::ComputeExtensions(const Graph& graph,
                                             const Subgraph& subgraph,
                                             ExtensionContext& ctx,
                                             std::vector<uint32_t>* out) const {
   out->clear();
   if (subgraph.Empty()) {
-    for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
-      ++ctx.extension_tests;
-      out->push_back(e);
-    }
+    ctx.extension_tests += graph.NumEdges();
+    out->reserve(graph.NumEdges());
+    for (EdgeId e = 0; e < graph.NumEdges(); ++e) out->push_back(e);
     return;
   }
   const auto word = subgraph.Edges();
-  // Candidates: edges incident to any subgraph vertex. Emit a candidate
-  // only while scanning its first touching word position; then apply the
-  // canonical word check (the edge analog of the vertex rule).
-  for (uint32_t position = 0; position < word.size(); ++position) {
+  const uint32_t k = static_cast<uint32_t>(word.size());
+
+  // first_cover[v] = smallest word position whose edge touches v
+  // (StampedMap::kAbsent == UINT32_MAX when v is outside the subgraph, which
+  // min()s away below exactly like the reference's "no touch" sentinel).
+  ScratchArena::StampedMap& first_cover = ctx.arena.vertex_map();
+  first_cover.Reset(graph.NumVertices());
+  for (uint32_t i = 0; i < k; ++i) {
+    const EdgeEndpoints& endpoints = graph.Endpoints(word[i]);
+    if (first_cover.Get(endpoints.src) == ScratchArena::StampedMap::kAbsent) {
+      first_cover.Set(endpoints.src, i);
+    }
+    if (first_cover.Get(endpoints.dst) == ScratchArena::StampedMap::kAbsent) {
+      first_cover.Set(endpoints.dst, i);
+    }
+  }
+
+  // suffix[i] = max(word[i..k-1]); suffix[k] = 0, so "candidate >= every
+  // later word element" collapses to one compare.
+  ScratchArena::BufferLease suffix_lease(ctx.arena);
+  std::vector<uint32_t>& suffix = *suffix_lease;
+  suffix.assign(k + 1, 0);
+  for (uint32_t i = k; i-- > 0;) {
+    suffix[i] = std::max(word[i], suffix[i + 1]);
+  }
+
+  for (uint32_t position = 0; position < k; ++position) {
     const EdgeEndpoints& base = graph.Endpoints(word[position]);
+    const uint32_t canonical_bound = suffix[position + 1];
     for (const VertexId endpoint : {base.src, base.dst}) {
-      for (const EdgeId candidate : graph.IncidentEdges(endpoint)) {
-        ++ctx.extension_tests;
+      const auto incident = graph.IncidentEdges(endpoint);
+      // EC parity with the reference: one test per scanned incident edge.
+      ctx.extension_tests += incident.size();
+      for (const EdgeId candidate : incident) {
         if (candidate < word[0]) continue;
         if (subgraph.ContainsEdge(candidate)) continue;
+        const EdgeEndpoints& ec = graph.Endpoints(candidate);
         // First touching position must be `position` (dedup across the two
         // endpoint scans is handled below: a candidate touching base.src is
         // also seen from base.dst only if it touches both, in which case we
         // keep the src scan occurrence).
-        uint32_t first_touch = UINT32_MAX;
-        for (uint32_t i = 0; i <= position; ++i) {
-          if (EdgesTouch(graph, word[i], candidate)) {
-            first_touch = i;
-            break;
-          }
+        if (std::min(first_cover.Get(ec.src), first_cover.Get(ec.dst)) !=
+            position) {
+          continue;
         }
-        if (first_touch != position) continue;
-        if (endpoint == base.dst && EdgesTouch(graph, word[position], candidate) &&
-            [&] {
-              const EdgeEndpoints& ec = graph.Endpoints(candidate);
-              return ec.src == base.src || ec.dst == base.src;
-            }()) {
+        if (endpoint == base.dst &&
+            (ec.src == base.src || ec.dst == base.src)) {
           continue;  // already emitted from the src endpoint scan
         }
         // Canonical word check: candidate must exceed every word element
         // after its first touching position.
-        bool canonical = true;
-        for (uint32_t i = position + 1; i < word.size(); ++i) {
-          if (candidate < word[i]) {
-            canonical = false;
-            break;
-          }
-        }
-        if (canonical) out->push_back(candidate);
+        if (candidate < canonical_bound) continue;
+        out->push_back(candidate);
       }
     }
   }
@@ -284,6 +355,13 @@ void PatternInducedStrategy::Apply(const Graph& graph, uint32_t extension,
   subgraph->PushVertexWithEdges(extension, edges);
 }
 
+// Clique extension as a chain of sorted intersections: start from the
+// pivot's neighbors above the last clique vertex, then intersect with each
+// remaining clique vertex's neighborhood in word order (bitmap filter when
+// that vertex is a hub). EC parity with the reference's early-exit probing:
+// a candidate eliminated at pass i was charged one test per pass 0..i there,
+// and here sits in the working set for exactly those passes — so charging
+// |working set| per pass yields the same total.
 void KClistStrategy::ComputeExtensions(const Graph& graph,
                                        const Subgraph& subgraph,
                                        ExtensionContext& ctx,
@@ -305,27 +383,63 @@ void KClistStrategy::ComputeExtensions(const Graph& graph,
     if (graph.Degree(word[i]) < graph.Degree(word[pivot])) pivot = i;
   }
   const auto neighbors = graph.Neighbors(word[pivot]);
-  const auto begin =
-      std::upper_bound(neighbors.begin(), neighbors.end(), last);
-  for (auto it = begin; it != neighbors.end(); ++it) {
-    const VertexId u = *it;
-    bool ok = true;
-    for (uint32_t i = 0; i < word.size(); ++i) {
-      if (i == pivot) continue;
-      ++ctx.extension_tests;
-      if (!graph.IsAdjacent(word[i], u)) {
-        ok = false;
-        break;
-      }
-    }
-    if (word.size() == 1) ++ctx.extension_tests;
-    if (ok) out->push_back(u);
+  if (word.size() == 1) {
+    // Sole clique vertex is the pivot: every bounded neighbor survives and
+    // the reference charges it a single test.
+    const size_t before = out->size();
+    adjacency::CopyAbove(neighbors, last, out);
+    ctx.extension_tests += out->size() - before;
+    return;
   }
+  ScratchArena::BufferLease cur_lease(ctx.arena);
+  ScratchArena::BufferLease next_lease(ctx.arena);
+  std::vector<uint32_t>* cur = cur_lease.get();
+  std::vector<uint32_t>* next = next_lease.get();
+  adjacency::CopyAbove(neighbors, last, cur);
+  for (uint32_t i = 0; i < word.size() && !cur->empty(); ++i) {
+    if (i == pivot) continue;
+    ctx.extension_tests += cur->size();
+    if (const uint64_t* row = graph.HubRow(word[i])) {
+      FilterInBitmap(*cur, row);
+      continue;
+    }
+    next->clear();
+    adjacency::Intersect(*cur, graph.Neighbors(word[i]), next);
+    std::swap(cur, next);
+  }
+  out->insert(out->end(), cur->begin(), cur->end());
 }
 
 void KClistStrategy::Apply(const Graph& graph, uint32_t extension,
                            Subgraph* subgraph) const {
   subgraph->PushVertexInduced(graph, extension);
+}
+
+bool UseReferenceExtensions() {
+  const char* flag = std::getenv("FRACTAL_REFERENCE_EXTENSIONS");
+  return flag != nullptr && flag[0] != '\0' &&
+         !(flag[0] == '0' && flag[1] == '\0');
+}
+
+std::shared_ptr<ExtensionStrategy> MakeVertexInducedStrategy() {
+  if (UseReferenceExtensions()) {
+    return std::make_shared<ReferenceVertexInducedStrategy>();
+  }
+  return std::make_shared<VertexInducedStrategy>();
+}
+
+std::shared_ptr<ExtensionStrategy> MakeEdgeInducedStrategy() {
+  if (UseReferenceExtensions()) {
+    return std::make_shared<ReferenceEdgeInducedStrategy>();
+  }
+  return std::make_shared<EdgeInducedStrategy>();
+}
+
+std::shared_ptr<ExtensionStrategy> MakeKClistStrategy() {
+  if (UseReferenceExtensions()) {
+    return std::make_shared<ReferenceKClistStrategy>();
+  }
+  return std::make_shared<KClistStrategy>();
 }
 
 }  // namespace fractal

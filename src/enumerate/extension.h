@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "enumerate/scratch_arena.h"
 #include "enumerate/subgraph.h"
 #include "graph/graph.h"
 #include "pattern/automorphism.h"
@@ -26,11 +27,15 @@
 
 namespace fractal {
 
-/// Per-thread counters charged by extension computation. `extension_tests`
-/// is the paper's EC (extension cost) metric (§4.3): one unit per candidate
-/// test performed while computing extension sets.
+/// Per-thread counters and scratch space charged/used by extension
+/// computation. `extension_tests` is the paper's EC (extension cost) metric
+/// (§4.3): one unit per candidate test performed while computing extension
+/// sets. `arena` feeds the set-algebra kernels' intermediate buffers and the
+/// DFS expansion buffers (one context per execution thread, so the arena is
+/// single-owner; see scratch_arena.h for the ownership rules).
 struct ExtensionContext {
   uint64_t extension_tests = 0;
+  ScratchArena arena;
 };
 
 /// Strategy interface (one implementation per fractoid type).
@@ -144,6 +149,19 @@ class KClistStrategy : public ExtensionStrategy {
   void Apply(const Graph& graph, uint32_t extension,
              Subgraph* subgraph) const override;
 };
+
+/// True when the FRACTAL_REFERENCE_EXTENSIONS environment variable is set
+/// (non-empty, not "0"): the factories below then return the pre-kernel
+/// reference strategies from reference_extension.h instead of the fused
+/// ones. The A/B path for benchmarking and differential testing.
+bool UseReferenceExtensions();
+
+/// Strategy factories honoring FRACTAL_REFERENCE_EXTENSIONS. Application
+/// code (core/context.cc) goes through these; tests that need a specific
+/// implementation construct it directly.
+std::shared_ptr<ExtensionStrategy> MakeVertexInducedStrategy();
+std::shared_ptr<ExtensionStrategy> MakeEdgeInducedStrategy();
+std::shared_ptr<ExtensionStrategy> MakeKClistStrategy();
 
 }  // namespace fractal
 

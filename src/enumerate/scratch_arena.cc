@@ -1,0 +1,40 @@
+#include "enumerate/scratch_arena.h"
+
+#include "obs/metrics.h"
+
+namespace fractal {
+namespace {
+
+obs::Counter& ScratchHits() {
+  static obs::Counter& counter = obs::ScratchHitsCounter();
+  return counter;
+}
+obs::Counter& ScratchMisses() {
+  static obs::Counter& counter = obs::ScratchMissesCounter();
+  return counter;
+}
+
+}  // namespace
+
+std::vector<uint32_t>* ScratchArena::Acquire() {
+  ++live_;
+  if (!free_.empty()) {
+    std::vector<uint32_t>* buffer = free_.back();
+    free_.pop_back();
+    buffer->clear();
+    ScratchHits().Add(1);
+    return buffer;
+  }
+  ScratchMisses().Add(1);
+  owned_.push_back(std::make_unique<std::vector<uint32_t>>());
+  return owned_.back().get();
+}
+
+void ScratchArena::Release(std::vector<uint32_t>* buffer) {
+  FRACTAL_DCHECK(buffer != nullptr);
+  FRACTAL_DCHECK(live_ > 0);
+  --live_;
+  free_.push_back(buffer);
+}
+
+}  // namespace fractal

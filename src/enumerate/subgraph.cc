@@ -5,18 +5,40 @@
 
 namespace fractal {
 
+Subgraph::Subgraph(const Subgraph& other)
+    : vertices_(other.vertices_),
+      edges_(other.edges_),
+      records_(other.records_) {
+  RebuildBits();
+}
+
+Subgraph& Subgraph::operator=(const Subgraph& other) {
+  if (this == &other) return *this;
+  // Clear only the bits we set (O(k)), then adopt the new words. The bitset
+  // storage is kept so steady-state prefix assignment allocates nothing.
+  for (const VertexId v : vertices_) ClearBit(vertex_bits_, v);
+  for (const EdgeId e : edges_) ClearBit(edge_bits_, e);
+  vertices_ = other.vertices_;
+  edges_ = other.edges_;
+  records_ = other.records_;
+  for (const VertexId v : vertices_) SetBit(vertex_bits_, v);
+  for (const EdgeId e : edges_) SetBit(edge_bits_, e);
+  return *this;
+}
+
 void Subgraph::Clear() {
+  for (const VertexId v : vertices_) ClearBit(vertex_bits_, v);
+  for (const EdgeId e : edges_) ClearBit(edge_bits_, e);
   vertices_.clear();
   edges_.clear();
   records_.clear();
 }
 
-bool Subgraph::ContainsVertex(VertexId v) const {
-  return std::find(vertices_.begin(), vertices_.end(), v) != vertices_.end();
-}
-
-bool Subgraph::ContainsEdge(EdgeId e) const {
-  return std::find(edges_.begin(), edges_.end(), e) != edges_.end();
+void Subgraph::RebuildBits() {
+  std::fill(vertex_bits_.begin(), vertex_bits_.end(), 0);
+  std::fill(edge_bits_.begin(), edge_bits_.end(), 0);
+  for (const VertexId v : vertices_) SetBit(vertex_bits_, v);
+  for (const EdgeId e : edges_) SetBit(edge_bits_, e);
 }
 
 void Subgraph::PushVertexInduced(const Graph& graph, VertexId v) {
@@ -28,10 +50,12 @@ void Subgraph::PushVertexInduced(const Graph& graph, VertexId v) {
   for (const VertexId existing : vertices_) {
     if (const auto edge = graph.EdgeBetween(existing, v)) {
       edges_.push_back(*edge);
+      SetBit(edge_bits_, *edge);
       ++record.edges_added;
     }
   }
   vertices_.push_back(v);
+  SetBit(vertex_bits_, v);
   records_.push_back(record);
 }
 
@@ -41,12 +65,15 @@ void Subgraph::PushEdgeInduced(const Graph& graph, EdgeId e) {
   PushRecord record;
   record.edges_added = 1;
   edges_.push_back(e);
+  SetBit(edge_bits_, e);
   if (!ContainsVertex(endpoints.src)) {
     vertices_.push_back(endpoints.src);
+    SetBit(vertex_bits_, endpoints.src);
     ++record.vertices_added;
   }
   if (!ContainsVertex(endpoints.dst)) {
     vertices_.push_back(endpoints.dst);
+    SetBit(vertex_bits_, endpoints.dst);
     ++record.vertices_added;
   }
   records_.push_back(record);
@@ -59,9 +86,11 @@ void Subgraph::PushVertexWithEdges(VertexId v, std::span<const EdgeId> edges) {
   for (const EdgeId e : edges) {
     FRACTAL_DCHECK(!ContainsEdge(e));
     edges_.push_back(e);
+    SetBit(edge_bits_, e);
     ++record.edges_added;
   }
   vertices_.push_back(v);
+  SetBit(vertex_bits_, v);
   records_.push_back(record);
 }
 
@@ -69,8 +98,14 @@ void Subgraph::Pop() {
   FRACTAL_CHECK(!records_.empty()) << "Pop on empty subgraph";
   const PushRecord record = records_.back();
   records_.pop_back();
-  vertices_.resize(vertices_.size() - record.vertices_added);
-  edges_.resize(edges_.size() - record.edges_added);
+  for (uint8_t i = 0; i < record.vertices_added; ++i) {
+    ClearBit(vertex_bits_, vertices_.back());
+    vertices_.pop_back();
+  }
+  for (uint8_t i = 0; i < record.edges_added; ++i) {
+    ClearBit(edge_bits_, edges_.back());
+    edges_.pop_back();
+  }
 }
 
 Pattern Subgraph::QuickPattern(const Graph& graph) const {

@@ -2,6 +2,12 @@
 // subgraph of the input graph represented by its vertex word and edge word
 // in *addition order*. Designed for DFS enumeration: Push/Pop operations are
 // O(k) and every push is recorded so it can be undone exactly.
+//
+// Membership bitset invariant (DESIGN.md §8): vertex_bits_ / edge_bits_
+// mirror the vertex and edge words at all times — bit v is set iff v appears
+// in the word. The bitsets grow lazily to the highest id ever inserted (not
+// |V|), and copy construction/assignment touch only the O(k) set bits, so
+// prefix snapshots taken by the enumerator and the steal path stay O(k).
 #ifndef FRACTAL_ENUMERATE_SUBGRAPH_H_
 #define FRACTAL_ENUMERATE_SUBGRAPH_H_
 
@@ -20,6 +26,13 @@ class Subgraph {
  public:
   Subgraph() = default;
 
+  // Copies transfer the words and rebuild/clear bits in O(k); the bitset
+  // storage itself is reused on assignment (no O(|V|) work, no shrink).
+  Subgraph(const Subgraph& other);
+  Subgraph& operator=(const Subgraph& other);
+  Subgraph(Subgraph&&) = default;
+  Subgraph& operator=(Subgraph&&) = default;
+
   void Clear();
 
   uint32_t NumVertices() const {
@@ -36,8 +49,9 @@ class Subgraph {
   VertexId LastVertex() const { return vertices_.back(); }
   EdgeId LastEdge() const { return edges_.back(); }
 
-  bool ContainsVertex(VertexId v) const;
-  bool ContainsEdge(EdgeId e) const;
+  /// O(1) membership via the incremental bitsets.
+  bool ContainsVertex(VertexId v) const { return TestBit(vertex_bits_, v); }
+  bool ContainsEdge(EdgeId e) const { return TestBit(edge_bits_, e); }
 
   /// Vertex-induced push: appends v plus every edge connecting v to the
   /// current vertices (Fig. 1, vertex-induced extension).
@@ -75,9 +89,30 @@ class Subgraph {
     uint8_t edges_added = 0;
   };
 
+  static bool TestBit(const std::vector<uint64_t>& bits, uint32_t id) {
+    const size_t word = id >> 6;
+    return word < bits.size() && ((bits[word] >> (id & 63)) & 1) != 0;
+  }
+  static void SetBit(std::vector<uint64_t>& bits, uint32_t id) {
+    const size_t word = id >> 6;
+    if (word >= bits.size()) bits.resize(word + 1, 0);
+    bits[word] |= uint64_t{1} << (id & 63);
+  }
+  static void ClearBit(std::vector<uint64_t>& bits, uint32_t id) {
+    const size_t word = id >> 6;
+    if (word < bits.size()) bits[word] &= ~(uint64_t{1} << (id & 63));
+  }
+
+  /// Recomputes both bitsets from the words (used after codec decode and by
+  /// the copy operations).
+  void RebuildBits();
+
   std::vector<VertexId> vertices_;
   std::vector<EdgeId> edges_;
   std::vector<PushRecord> records_;
+  // One bit per id present in the corresponding word; see class comment.
+  std::vector<uint64_t> vertex_bits_;
+  std::vector<uint64_t> edge_bits_;
 };
 
 }  // namespace fractal

@@ -1,0 +1,61 @@
+// Branch-light sorted-set kernels: the algebra the enumeration data plane
+// is built on (DESIGN.md §8). Every adjacency list in Graph is sorted, so
+// extension computation reduces to intersections and differences of sorted
+// uint32 runs. Each kernel appends to `out` (never clears), preserves
+// ascending order, and picks between a linear two-pointer merge and a
+// galloping (exponential-probe + binary-search) scan of the larger input
+// based on the size ratio — galloping wins once one side is much shorter
+// than the other, which is the common case deep in the DFS where the
+// candidate set has already shrunk but neighbor lists stay large.
+//
+// Instrumentation: every kernel call bumps "enumerate.intersections" and,
+// when the galloping path is chosen, "enumerate.galloped" (obs/metrics.h) —
+// one relaxed fetch_add per *call*, not per element.
+#ifndef FRACTAL_GRAPH_ADJACENCY_H_
+#define FRACTAL_GRAPH_ADJACENCY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fractal {
+namespace adjacency {
+
+/// Size ratio (larger/smaller) above which kernels switch from the linear
+/// merge to galloping, provided the larger side also clears
+/// kGallopMinLarger (probing overhead only pays off on long runs).
+inline constexpr size_t kGallopRatio = 8;
+inline constexpr size_t kGallopMinLarger = 32;
+
+/// First index >= begin with haystack[index] >= needle, found by doubling
+/// probes from `begin` followed by a binary search of the bracketed run.
+/// O(log distance) instead of O(log |haystack|) — cheap for the clustered
+/// accesses the kernels make.
+size_t GallopLowerBound(std::span<const uint32_t> haystack, size_t begin,
+                        uint32_t needle);
+
+/// Appends {x : x in a, x in b} to out, ascending.
+void Intersect(std::span<const uint32_t> a, std::span<const uint32_t> b,
+               std::vector<uint32_t>* out);
+
+/// Appends {x : x in a, x in b, x > bound} to out, ascending.
+void IntersectAbove(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                    uint32_t bound, std::vector<uint32_t>* out);
+
+/// Appends {x : x in a, x not in b} to out, ascending.
+void Difference(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                std::vector<uint32_t>* out);
+
+/// Appends {x : x in a, x not in b, x > bound} to out, ascending.
+void DifferenceAbove(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                     uint32_t bound, std::vector<uint32_t>* out);
+
+/// Appends {x : x in a, x > bound} to out, ascending. Pure restriction —
+/// not counted as a kernel invocation.
+void CopyAbove(std::span<const uint32_t> a, uint32_t bound,
+               std::vector<uint32_t>* out);
+
+}  // namespace adjacency
+}  // namespace fractal
+
+#endif  // FRACTAL_GRAPH_ADJACENCY_H_

@@ -40,13 +40,6 @@ std::span<const uint32_t> Graph::EdgeKeywords(EdgeId e) const {
           edge_keyword_data_.data() + edge_keyword_offsets_[e + 1]};
 }
 
-uint32_t Graph::NumActiveVertices() const {
-  if (vertex_active_.empty()) return NumVertices();
-  uint32_t count = 0;
-  for (const uint8_t active : vertex_active_) count += active;
-  return count;
-}
-
 std::string Graph::DebugString() const {
   return StrFormat("Graph(|V|=%u, |E|=%u, |L|=%u, density=%.2e%s)",
                    NumVertices(), NumEdges(), NumLabels(), Density(),
@@ -70,14 +63,15 @@ void GraphBuilder::MarkVertexInactive(VertexId v) {
 bool GraphBuilder::HasEdge(VertexId u, VertexId v) const {
   FRACTAL_DCHECK(u < NumVertices());
   FRACTAL_DCHECK(v < NumVertices());
-  const auto& adj =
-      pending_adj_[pending_adj_[u].size() <= pending_adj_[v].size() ? u : v];
-  const VertexId other =
-      pending_adj_[u].size() <= pending_adj_[v].size() ? v : u;
-  for (const auto& [neighbor, edge] : adj) {
-    if (neighbor == other) return true;
-  }
-  return false;
+  const bool u_smaller = pending_adj_[u].size() <= pending_adj_[v].size();
+  const auto& adj = pending_adj_[u_smaller ? u : v];
+  const VertexId other = u_smaller ? v : u;
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), other,
+      [](const std::pair<VertexId, EdgeId>& entry, VertexId needle) {
+        return entry.first < needle;
+      });
+  return it != adj.end() && it->first == other;
 }
 
 EdgeId GraphBuilder::AddEdge(VertexId u, VertexId v, Label label) {
@@ -92,8 +86,19 @@ EdgeId GraphBuilder::AddEdge(VertexId u, VertexId v, Label label) {
   edges_.push_back(endpoints);
   edge_labels_.push_back(label);
   edge_keywords_.emplace_back();
-  pending_adj_[u].emplace_back(v, id);
-  pending_adj_[v].emplace_back(u, id);
+  // Sorted insertion keeps HasEdge (and the duplicate CHECK above) at
+  // O(log deg) for the whole build.
+  const auto insert_sorted = [this](VertexId at, VertexId neighbor,
+                                    EdgeId edge) {
+    auto& adj = pending_adj_[at];
+    const auto it = std::lower_bound(
+        adj.begin(), adj.end(), std::make_pair(neighbor, EdgeId{0}),
+        [](const std::pair<VertexId, EdgeId>& a,
+           const std::pair<VertexId, EdgeId>& b) { return a.first < b.first; });
+    adj.insert(it, {neighbor, edge});
+  };
+  insert_sorted(u, v, id);
+  insert_sorted(v, u, id);
   return id;
 }
 
@@ -131,13 +136,38 @@ Graph GraphBuilder::Build() && {
   graph.adj_neighbors_.resize(graph.adj_offsets_[num_vertices]);
   graph.adj_edge_ids_.resize(graph.adj_offsets_[num_vertices]);
   for (uint32_t v = 0; v < num_vertices; ++v) {
-    auto& adj = pending_adj_[v];
-    std::sort(adj.begin(), adj.end());
+    // Pending lists are maintained sorted by AddEdge; no per-vertex sort.
     uint32_t offset = graph.adj_offsets_[v];
-    for (const auto& [neighbor, edge] : adj) {
+    for (const auto& [neighbor, edge] : pending_adj_[v]) {
       graph.adj_neighbors_[offset] = neighbor;
       graph.adj_edge_ids_[offset] = edge;
       ++offset;
+    }
+  }
+
+  // Degree-thresholded adjacency bitmaps for O(1) IsAdjacent against hubs.
+  graph.hub_degree_threshold_ =
+      std::max<uint32_t>(64, num_vertices / 64);
+  graph.hub_words_ = (static_cast<size_t>(num_vertices) + 63) / 64;
+  uint32_t num_hubs = 0;
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    if (graph.Degree(v) >= graph.hub_degree_threshold_) ++num_hubs;
+  }
+  graph.num_hubs_ = num_hubs;
+  if (num_hubs > 0) {
+    graph.hub_slot_.assign(num_vertices, UINT32_MAX);
+    graph.hub_bits_.assign(static_cast<size_t>(num_hubs) * graph.hub_words_,
+                           0);
+    uint32_t slot = 0;
+    for (uint32_t v = 0; v < num_vertices; ++v) {
+      if (graph.Degree(v) < graph.hub_degree_threshold_) continue;
+      graph.hub_slot_[v] = slot;
+      uint64_t* row = graph.hub_bits_.data() +
+                      static_cast<size_t>(slot) * graph.hub_words_;
+      for (const VertexId neighbor : graph.Neighbors(v)) {
+        row[neighbor >> 6] |= uint64_t{1} << (neighbor & 63);
+      }
+      ++slot;
     }
   }
 
@@ -147,15 +177,19 @@ Graph GraphBuilder::Build() && {
   labels.insert(graph.edge_labels_.begin(), graph.edge_labels_.end());
   graph.num_labels_ = static_cast<uint32_t>(labels.size());
 
+  graph.num_active_vertices_ = num_vertices;
   if (any_inactive_) {
     for (uint32_t v = 0; v < num_vertices; ++v) {
       FRACTAL_CHECK(!inactive_[v] || graph.Degree(v) == 0)
           << "inactive vertex " << v << " still has incident edges";
     }
     graph.vertex_active_.resize(num_vertices);
+    uint32_t active = 0;
     for (uint32_t v = 0; v < num_vertices; ++v) {
       graph.vertex_active_[v] = inactive_[v] ? 0 : 1;
+      active += graph.vertex_active_[v];
     }
+    graph.num_active_vertices_ = active;
   }
 
   if (has_keywords_) {

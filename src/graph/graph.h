@@ -87,9 +87,36 @@ class Graph {
             adj_edge_ids_.data() + adj_offsets_[v + 1]};
   }
 
+  /// Adjacency test: O(1) against a hub (a vertex whose degree crosses the
+  /// bitmap threshold, see HubDegreeThreshold), O(log min(deg)) otherwise.
   bool IsAdjacent(VertexId u, VertexId v) const {
+    if (const uint64_t* row = HubRow(u)) {
+      return (row[v >> 6] >> (v & 63)) & 1;
+    }
+    if (const uint64_t* row = HubRow(v)) {
+      return (row[u >> 6] >> (u & 63)) & 1;
+    }
     return EdgeBetween(u, v).has_value();
   }
+
+  /// Adjacency bitmap of v (one bit per vertex id, |V| bits rounded up to
+  /// whole uint64 words), or nullptr when v is not a hub. Built at Build()
+  /// time for every vertex with Degree(v) >= HubDegreeThreshold(); lets the
+  /// extension kernels filter candidate runs against a high-degree word
+  /// vertex with one load per candidate.
+  const uint64_t* HubRow(VertexId v) const {
+    FRACTAL_DCHECK(v < NumVertices());
+    if (hub_slot_.empty()) return nullptr;
+    const uint32_t slot = hub_slot_[v];
+    if (slot == UINT32_MAX) return nullptr;
+    return hub_bits_.data() + static_cast<size_t>(slot) * hub_words_;
+  }
+
+  /// Degree at or above which a vertex gets an adjacency bitmap:
+  /// max(64, |V|/64), so a hub's bitmap (|V|/8 bytes) never exceeds ~2x its
+  /// adjacency-list footprint (4 bytes per neighbor).
+  uint32_t HubDegreeThreshold() const { return hub_degree_threshold_; }
+  uint32_t NumHubs() const { return num_hubs_; }
 
   /// Edge id of (u, v) if it exists. O(log min(deg)).
   std::optional<EdgeId> EdgeBetween(VertexId u, VertexId v) const;
@@ -127,7 +154,9 @@ class Graph {
     return vertex_active_.empty() || vertex_active_[v] != 0;
   }
 
-  uint32_t NumActiveVertices() const;
+  /// Cached at Build() time (it sits on the root-partitioning path of every
+  /// step attempt).
+  uint32_t NumActiveVertices() const { return num_active_vertices_; }
 
   /// Sum of degrees = 2 |E|.
   uint64_t AdjacencySize() const { return adj_neighbors_.size(); }
@@ -145,6 +174,16 @@ class Graph {
   std::vector<Label> edge_labels_;         // size |E|
   std::vector<uint8_t> vertex_active_;     // empty == all active
   uint32_t num_labels_ = 0;
+  uint32_t num_active_vertices_ = 0;
+
+  // Degree-thresholded adjacency bitmaps: hub_slot_[v] indexes the hub's
+  // row in hub_bits_ (UINT32_MAX for non-hubs); each row is hub_words_
+  // uint64 words covering all vertex ids.
+  std::vector<uint32_t> hub_slot_;  // size |V| when any hub exists
+  std::vector<uint64_t> hub_bits_;  // num_hubs_ * hub_words_
+  size_t hub_words_ = 0;
+  uint32_t hub_degree_threshold_ = 0;
+  uint32_t num_hubs_ = 0;
 
   bool has_keywords_ = false;
   uint32_t keyword_vocabulary_size_ = 0;
@@ -173,8 +212,9 @@ class GraphBuilder {
   /// works with simple graphs). Returns the new edge id.
   EdgeId AddEdge(VertexId u, VertexId v, Label label = 0);
 
-  /// True if the edge (u, v) was already added. O(deg) on the pending state;
-  /// intended for generators that must avoid duplicates.
+  /// True if the edge (u, v) was already added. Binary-searches the smaller
+  /// endpoint's pending list (kept sorted by neighbor), so generators can
+  /// probe large graphs without a quadratic linear scan.
   bool HasEdge(VertexId u, VertexId v) const;
 
   /// Attaches keyword sets (unsorted input is fine; stored sorted+deduped).
@@ -198,7 +238,9 @@ class GraphBuilder {
   std::vector<EdgeEndpoints> edges_;
   std::vector<Label> vertex_labels_;
   std::vector<Label> edge_labels_;
-  // Pending adjacency as (neighbor, edge id) pairs per vertex.
+  // Pending adjacency as (neighbor, edge id) pairs per vertex, kept sorted
+  // by neighbor id (AddEdge inserts in order) so HasEdge is O(log deg) and
+  // Build() skips the per-vertex sort.
   std::vector<std::vector<std::pair<VertexId, EdgeId>>> pending_adj_;
   std::vector<std::vector<uint32_t>> vertex_keywords_;
   std::vector<std::vector<uint32_t>> edge_keywords_;

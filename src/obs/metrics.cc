@@ -155,6 +155,22 @@ Counter& DroppedRequestsCounter() {
   static Counter& counter = NamedCounter("bus.requests_dropped");
   return counter;
 }
+Counter& IntersectionKernelsCounter() {
+  static Counter& counter = NamedCounter("enumerate.intersections");
+  return counter;
+}
+Counter& GallopedKernelsCounter() {
+  static Counter& counter = NamedCounter("enumerate.galloped");
+  return counter;
+}
+Counter& ScratchHitsCounter() {
+  static Counter& counter = NamedCounter("enumerate.scratch_hits");
+  return counter;
+}
+Counter& ScratchMissesCounter() {
+  static Counter& counter = NamedCounter("enumerate.scratch_misses");
+  return counter;
+}
 
 Gauge& SuspectVictimsGauge() {
   static Gauge& gauge =

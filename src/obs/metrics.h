@@ -153,6 +153,18 @@ Counter& StealTimeoutsCounter();
 /// WS_ext steal requests dropped in flight by fault injection
 /// ("bus.requests_dropped").
 Counter& DroppedRequestsCounter();
+/// Sorted-set kernel invocations (intersections and differences) in the
+/// enumeration data plane ("enumerate.intersections").
+Counter& IntersectionKernelsCounter();
+/// Kernel invocations that took the galloping path instead of the linear
+/// merge ("enumerate.galloped").
+Counter& GallopedKernelsCounter();
+/// ScratchArena buffer acquisitions served from the per-thread pool with no
+/// heap allocation ("enumerate.scratch_hits").
+Counter& ScratchHitsCounter();
+/// ScratchArena buffer acquisitions that had to allocate — should flatline
+/// once the DFS reaches steady state ("enumerate.scratch_misses").
+Counter& ScratchMissesCounter();
 
 /// (requester, victim) pairs currently marked suspect by the steal-RPC
 /// health tracker; reset to 0 at each step start

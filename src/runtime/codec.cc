@@ -41,6 +41,8 @@ bool SubgraphCodec::DecodeSubgraph(ByteReader* reader, Subgraph* subgraph) {
     edge_total += subgraph->records_[i].edges_added;
   }
   if (!reader->ok()) return false;
+  // The words were written behind the bitsets' back; restore the invariant.
+  subgraph->RebuildBits();
   // Structural consistency: records must account for every word element.
   return vertex_total == num_vertices && edge_total == num_edges;
 }

@@ -136,6 +136,9 @@ void Worker::RunStepOnThread(ThreadContext& t) {
   const int64_t max_backoff_micros =
       std::max<int64_t>(400, 100 * live_threads);
   int64_t backoff_micros = 50;
+  // Reused across all steal attempts of the loop: the prefix snapshot in
+  // TrySteal then copy-assigns into grown storage instead of allocating.
+  SubgraphEnumerator::StolenWork work;
   while (true) {
     // Crash containment: a crashed worker's threads stop contributing
     // immediately; survivors have drained their own frames above and —
@@ -145,15 +148,13 @@ void Worker::RunStepOnThread(ThreadContext& t) {
     if (control.working.load(std::memory_order_acquire) == 0) break;
     control.working.fetch_add(1, std::memory_order_acq_rel);
     bool got = false;
-    std::optional<SubgraphEnumerator::StolenWork> work;
-    if (options.internal_work_stealing) work = ClaimInternalWork(t);
-    if (!work.has_value() && external_enabled) work = ClaimExternalWork(t);
-    if (work.has_value()) {
+    if (options.internal_work_stealing) got = ClaimInternalWork(t, &work);
+    if (!got && external_enabled) got = ClaimExternalWork(t, &work);
+    if (got) {
       FRACTAL_TRACE_SPAN("worker/process_stolen");
       WallTimer busy_timer;
-      task.ProcessStolen(t, *work);
+      task.ProcessStolen(t, work);
       t.busy_seconds += busy_timer.ElapsedSeconds();
-      got = true;
     }
     control.working.fetch_sub(1, std::memory_order_acq_rel);
     if (got) {
@@ -171,8 +172,8 @@ void Worker::RunStepOnThread(ThreadContext& t) {
   t.control = nullptr;
 }
 
-std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimInternalWork(
-    ThreadContext& t) {
+bool Worker::ClaimInternalWork(ThreadContext& t,
+                               SubgraphEnumerator::StolenWork* out) {
   // Shallowest frames first: they hold the largest pieces of work.
   const uint32_t num_levels = cluster_->step_.num_levels;
   for (uint32_t depth = 0; depth < num_levels; ++depth) {
@@ -180,18 +181,18 @@ std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimInternalWork(
       if (other == t.local_core) continue;
       SubgraphEnumerator& frame = *threads_[other]->frames[depth];
       if (!frame.LooksNonEmpty()) continue;
-      if (auto work = frame.TrySteal()) {
+      if (frame.TrySteal(out)) {
         ++t.stats.internal_steals;
         obs::InternalStealsCounter().Add(1);
-        return work;
+        return true;
       }
     }
   }
-  return std::nullopt;
+  return false;
 }
 
-std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimExternalWork(
-    ThreadContext& t) {
+bool Worker::ClaimExternalWork(ThreadContext& t,
+                               SubgraphEnumerator::StolenWork* out) {
   const ClusterOptions& options = cluster_->options();
   const NetworkConfig& net = options.network;
   const uint32_t num_workers = options.num_workers;
@@ -207,7 +208,7 @@ std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimExternalWork(
     for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
       WallTimer rtt_timer;
       const StealReply reply = cluster_->bus_->RequestSteal(worker_id_, victim);
-      if (reply.outcome == StealOutcome::kShutdown) return std::nullopt;
+      if (reply.outcome == StealOutcome::kShutdown) return false;
       if (reply.outcome == StealOutcome::kNoWork) {
         // Responsive but empty: try the next victim.
         health.consecutive_timeouts.store(0, std::memory_order_relaxed);
@@ -217,9 +218,8 @@ std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimExternalWork(
         health.consecutive_timeouts.store(0, std::memory_order_relaxed);
         obs::StealRttHistogram().Record(
             static_cast<uint64_t>(rtt_timer.ElapsedMicros()));
-        SubgraphEnumerator::StolenWork work;
         WallTimer decode_timer;
-        if (!SubgraphCodec::DecodeStolenWork(reply.payload, &work)) {
+        if (!SubgraphCodec::DecodeStolenWork(reply.payload, out)) {
           FRACTAL_CHECK(false) << "corrupted stolen-work payload";
         }
         obs::DecodeTimeHistogram().Record(
@@ -228,7 +228,7 @@ std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimExternalWork(
         t.stats.bytes_shipped += reply.payload.size();
         obs::ExternalStealsCounter().Add(1);
         obs::BytesShippedCounter().Add(reply.payload.size());
-        return work;
+        return true;
       }
       // kTimeout: accrue health, back off, retry — or give the victim up
       // as suspect for the rest of the step.
@@ -258,19 +258,19 @@ std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimExternalWork(
       }
     }
   }
-  return std::nullopt;
+  return false;
 }
 
-std::optional<SubgraphEnumerator::StolenWork> Worker::ClaimLocalWork() {
+bool Worker::ClaimLocalWork(SubgraphEnumerator::StolenWork* out) {
   const uint32_t num_levels = cluster_->step_.num_levels;
   for (uint32_t depth = 0; depth < num_levels; ++depth) {
     for (uint32_t core = 0; core < num_threads(); ++core) {
       SubgraphEnumerator& frame = *threads_[core]->frames[depth];
       if (!frame.LooksNonEmpty()) continue;
-      if (auto work = frame.TrySteal()) return work;
+      if (frame.TrySteal(out)) return true;
     }
   }
-  return std::nullopt;
+  return false;
 }
 
 void Worker::StealServiceLoop() {
@@ -284,6 +284,8 @@ void Worker::StealServiceLoop() {
   // scans are always live: BeginReply succeeds only for a requester that is
   // still waiting, and abandoned tokens are dropped without touching any
   // frame. Shutdown of the bus ends the loop.
+  // Reused across requests (same rationale as the steal loop's buffer).
+  SubgraphEnumerator::StolenWork work;
   while (auto token = cluster_->bus_->WaitForRequest(worker_id_)) {
     FRACTAL_TRACE_SPAN("worker/steal_service");
     if (const std::shared_ptr<FaultInjector> injector =
@@ -302,10 +304,9 @@ void Worker::StealServiceLoop() {
     // Claim-after-commit: commit to this requester *before* claiming work,
     // so a request abandoned at its deadline can never orphan a claim.
     if (!cluster_->bus_->BeginReply(*token)) continue;
-    auto work = ClaimLocalWork();
-    if (work.has_value()) {
+    if (ClaimLocalWork(&work)) {
       WallTimer encode_timer;
-      std::vector<uint8_t> payload = SubgraphCodec::EncodeStolenWork(*work);
+      std::vector<uint8_t> payload = SubgraphCodec::EncodeStolenWork(work);
       obs::EncodeTimeHistogram().Record(
           static_cast<uint64_t>(encode_timer.ElapsedNanos()));
       cluster_->bus_->Reply(*token, std::move(payload));

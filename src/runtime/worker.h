@@ -158,16 +158,18 @@ class Worker {
   void RunStepOnThread(ThreadContext& t);
 
   /// WS_int: claims one extension from a sibling thread of this worker,
-  /// shallowest frames first (they hold the largest pieces of work).
-  std::optional<SubgraphEnumerator::StolenWork> ClaimInternalWork(
-      ThreadContext& t);
+  /// shallowest frames first (they hold the largest pieces of work). The
+  /// Claim* calls fill a caller-owned StolenWork (false == no work found) so
+  /// the steal loop reuses one prefix buffer across all its attempts.
+  bool ClaimInternalWork(ThreadContext& t,
+                         SubgraphEnumerator::StolenWork* out);
 
   /// WS_ext: requests work from the other workers through the message bus,
   /// skipping dead/crashed/suspect victims, retrying timed-out victims with
   /// exponential backoff + jitter, and accruing per-victim timeout health.
   /// Charges the simulated network cost and records shipped bytes.
-  std::optional<SubgraphEnumerator::StolenWork> ClaimExternalWork(
-      ThreadContext& t);
+  bool ClaimExternalWork(ThreadContext& t,
+                         SubgraphEnumerator::StolenWork* out);
 
   /// Resets per-step victim-health state; called by RunStep while all
   /// threads are parked.
@@ -176,7 +178,7 @@ class Worker {
   /// Steal-service side of WS_ext: answers requests from other workers by
   /// claiming work from this worker's own frames.
   void StealServiceLoop();
-  std::optional<SubgraphEnumerator::StolenWork> ClaimLocalWork();
+  bool ClaimLocalWork(SubgraphEnumerator::StolenWork* out);
 
   Cluster* cluster_;
   uint32_t worker_id_;

@@ -5,6 +5,7 @@
 
 #include "enumerate/enumerator.h"
 #include "enumerate/extension.h"
+#include "enumerate/scratch_arena.h"
 #include "enumerate/subgraph.h"
 #include "graph/generators.h"
 #include "graph/test_graphs.h"
@@ -57,6 +58,82 @@ struct DfsDriver {
     }
   }
 };
+
+TEST(SubgraphTest, MembershipBitsTrackPushPopCopyAndClear) {
+  const Graph g = testgraphs::Complete(6);
+  Subgraph s;
+  s.PushVertexInduced(g, 1);
+  s.PushVertexInduced(g, 4);
+  EXPECT_TRUE(s.ContainsVertex(1));
+  EXPECT_TRUE(s.ContainsVertex(4));
+  EXPECT_FALSE(s.ContainsVertex(0));
+  EXPECT_TRUE(s.ContainsEdge(*g.EdgeBetween(1, 4)));
+  EXPECT_FALSE(s.ContainsEdge(*g.EdgeBetween(0, 1)));
+
+  // Copy construction rebuilds bits in the copy.
+  const Subgraph copy(s);
+  EXPECT_TRUE(copy.ContainsVertex(4));
+  EXPECT_FALSE(copy.ContainsVertex(2));
+
+  // Copy assignment clears the target's old bits before adopting.
+  Subgraph other;
+  other.PushVertexInduced(g, 0);
+  other.PushVertexInduced(g, 2);
+  other = s;
+  EXPECT_FALSE(other.ContainsVertex(0));
+  EXPECT_FALSE(other.ContainsVertex(2));
+  EXPECT_TRUE(other.ContainsVertex(1));
+  EXPECT_TRUE(other.ContainsVertex(4));
+
+  s.Pop();
+  EXPECT_FALSE(s.ContainsVertex(4));
+  EXPECT_FALSE(s.ContainsEdge(*g.EdgeBetween(1, 4)));
+  EXPECT_TRUE(s.ContainsVertex(1));
+
+  other.Clear();
+  EXPECT_FALSE(other.ContainsVertex(1));
+  EXPECT_TRUE(other.Empty());
+}
+
+TEST(ScratchArenaTest, BuffersRecycleThroughThePool) {
+  ScratchArena arena;
+  std::vector<uint32_t>* first = arena.Acquire();
+  first->assign(100, 7);
+  EXPECT_EQ(arena.live_buffers(), 1u);
+  arena.Release(first);
+  EXPECT_EQ(arena.live_buffers(), 0u);
+  // Reacquire: same node, cleared, capacity kept.
+  std::vector<uint32_t>* second = arena.Acquire();
+  EXPECT_EQ(second, first);
+  EXPECT_TRUE(second->empty());
+  EXPECT_GE(second->capacity(), 100u);
+  EXPECT_EQ(arena.total_buffers(), 1u);
+  {
+    ScratchArena::BufferLease lease(arena);
+    EXPECT_EQ(arena.live_buffers(), 2u);
+    lease->push_back(1);
+    EXPECT_EQ((*lease)[0], 1u);
+  }
+  EXPECT_EQ(arena.live_buffers(), 1u);
+  arena.Release(second);
+}
+
+TEST(ScratchArenaTest, StampedMapResetIsLogicalClear) {
+  ScratchArena::StampedMap map;
+  map.Reset(10);
+  EXPECT_EQ(map.Get(3), ScratchArena::StampedMap::kAbsent);
+  map.Set(3, 42);
+  map.Set(9, 0);
+  EXPECT_EQ(map.Get(3), 42u);
+  EXPECT_EQ(map.Get(9), 0u);
+  map.Reset(10);  // O(1): epoch bump, no storage wipe
+  EXPECT_EQ(map.Get(3), ScratchArena::StampedMap::kAbsent);
+  EXPECT_EQ(map.Get(9), ScratchArena::StampedMap::kAbsent);
+  map.Reset(20);  // grows
+  map.Set(19, 5);
+  EXPECT_EQ(map.Get(19), 5u);
+  EXPECT_EQ(map.Get(3), ScratchArena::StampedMap::kAbsent);
+}
 
 TEST(SubgraphTest, VertexInducedPushPop) {
   const Graph g = testgraphs::Complete(4);
@@ -305,20 +382,20 @@ TEST(EnumeratorTest, StealClaimsDisjointExtensions) {
   prefix.PushVertexInduced(g, 0);
   enumerator.Refill(prefix, 2, {1, 2, 3, 4});
 
-  auto stolen = enumerator.TrySteal();
-  ASSERT_TRUE(stolen.has_value());
-  EXPECT_EQ(stolen->extension, 1u);
-  EXPECT_EQ(stolen->primitive_index, 2u);
-  EXPECT_EQ(stolen->prefix.NumVertices(), 1u);
-  EXPECT_EQ(stolen->prefix.VertexAt(0), 0u);
+  SubgraphEnumerator::StolenWork stolen;
+  ASSERT_TRUE(enumerator.TrySteal(&stolen));
+  EXPECT_EQ(stolen.extension, 1u);
+  EXPECT_EQ(stolen.primitive_index, 2u);
+  EXPECT_EQ(stolen.prefix.NumVertices(), 1u);
+  EXPECT_EQ(stolen.prefix.VertexAt(0), 0u);
 
   std::vector<uint32_t> owner_got;
   while (auto e = enumerator.ConsumeNext()) owner_got.push_back(*e);
   EXPECT_EQ(owner_got, (std::vector<uint32_t>{2, 3, 4}));
 
-  EXPECT_FALSE(enumerator.TrySteal().has_value());
+  EXPECT_FALSE(enumerator.TrySteal(&stolen));
   enumerator.Deactivate();
-  EXPECT_FALSE(enumerator.TrySteal().has_value());
+  EXPECT_FALSE(enumerator.TrySteal(&stolen));
 }
 
 TEST(EnumeratorTest, ConcurrentConsumptionIsExactlyOnce) {
@@ -336,8 +413,9 @@ TEST(EnumeratorTest, ConcurrentConsumptionIsExactlyOnce) {
       if (t == 0) {
         while (auto e = enumerator.ConsumeNext()) claimed[t].push_back(*e);
       } else {
-        while (auto work = enumerator.TrySteal()) {
-          claimed[t].push_back(work->extension);
+        SubgraphEnumerator::StolenWork work;
+        while (enumerator.TrySteal(&work)) {
+          claimed[t].push_back(work.extension);
         }
       }
     });

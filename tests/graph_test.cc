@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "graph/adjacency.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
@@ -9,6 +11,7 @@
 #include "graph/graph_reduce.h"
 #include "graph/inverted_index.h"
 #include "graph/test_graphs.h"
+#include "util/random.h"
 
 namespace fractal {
 namespace {
@@ -262,6 +265,158 @@ TEST(TestGraphsTest, PetersenProperties) {
   EXPECT_EQ(g.NumVertices(), 10u);
   EXPECT_EQ(g.NumEdges(), 15u);
   for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.Degree(v), 3u);
+}
+
+TEST(GraphBuilderTest, HasEdgeAgainstSortedPendingLists) {
+  // Edges inserted in shuffled order: the pending lists must stay sorted so
+  // HasEdge's binary search answers correctly throughout the build.
+  GraphBuilder b;
+  for (uint32_t v = 0; v < 40; ++v) b.AddVertex(0);
+  SplitMix64 rng(99);
+  std::set<std::pair<VertexId, VertexId>> added;
+  for (int i = 0; i < 200; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(40));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(40));
+    if (u == v) continue;
+    const auto key = std::minmax(u, v);
+    if (added.count(key)) {
+      EXPECT_TRUE(b.HasEdge(u, v));
+      continue;
+    }
+    EXPECT_FALSE(b.HasEdge(u, v));
+    b.AddEdge(u, v);
+    added.insert(key);
+  }
+  const Graph g = std::move(b).Build();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto neighbors = g.Neighbors(v);
+    EXPECT_TRUE(std::is_sorted(neighbors.begin(), neighbors.end()));
+  }
+}
+
+TEST(GraphTest, NumActiveVerticesCachedAtBuild) {
+  const Graph full = GenerateRandomGraph(30, 60, 1, 1, 11);
+  EXPECT_EQ(full.NumActiveVertices(), 30u);
+  const Graph reduced = ReduceGraph(
+      full, [](const Graph&, VertexId v) { return v % 3 != 0; }, nullptr);
+  uint32_t expected = 0;
+  for (VertexId v = 0; v < reduced.NumVertices(); ++v) {
+    if (reduced.IsVertexActive(v)) ++expected;
+  }
+  EXPECT_EQ(reduced.NumActiveVertices(), expected);
+  EXPECT_LT(reduced.NumActiveVertices(), reduced.NumVertices());
+}
+
+TEST(GraphTest, HubBitmapMatchesAdjacencyLists) {
+  // Vertex 0 is connected to everything -> degree 99 >= threshold 64.
+  GraphBuilder b;
+  for (uint32_t v = 0; v < 100; ++v) b.AddVertex(0);
+  for (uint32_t v = 1; v < 100; ++v) b.AddEdge(0, v);
+  SplitMix64 rng(7);
+  for (int i = 0; i < 150; ++i) {
+    const VertexId u = 1 + static_cast<VertexId>(rng.NextBounded(99));
+    const VertexId v = 1 + static_cast<VertexId>(rng.NextBounded(99));
+    if (u == v || b.HasEdge(u, v)) continue;
+    b.AddEdge(u, v);
+  }
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.HubDegreeThreshold(), 64u);
+  ASSERT_GE(g.NumHubs(), 1u);
+  ASSERT_NE(g.HubRow(0), nullptr);
+  // IsAdjacent (bitmap-accelerated for pairs touching vertex 0) must agree
+  // with the CSR ground truth for every pair, both directions.
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    const bool is_hub = g.Degree(u) >= g.HubDegreeThreshold();
+    EXPECT_EQ(g.HubRow(u) != nullptr, is_hub) << u;
+    for (VertexId v = u + 1; v < g.NumVertices(); ++v) {
+      const bool expected = g.EdgeBetween(u, v).has_value();
+      EXPECT_EQ(g.IsAdjacent(u, v), expected) << u << "," << v;
+      EXPECT_EQ(g.IsAdjacent(v, u), expected) << v << "," << u;
+    }
+  }
+}
+
+TEST(GraphTest, NoHubsOnSparseGraph) {
+  const Graph g = testgraphs::Petersen();
+  EXPECT_EQ(g.NumHubs(), 0u);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.HubRow(v), nullptr);
+  }
+}
+
+// ===== Set-algebra kernels (graph/adjacency.h) =============================
+
+std::vector<uint32_t> SortedRandomSet(SplitMix64& rng, size_t size,
+                                      uint32_t universe) {
+  std::set<uint32_t> values;
+  while (values.size() < size) {
+    values.insert(static_cast<uint32_t>(rng.NextBounded(universe)));
+  }
+  return {values.begin(), values.end()};
+}
+
+TEST(AdjacencyKernelTest, MatchesStdAlgorithmsAcrossSizeRatios) {
+  SplitMix64 rng(1234);
+  // Size pairs chosen to land on both sides of the merge/gallop crossover.
+  const std::pair<size_t, size_t> shapes[] = {
+      {0, 10}, {10, 0}, {5, 7},  {30, 31},  {4, 400},
+      {400, 4}, {1, 500}, {64, 64}, {3, 1000}, {1000, 3}};
+  for (const auto& [size_a, size_b] : shapes) {
+    const std::vector<uint32_t> a = SortedRandomSet(rng, size_a, 2000);
+    const std::vector<uint32_t> b = SortedRandomSet(rng, size_b, 2000);
+    std::vector<uint32_t> expected_intersection;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected_intersection));
+    std::vector<uint32_t> expected_difference;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expected_difference));
+    std::vector<uint32_t> got;
+    adjacency::Intersect(a, b, &got);
+    EXPECT_EQ(got, expected_intersection) << size_a << "x" << size_b;
+    got.clear();
+    adjacency::Difference(a, b, &got);
+    EXPECT_EQ(got, expected_difference) << size_a << "x" << size_b;
+
+    const uint32_t bound = 1000;
+    auto above = [bound](const std::vector<uint32_t>& v) {
+      std::vector<uint32_t> r;
+      for (const uint32_t x : v) {
+        if (x > bound) r.push_back(x);
+      }
+      return r;
+    };
+    got.clear();
+    adjacency::IntersectAbove(a, b, bound, &got);
+    EXPECT_EQ(got, above(expected_intersection)) << size_a << "x" << size_b;
+    got.clear();
+    adjacency::DifferenceAbove(a, b, bound, &got);
+    EXPECT_EQ(got, above(expected_difference)) << size_a << "x" << size_b;
+    got.clear();
+    adjacency::CopyAbove(a, bound, &got);
+    EXPECT_EQ(got, above(a)) << size_a << "x" << size_b;
+  }
+}
+
+TEST(AdjacencyKernelTest, AppendsWithoutClearing) {
+  const std::vector<uint32_t> a = {1, 3, 5};
+  const std::vector<uint32_t> b = {3, 5, 7};
+  std::vector<uint32_t> out = {42};
+  adjacency::Intersect(a, b, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{42, 3, 5}));
+}
+
+TEST(AdjacencyKernelTest, GallopLowerBoundFindsFirstNotLess) {
+  const std::vector<uint32_t> haystack = {2, 4, 4, 8, 16, 32, 64, 100};
+  for (size_t begin = 0; begin < haystack.size(); ++begin) {
+    for (uint32_t needle = 0; needle <= 101; ++needle) {
+      const size_t expected = static_cast<size_t>(
+          std::lower_bound(haystack.begin() + begin, haystack.end(), needle) -
+          haystack.begin());
+      EXPECT_EQ(adjacency::GallopLowerBound(haystack, begin, needle),
+                expected)
+          << "begin=" << begin << " needle=" << needle;
+    }
+  }
 }
 
 }  // namespace

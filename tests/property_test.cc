@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <numeric>
 #include <set>
 
 #include "apps/cliques.h"
+#include "enumerate/reference_extension.h"
 #include "apps/fsm.h"
 #include "apps/keyword_search.h"
 #include "apps/motifs.h"
@@ -237,6 +239,103 @@ TEST_P(SeededProperty, KeywordSearchReductionInvariance) {
     EXPECT_EQ(full.num_matches, reduced.num_matches);
     EXPECT_LE(reduced.extension_cost, full.extension_cost);
   }
+}
+
+// ===== Extension-kernel differential sweep (DESIGN.md §8) ==================
+// The fused set-algebra strategies in enumerate/extension.cc must be
+// observationally identical to the pre-kernel reference strategies: the same
+// extension sequence (order included, not just the same set) and the same
+// extension-test (EC) charge, at every subgraph the enumeration can reach.
+// Walks the full reference enumeration tree to `max_depth`, comparing
+// ComputeExtensions output at every node.
+void DifferentialSweep(const Graph& g, const ExtensionStrategy& kernel,
+                       const ExtensionStrategy& reference,
+                       uint32_t max_depth) {
+  ExtensionContext kernel_ctx;
+  ExtensionContext reference_ctx;
+  Subgraph kernel_sub;
+  Subgraph reference_sub;
+  std::vector<uint32_t> kernel_out;
+  std::vector<uint32_t> reference_out;
+  std::function<void(uint32_t)> recurse = [&](uint32_t depth) {
+    kernel.ComputeExtensions(g, kernel_sub, kernel_ctx, &kernel_out);
+    reference.ComputeExtensions(g, reference_sub, reference_ctx,
+                                &reference_out);
+    ASSERT_EQ(kernel_out, reference_out) << "at " << kernel_sub.ToString();
+    ASSERT_EQ(kernel_ctx.extension_tests, reference_ctx.extension_tests)
+        << "EC diverged at " << kernel_sub.ToString();
+    if (depth == max_depth) return;
+    const std::vector<uint32_t> extensions = kernel_out;  // out is reused
+    for (const uint32_t extension : extensions) {
+      kernel.Apply(g, extension, &kernel_sub);
+      reference.Apply(g, extension, &reference_sub);
+      recurse(depth + 1);
+      kernel.Undo(g, &kernel_sub);
+      reference.Undo(g, &reference_sub);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  };
+  recurse(0);
+}
+
+/// Random graph with a guaranteed hub: vertex 0 is connected to everything,
+/// so its degree crosses the adjacency-bitmap threshold (max(64, |V|/64))
+/// and the kernel strategies exercise the bitmap filtering paths.
+Graph RandomGraphWithHub(uint32_t extra_edges, uint64_t seed) {
+  constexpr uint32_t kVertices = 80;
+  GraphBuilder builder;
+  SplitMix64 rng(seed);
+  for (uint32_t v = 0; v < kVertices; ++v) {
+    builder.AddVertex(static_cast<Label>(rng.NextBounded(3)));
+  }
+  for (uint32_t v = 1; v < kVertices; ++v) builder.AddEdge(0, v);
+  uint32_t added = 0;
+  while (added < extra_edges) {
+    const VertexId u = 1 + static_cast<VertexId>(rng.NextBounded(kVertices - 1));
+    const VertexId v = 1 + static_cast<VertexId>(rng.NextBounded(kVertices - 1));
+    if (u == v || builder.HasEdge(u, v)) continue;
+    builder.AddEdge(u, v, static_cast<Label>(rng.NextBounded(2)));
+    ++added;
+  }
+  return std::move(builder).Build();
+}
+
+TEST_P(SeededProperty, KernelVertexExtensionsMatchReference) {
+  const Graph g = GenerateRandomGraph(24, 70, 3, 2, GetParam());
+  DifferentialSweep(g, VertexInducedStrategy{},
+                    ReferenceVertexInducedStrategy{}, 3);
+}
+
+TEST_P(SeededProperty, KernelEdgeExtensionsMatchReference) {
+  const Graph g = GenerateRandomGraph(18, 40, 3, 2, GetParam());
+  DifferentialSweep(g, EdgeInducedStrategy{}, ReferenceEdgeInducedStrategy{},
+                    3);
+}
+
+TEST_P(SeededProperty, KernelKClistExtensionsMatchReference) {
+  const Graph g = GenerateRandomGraph(24, 120, 1, 1, GetParam());
+  DifferentialSweep(g, KClistStrategy{}, ReferenceKClistStrategy{}, 4);
+}
+
+TEST_P(SeededProperty, KernelExtensionsMatchReferenceWithHub) {
+  const Graph g = RandomGraphWithHub(160, GetParam());
+  ASSERT_GT(g.NumHubs(), 0u) << "test graph must exercise the hub bitmaps";
+  DifferentialSweep(g, VertexInducedStrategy{},
+                    ReferenceVertexInducedStrategy{}, 2);
+  DifferentialSweep(g, KClistStrategy{}, ReferenceKClistStrategy{}, 3);
+}
+
+TEST_P(SeededProperty, KernelExtensionsMatchReferenceUnderReduction) {
+  const Graph g = GenerateRandomGraph(26, 80, 3, 2, GetParam());
+  // Graph-reduction mask: only even-index vertices survive, so the root
+  // extension sets must honor the active mask identically.
+  const Graph reduced = ReduceGraph(
+      g, [](const Graph&, VertexId v) { return v % 2 == 0; }, nullptr);
+  ASSERT_LT(reduced.NumActiveVertices(), reduced.NumVertices());
+  DifferentialSweep(reduced, VertexInducedStrategy{},
+                    ReferenceVertexInducedStrategy{}, 3);
+  DifferentialSweep(reduced, EdgeInducedStrategy{},
+                    ReferenceEdgeInducedStrategy{}, 3);
 }
 
 TEST(ExploreTest, ExploreZeroIsIdentity) {
