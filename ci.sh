@@ -13,15 +13,25 @@
 #      random fault plans (worker crashes, dead steal services, dropped and
 #      delayed requests, stragglers) and fails on any result divergence
 #      from the fault-free baseline.
-#   3. Static analysis: a clang build with -Wthread-safety promoted to an
+#   3. Allocation-discipline lint (tools/fractal_lint.py, DESIGN.md §9):
+#      self-test against the seeded-violation fixtures, then the repo run —
+#      every FRACTAL_HOT call graph must be provably allocation-, throw-,
+#      and raw-mutex-free, and every metric/trace name registered. Uses
+#      libclang when the python bindings are installed, its built-in
+#      textual engine otherwise.
+#   4. Alloc-guard gate: hot_path_test re-run with FRACTAL_ALLOC_GUARD=abort
+#      — full-cluster runs of the vertex-induced, edge-induced, and KClist
+#      strategies abort the process on any steady-state heap allocation.
+#   5. Static analysis: a clang build with -Wthread-safety promoted to an
 #      error (checking the GUARDED_BY/REQUIRES contracts of util/mutex.h),
-#      then clang-tidy with the curated .clang-tidy profile. Each tool is
-#      used when installed and the stage fails on any diagnostic; on
-#      containers without clang the stage degrades to the GCC -Werror
-#      build of stage 1 plus the runtime lockdep checking of stages 3-4.
-#   4. ASan/UBSan build running every thread-spawning suite (including a
-#      reduced-seed chaos sweep).
-#   5. TSan build running the same suites, so the persistent-thread
+#      then clang-tidy with the curated .clang-tidy profile over src/,
+#      bench/, and tools/ sources. Each tool is used when installed and the
+#      stage fails on any diagnostic; on containers without clang the stage
+#      degrades to the GCC -Werror build of stage 1 plus the runtime
+#      lockdep checking of the sanitizer stages.
+#   6. ASan/UBSan build running every thread-spawning suite (including a
+#      reduced-seed chaos sweep and the alloc-guard suites).
+#   7. TSan build running the same suites, so the persistent-thread
 #      Cluster/Worker runtime (parked execution threads, steal-service
 #      threads, enumerator cursors) is race-checked on every PR.
 #
@@ -36,8 +46,8 @@ JOBS="${JOBS:-$(nproc)}"
 # Every suite that spawns threads (directly or through the Cluster runtime),
 # plus property_test so the kernel-vs-reference differential sweeps over the
 # extension data plane run under ASan/UBSan and TSan on every PR.
-SANITIZED_SUITES='core_test|runtime_test|obs_test|lockdep_test|enumerate_test|property_test|apps_test|extras_test|resilience_test'
-SANITIZED_TARGETS='core_test runtime_test obs_test lockdep_test enumerate_test property_test apps_test extras_test resilience_test'
+SANITIZED_SUITES='core_test|runtime_test|obs_test|lockdep_test|enumerate_test|property_test|apps_test|extras_test|resilience_test|alloc_guard_test|hot_path_test'
+SANITIZED_TARGETS='core_test runtime_test obs_test lockdep_test enumerate_test property_test apps_test extras_test resilience_test alloc_guard_test hot_path_test'
 # Chaos seeds for the fault-injection sweep: a wide sweep on the fast
 # Release build, a narrower one under the (10-20x slower) sanitizers.
 CHAOS_SEEDS="${CHAOS_SEEDS:-32}"
@@ -77,6 +87,30 @@ echo "=== chaos: ${CHAOS_SEEDS}-seed random fault plans stay bit-exact ==="
 FRACTAL_CHAOS_SEEDS="$CHAOS_SEEDS" ./build-ci/tests/resilience_test \
   --gtest_filter='ChaosTest.*'
 
+echo "=== lint: hot-path allocation discipline (fractal_lint.py) ==="
+if command -v python3 >/dev/null 2>&1; then
+  # Self-test first: every seeded-violation fixture must fail its rule.
+  # Then the repo itself must come back clean. --engine=auto upgrades to
+  # libclang (driven by build-ci's compile_commands.json) when the python
+  # bindings are installed; the built-in textual engine gates otherwise.
+  python3 tools/fractal_lint.py --self-test
+  python3 tools/fractal_lint.py \
+    --compile-commands build-ci/compile_commands.json
+  # The seeded fixtures must also stay compilable (they feed clang-tidy and
+  # the libclang engine through compile_commands.json).
+  cmake --build build-ci -j "$JOBS" --target fractal_lint_fixtures
+else
+  echo "python3 not installed; allocation-discipline lint skipped"
+fi
+
+echo "=== alloc-guard: zero steady-state allocations, abort on regression ==="
+# The runtime backstop for whatever the static walk cannot see: full-cluster
+# runs of all three extension strategies with the operator new interposer
+# armed to abort. Any post-warm-up heap allocation on an enumeration thread
+# kills the test.
+FRACTAL_ALLOC_GUARD=abort ./build-ci/tests/hot_path_test
+FRACTAL_ALLOC_GUARD=abort ./build-ci/tests/alloc_guard_test
+
 echo "=== static analysis: -Wthread-safety + clang-tidy ==="
 if command -v clang++ >/dev/null 2>&1; then
   # -Wthread-safety / -Werror=thread-safety are added by CMakeLists.txt
@@ -84,9 +118,15 @@ if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-sa -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build build-sa -j "$JOBS"
+  # Build the lint fixtures too so their compile_commands entries are valid
+  # translation units for clang-tidy and the libclang lint engine.
+  cmake --build build-sa -j "$JOBS" --target fractal_lint_fixtures
   if command -v clang-tidy >/dev/null 2>&1; then
     # .clang-tidy sets WarningsAsErrors: '*'; any finding exits non-zero.
-    mapfile -t TIDY_SOURCES < <(git ls-files 'src/**/*.cc')
+    # Coverage: the library plus the benchmark harnesses and the lint
+    # fixtures (tools/) — everything with a compile_commands entry.
+    mapfile -t TIDY_SOURCES < <(
+      git ls-files 'src/**/*.cc' 'bench/*.cc' 'tools/**/*.cc')
     if command -v run-clang-tidy >/dev/null 2>&1; then
       run-clang-tidy -p build-sa -quiet "${TIDY_SOURCES[@]}"
     else

@@ -51,8 +51,8 @@ FractoidStepTask::FractoidStepTask(
 
 FractoidStepTask::~FractoidStepTask() = default;
 
-void FractoidStepTask::DrainRoots(ThreadContext& t,
-                                  std::vector<uint32_t> roots) {
+FRACTAL_HOT void FractoidStepTask::DrainRoots(ThreadContext& t,
+                                              std::vector<uint32_t> roots) {
   CoreState& s = *states_[t.core_id];
   s.computation->SetIds(t.worker_id, t.core_id);
   if (num_levels_ == 0 || roots.empty()) return;
@@ -60,10 +60,11 @@ void FractoidStepTask::DrainRoots(ThreadContext& t,
   DrainFrame(t, s, *t.frames[0]);
 }
 
-void FractoidStepTask::ProcessStolen(
+FRACTAL_HOT void FractoidStepTask::ProcessStolen(
     ThreadContext& t, const SubgraphEnumerator::StolenWork& work) {
   CoreState& s = *states_[t.core_id];
   s.computation->SetIds(t.worker_id, t.core_id);
+  const AllocGuard guard(GuardModeFor(t));
   s.subgraph = work.prefix;
   strategy_.Apply(graph_, work.extension, &s.subgraph);
   if (!t.ConsumeWorkUnit()) {
@@ -86,6 +87,12 @@ void FractoidStepTask::DrainFrame(ThreadContext& t, CoreState& s,
   const uint32_t next_index = frame.primitive_index();
   while (const auto extension = frame.ConsumeNext()) {
     if (!t.ConsumeWorkUnit()) break;
+    // Runtime backstop of the allocation discipline (DESIGN.md §9): once
+    // the thread is past per-step warm-up, the whole expansion of this
+    // extension — Apply, the recursive Process, Undo — runs under an
+    // AllocGuard that counts (or aborts on) any heap allocation the static
+    // lint failed to rule out.
+    const AllocGuard guard(GuardModeFor(t));
     strategy_.Apply(graph_, *extension, &s.subgraph);
     Process(t, s, next_index);
     strategy_.Undo(graph_, &s.subgraph);
@@ -97,10 +104,16 @@ void FractoidStepTask::SinkVisit(ThreadContext& t, CoreState& s) {
   ++t.stats.subgraphs_visited;
   if (!is_final_) return;
   ++s.local_count;
-  if (sink_ != nullptr) (*sink_)(s.subgraph);
+  if (sink_ != nullptr) {
+    FRACTAL_HOT_ESCAPE("user-supplied sink: application code may allocate");
+    AllocGuard::Allow allow("subgraph sink callback");
+    (*sink_)(s.subgraph);
+  }
   if (config_.collect_subgraphs &&
       s.collected.size() <
           static_cast<size_t>(config_.max_collected_subgraphs)) {
+    FRACTAL_HOT_ESCAPE("opt-in diagnostics: bounded subgraph collection");
+    AllocGuard::Allow allow("collect_subgraphs diagnostics copy");
     s.collected.push_back(s.subgraph);
   }
 }
@@ -138,24 +151,36 @@ void FractoidStepTask::Process(ThreadContext& t, CoreState& s,
       DrainFrame(t, s, frame);
       break;
     }
-    case Primitive::Kind::kLocalFilter:
-      if (primitive.local_filter(s.subgraph, *s.computation)) {
-        Process(t, s, index + 1);
+    case Primitive::Kind::kLocalFilter: {
+      bool pass;
+      {
+        // User-supplied filter: application code may allocate; audited as
+        // outside the system's allocation discipline.
+        AllocGuard::Allow allow("user local-filter callback");
+        pass = primitive.local_filter(s.subgraph, *s.computation);
       }
+      if (pass) Process(t, s, index + 1);
       break;
+    }
     case Primitive::Kind::kAggregationFilter: {
       const AggregationStorageBase* storage =
           completed_[primitive.source_primitive];
       FRACTAL_DCHECK(storage != nullptr);
-      if (primitive.aggregation_filter(s.subgraph, *s.computation,
-                                       *storage)) {
-        Process(t, s, index + 1);
+      bool pass;
+      {
+        AllocGuard::Allow allow("user aggregation-filter callback");
+        pass = primitive.aggregation_filter(s.subgraph, *s.computation,
+                                            *storage);
       }
+      if (pass) Process(t, s, index + 1);
       break;
     }
     case Primitive::Kind::kAggregate: {
       const int32_t slot = storage_slots_[index];
       if (slot >= 0) {
+        // Accumulators (hash maps, pattern keys) are application-level
+        // storage with their own growth policy.
+        AllocGuard::Allow allow("aggregation accumulator update");
         s.storages[slot]->Accumulate(s.subgraph, *s.computation);
       }
       // An aggregation ends the pipeline unless more primitives follow

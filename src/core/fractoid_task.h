@@ -17,6 +17,8 @@
 #include "core/fractoid.h"
 #include "core/step.h"
 #include "runtime/worker.h"
+#include "util/alloc_guard.h"
+#include "util/hot_annotations.h"
 
 namespace fractal {
 
@@ -40,9 +42,10 @@ class FractoidStepTask : public StepTask {
   }
 
   // --- StepTask interface (called by the runtime on its threads) ----------
-  void DrainRoots(ThreadContext& t, std::vector<uint32_t> roots) override;
-  void ProcessStolen(ThreadContext& t,
-                     const SubgraphEnumerator::StolenWork& work) override;
+  FRACTAL_HOT void DrainRoots(ThreadContext& t,
+                              std::vector<uint32_t> roots) override;
+  FRACTAL_HOT void ProcessStolen(
+      ThreadContext& t, const SubgraphEnumerator::StolenWork& work) override;
   void FinishThread(ThreadContext& t) override;
 
   /// Everything the step produced besides telemetry, merged across threads.
@@ -75,9 +78,21 @@ class FractoidStepTask : public StepTask {
     uint64_t peak_state_bytes = 0;
   };
 
-  void DrainFrame(ThreadContext& t, CoreState& s, SubgraphEnumerator& frame);
-  void Process(ThreadContext& t, CoreState& s, uint32_t index);
-  void SinkVisit(ThreadContext& t, CoreState& s);
+  FRACTAL_HOT void DrainFrame(ThreadContext& t, CoreState& s,
+                              SubgraphEnumerator& frame);
+  FRACTAL_HOT void Process(ThreadContext& t, CoreState& s, uint32_t index);
+  FRACTAL_HOT void SinkVisit(ThreadContext& t, CoreState& s);
+
+  /// Mode for the per-extension AllocGuard scope: the global mode once the
+  /// thread has consumed its per-step warm-up (scratch pools and recycled
+  /// buffers start cold every step attempt), kOff before that.
+  FRACTAL_HOT static AllocGuard::Mode GuardModeFor(const ThreadContext& t) {
+    const AllocGuard::Mode mode = AllocGuard::GlobalMode();
+    if (mode == AllocGuard::Mode::kOff) return mode;
+    return t.stats.work_units > AllocGuard::warmup_units()
+               ? mode
+               : AllocGuard::Mode::kOff;
+  }
 
   const Fractoid& fractoid_;
   const Graph& graph_;

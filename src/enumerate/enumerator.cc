@@ -2,23 +2,28 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/alloc_guard.h"
 
 namespace fractal {
 namespace {
 
 // Cached handle: the registry lookup (which locks MetricsRegistry::mu) runs
 // once; callers grab the reference before taking SubgraphEnumerator::mu.
+// The init can land mid-run on a guarded thread, so the key temporary is
+// built under an Allow (GetCounter covers its own allocations).
 obs::Counter& EnumerateStealsCounter() {
-  static obs::Counter& counter =
-      obs::MetricsRegistry::Get().GetCounter("enumerate.steals");
+  static obs::Counter& counter = []() -> obs::Counter& {
+    AllocGuard::Allow allow("one-time metric-handle registration");
+    return obs::MetricsRegistry::Get().GetCounter("enumerate.steals");
+  }();
   return counter;
 }
 
 }  // namespace
 
-void SubgraphEnumerator::Refill(const Subgraph& prefix,
-                                uint32_t primitive_index,
-                                std::vector<uint32_t>&& extensions) {
+FRACTAL_HOT void SubgraphEnumerator::Refill(
+    const Subgraph& prefix, uint32_t primitive_index,
+    std::vector<uint32_t>&& extensions) {
   // Span and histogram record before mu_ is taken (and the span's end after
   // it is released): no trace-buffer work under the enumerator steal lock.
   FRACTAL_TRACE_SPAN_V("enumerate/refill", extensions.size());
@@ -38,7 +43,7 @@ void SubgraphEnumerator::Deactivate() {
   active_.store(false, std::memory_order_release);
 }
 
-bool SubgraphEnumerator::TrySteal(StolenWork* out) {
+FRACTAL_HOT bool SubgraphEnumerator::TrySteal(StolenWork* out) {
   obs::Counter& steals = EnumerateStealsCounter();
   MutexLock lock(mu_);
   if (!active_.load(std::memory_order_acquire)) return false;

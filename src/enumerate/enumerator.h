@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "enumerate/subgraph.h"
+#include "util/hot_annotations.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -36,9 +37,11 @@ class SubgraphEnumerator {
   SubgraphEnumerator& operator=(const SubgraphEnumerator&) = delete;
 
   /// Owner: installs a new prefix and extension set; resets the cursor and
-  /// activates the enumerator. `extensions` is consumed (swap).
-  void Refill(const Subgraph& prefix, uint32_t primitive_index,
-              std::vector<uint32_t>&& extensions) EXCLUDES(mu_);
+  /// activates the enumerator. `extensions` is consumed (swap), so its grown
+  /// storage keeps circulating between the enumerator and the DFS's arena
+  /// buffers. Hot-path root: once per DFS node.
+  FRACTAL_HOT void Refill(const Subgraph& prefix, uint32_t primitive_index,
+                          std::vector<uint32_t>&& extensions) EXCLUDES(mu_);
 
   /// Owner: marks the enumerator empty. Blocks until in-flight steals
   /// finish copying, after which the prefix may be invalidated.
@@ -49,7 +52,7 @@ class SubgraphEnumerator {
   /// only the owner mutates storage (Refill/Deactivate) and the owner is
   /// the sole caller of ConsumeNext — a contract the static analysis cannot
   /// express, hence the opt-out annotation.
-  std::optional<uint32_t> ConsumeNext() NO_THREAD_SAFETY_ANALYSIS {
+  FRACTAL_HOT std::optional<uint32_t> ConsumeNext() NO_THREAD_SAFETY_ANALYSIS {
     if (!active_.load(std::memory_order_acquire)) return std::nullopt;
     const uint32_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (index >= extensions_.size()) return std::nullopt;
@@ -68,13 +71,14 @@ class SubgraphEnumerator {
   /// Returns false (leaving `*out` unspecified) when inactive or exhausted.
   /// Out-parameter form so callers can reuse one StolenWork across attempts:
   /// the prefix snapshot is then an amortized O(k) copy-assign into grown
-  /// storage instead of a fresh allocation per steal.
-  bool TrySteal(StolenWork* out) EXCLUDES(mu_);
+  /// storage instead of a fresh allocation per steal. Hot-path root (the
+  /// internal steal path runs it in the worker's idle loop).
+  FRACTAL_HOT bool TrySteal(StolenWork* out) EXCLUDES(mu_);
 
   /// Racy hint for victim selection: whether unclaimed extensions remain.
   /// May be stale by the time the caller acts on it; TrySteal() revalidates
   /// under the mutex.
-  bool LooksNonEmpty() const {
+  FRACTAL_HOT bool LooksNonEmpty() const {
     return active_.load(std::memory_order_relaxed) &&
            cursor_.load(std::memory_order_relaxed) <
                size_hint_.load(std::memory_order_relaxed);
@@ -93,7 +97,8 @@ class SubgraphEnumerator {
   // extensions_.size(), readable without the lock (hint only).
   std::atomic<uint32_t> size_hint_{0};
   uint32_t primitive_index_ GUARDED_BY(mu_) = 0;
-  std::vector<uint32_t> extensions_ GUARDED_BY(mu_);
+  // Recycled through Refill's swap with the DFS expansion buffer.
+  FRACTAL_ARENA_OUT std::vector<uint32_t> extensions_ GUARDED_BY(mu_);
   Subgraph prefix_ GUARDED_BY(mu_);
 };
 

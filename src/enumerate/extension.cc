@@ -9,11 +9,17 @@
 namespace fractal {
 namespace {
 
+/// Stack capacity for the pattern-required edges gathered by
+/// PatternInducedStrategy::Apply — bounds the per-step pattern degree, far
+/// above any pattern this system queries (checked at run time).
+constexpr uint32_t kMaxPatternApplyEdges = 64;
+
 /// Drops every element of `v` whose bit is set in the hub bitmap `row`
 /// (in-place stable compaction): set difference against a high-degree
 /// vertex's neighborhood at one load per element instead of a merge over
 /// its (by definition long) adjacency list.
-void FilterNotInBitmap(std::vector<uint32_t>& v, const uint64_t* row) {
+FRACTAL_HOT void FilterNotInBitmap(FRACTAL_ARENA_OUT std::vector<uint32_t>& v,
+                                   const uint64_t* row) {
   size_t w = 0;
   for (size_t i = 0; i < v.size(); ++i) {
     const uint32_t x = v[i];
@@ -24,7 +30,8 @@ void FilterNotInBitmap(std::vector<uint32_t>& v, const uint64_t* row) {
 
 /// Keeps every element of `v` whose bit is set in `row` (in-place stable
 /// compaction): intersection against a hub's neighborhood.
-void FilterInBitmap(std::vector<uint32_t>& v, const uint64_t* row) {
+FRACTAL_HOT void FilterInBitmap(FRACTAL_ARENA_OUT std::vector<uint32_t>& v,
+                                const uint64_t* row) {
   size_t w = 0;
   for (size_t i = 0; i < v.size(); ++i) {
     const uint32_t x = v[i];
@@ -52,12 +59,12 @@ void FilterInBitmap(std::vector<uint32_t>& v, const uint64_t* row) {
 //
 // Ascending kernel outputs concatenated in position order reproduce the
 // reference emission order bit-for-bit.
-void VertexInducedStrategy::ComputeExtensions(const Graph& graph,
-                                              const Subgraph& subgraph,
-                                              ExtensionContext& ctx,
-                                              std::vector<uint32_t>* out) const {
+FRACTAL_HOT void VertexInducedStrategy::ComputeExtensions(
+    const Graph& graph, const Subgraph& subgraph, ExtensionContext& ctx,
+    FRACTAL_ARENA_OUT std::vector<uint32_t>* out) const {
   out->clear();
   if (subgraph.Empty()) {
+    FRACTAL_HOT_ESCAPE("root enumeration runs once per step, not per node");
     for (VertexId v = 0; v < graph.NumVertices(); ++v) {
       ++ctx.extension_tests;
       if (graph.IsVertexActive(v)) out->push_back(v);
@@ -72,6 +79,8 @@ void VertexInducedStrategy::ComputeExtensions(const Graph& graph,
   ScratchArena::BufferLease next_lease(ctx.arena);
   // suffix[i] = max(word[i..k-1]); suffix[k] = 0 so L_p below is one max.
   std::vector<uint32_t>& suffix = *suffix_lease;
+  suffix.clear();
+  adjacency::EnsureHeadroom(&suffix, k + 1);
   suffix.assign(k + 1, 0);
   for (uint32_t i = k; i-- > 0;) {
     suffix[i] = std::max(word[i], suffix[i + 1]);
@@ -112,12 +121,14 @@ void VertexInducedStrategy::ComputeExtensions(const Graph& graph,
         FilterNotInBitmap(*cur, row);
       }
     }
+    adjacency::EnsureHeadroom(out, cur->size());
     out->insert(out->end(), cur->begin(), cur->end());
   }
 }
 
-void VertexInducedStrategy::Apply(const Graph& graph, uint32_t extension,
-                                  Subgraph* subgraph) const {
+FRACTAL_HOT void VertexInducedStrategy::Apply(const Graph& graph,
+                                              uint32_t extension,
+                                              Subgraph* subgraph) const {
   subgraph->PushVertexInduced(graph, extension);
 }
 
@@ -129,12 +140,12 @@ void VertexInducedStrategy::Apply(const Graph& graph, uint32_t extension,
 //     vertex -> first-covering-position map built once per call;
 //   * the canonical word check is one compare against a precomputed suffix
 //     maximum of the edge word.
-void EdgeInducedStrategy::ComputeExtensions(const Graph& graph,
-                                            const Subgraph& subgraph,
-                                            ExtensionContext& ctx,
-                                            std::vector<uint32_t>* out) const {
+FRACTAL_HOT void EdgeInducedStrategy::ComputeExtensions(
+    const Graph& graph, const Subgraph& subgraph, ExtensionContext& ctx,
+    FRACTAL_ARENA_OUT std::vector<uint32_t>* out) const {
   out->clear();
   if (subgraph.Empty()) {
+    FRACTAL_HOT_ESCAPE("root enumeration runs once per step, not per node");
     ctx.extension_tests += graph.NumEdges();
     out->reserve(graph.NumEdges());
     for (EdgeId e = 0; e < graph.NumEdges(); ++e) out->push_back(e);
@@ -162,6 +173,8 @@ void EdgeInducedStrategy::ComputeExtensions(const Graph& graph,
   // later word element" collapses to one compare.
   ScratchArena::BufferLease suffix_lease(ctx.arena);
   std::vector<uint32_t>& suffix = *suffix_lease;
+  suffix.clear();
+  adjacency::EnsureHeadroom(&suffix, k + 1);
   suffix.assign(k + 1, 0);
   for (uint32_t i = k; i-- > 0;) {
     suffix[i] = std::max(word[i], suffix[i + 1]);
@@ -174,6 +187,8 @@ void EdgeInducedStrategy::ComputeExtensions(const Graph& graph,
       const auto incident = graph.IncidentEdges(endpoint);
       // EC parity with the reference: one test per scanned incident edge.
       ctx.extension_tests += incident.size();
+      // Survivors of this scan are a subset of the incident list.
+      adjacency::EnsureHeadroom(out, incident.size());
       for (const EdgeId candidate : incident) {
         if (candidate < word[0]) continue;
         if (subgraph.ContainsEdge(candidate)) continue;
@@ -199,8 +214,9 @@ void EdgeInducedStrategy::ComputeExtensions(const Graph& graph,
   }
 }
 
-void EdgeInducedStrategy::Apply(const Graph& graph, uint32_t extension,
-                                Subgraph* subgraph) const {
+FRACTAL_HOT void EdgeInducedStrategy::Apply(const Graph& graph,
+                                            uint32_t extension,
+                                            Subgraph* subgraph) const {
   subgraph->PushEdgeInduced(graph, extension);
 }
 
@@ -267,15 +283,15 @@ PatternInducedStrategy::PatternInducedStrategy(Pattern pattern,
   }
 }
 
-void PatternInducedStrategy::ComputeExtensions(const Graph& graph,
-                                               const Subgraph& subgraph,
-                                               ExtensionContext& ctx,
-                                               std::vector<uint32_t>* out) const {
+FRACTAL_HOT void PatternInducedStrategy::ComputeExtensions(
+    const Graph& graph, const Subgraph& subgraph, ExtensionContext& ctx,
+    FRACTAL_ARENA_OUT std::vector<uint32_t>* out) const {
   out->clear();
   const uint32_t step = subgraph.NumVertices();
   if (step >= pattern_.NumVertices()) return;  // complete match
 
   if (step == 0) {
+    FRACTAL_HOT_ESCAPE("root enumeration runs once per step, not per node");
     const Label wanted = FirstLabel();
     for (VertexId v = 0; v < graph.NumVertices(); ++v) {
       ++ctx.extension_tests;
@@ -302,7 +318,10 @@ void PatternInducedStrategy::ComputeExtensions(const Graph& graph,
     }
   }
 
-  for (const VertexId u : graph.Neighbors(matched[required[pivot].step])) {
+  const auto pivot_neighbors = graph.Neighbors(matched[required[pivot].step]);
+  // Survivors of this scan are a subset of the pivot's neighbor list.
+  adjacency::EnsureHeadroom(out, pivot_neighbors.size());
+  for (const VertexId u : pivot_neighbors) {
     ++ctx.extension_tests;
     if (graph.VertexLabel(u) != wanted) continue;
     if (subgraph.ContainsVertex(u)) continue;
@@ -340,19 +359,30 @@ void PatternInducedStrategy::ComputeExtensions(const Graph& graph,
   }
 }
 
-void PatternInducedStrategy::Apply(const Graph& graph, uint32_t extension,
-                                   Subgraph* subgraph) const {
+FRACTAL_HOT void PatternInducedStrategy::Apply(const Graph& graph,
+                                               uint32_t extension,
+                                               Subgraph* subgraph) const {
   const uint32_t step = subgraph->NumVertices();
-  std::vector<EdgeId> edges;
-  if (step > 0) {
-    const auto matched = subgraph->Vertices();
-    for (const RequiredNeighbor& req : required_neighbors_[step]) {
-      const auto edge = graph.EdgeBetween(matched[req.step], extension);
-      FRACTAL_DCHECK(edge.has_value());
-      edges.push_back(*edge);
-    }
+  if (step == 0) {
+    subgraph->PushVertexWithEdges(extension, {});
+    return;
   }
-  subgraph->PushVertexWithEdges(extension, edges);
+  // Collect the pattern-required incident edges on the stack: their count is
+  // bounded by the pattern size, and a heap vector here used to be a per-push
+  // allocation on the hottest pattern-matching path.
+  EdgeId edges[kMaxPatternApplyEdges];
+  const auto& required = required_neighbors_[step];
+  FRACTAL_CHECK(required.size() <= kMaxPatternApplyEdges)
+      << "pattern step requires more edges than the Apply stack buffer";
+  const auto matched = subgraph->Vertices();
+  uint32_t count = 0;
+  for (const RequiredNeighbor& req : required) {
+    const auto edge = graph.EdgeBetween(matched[req.step], extension);
+    FRACTAL_DCHECK(edge.has_value());
+    edges[count++] = *edge;
+  }
+  subgraph->PushVertexWithEdges(extension,
+                                std::span<const EdgeId>(edges, count));
 }
 
 // Clique extension as a chain of sorted intersections: start from the
@@ -362,12 +392,12 @@ void PatternInducedStrategy::Apply(const Graph& graph, uint32_t extension,
 // a candidate eliminated at pass i was charged one test per pass 0..i there,
 // and here sits in the working set for exactly those passes — so charging
 // |working set| per pass yields the same total.
-void KClistStrategy::ComputeExtensions(const Graph& graph,
-                                       const Subgraph& subgraph,
-                                       ExtensionContext& ctx,
-                                       std::vector<uint32_t>* out) const {
+FRACTAL_HOT void KClistStrategy::ComputeExtensions(
+    const Graph& graph, const Subgraph& subgraph, ExtensionContext& ctx,
+    FRACTAL_ARENA_OUT std::vector<uint32_t>* out) const {
   out->clear();
   if (subgraph.Empty()) {
+    FRACTAL_HOT_ESCAPE("root enumeration runs once per step, not per node");
     for (VertexId v = 0; v < graph.NumVertices(); ++v) {
       ++ctx.extension_tests;
       if (graph.IsVertexActive(v)) out->push_back(v);
@@ -407,11 +437,12 @@ void KClistStrategy::ComputeExtensions(const Graph& graph,
     adjacency::Intersect(*cur, graph.Neighbors(word[i]), next);
     std::swap(cur, next);
   }
+  adjacency::EnsureHeadroom(out, cur->size());
   out->insert(out->end(), cur->begin(), cur->end());
 }
 
-void KClistStrategy::Apply(const Graph& graph, uint32_t extension,
-                           Subgraph* subgraph) const {
+FRACTAL_HOT void KClistStrategy::Apply(const Graph& graph, uint32_t extension,
+                                       Subgraph* subgraph) const {
   subgraph->PushVertexInduced(graph, extension);
 }
 

@@ -24,6 +24,7 @@
 #include "graph/graph.h"
 #include "pattern/automorphism.h"
 #include "pattern/pattern.h"
+#include "util/hot_annotations.h"
 
 namespace fractal {
 
@@ -46,16 +47,18 @@ class ExtensionStrategy {
   /// Appends the extension candidates of `subgraph` to `out` (cleared
   /// first). With an empty subgraph this yields the root extensions: all
   /// active vertices (vertex/pattern modes) or all edges (edge mode).
-  virtual void ComputeExtensions(const Graph& graph, const Subgraph& subgraph,
-                                 ExtensionContext& ctx,
-                                 std::vector<uint32_t>* out) const = 0;
+  /// Hot-path root: called once per DFS node (DESIGN.md §9).
+  FRACTAL_HOT virtual void ComputeExtensions(
+      const Graph& graph, const Subgraph& subgraph, ExtensionContext& ctx,
+      FRACTAL_ARENA_OUT std::vector<uint32_t>* out) const = 0;
 
-  /// Pushes candidate `extension` onto the subgraph.
-  virtual void Apply(const Graph& graph, uint32_t extension,
-                     Subgraph* subgraph) const = 0;
+  /// Pushes candidate `extension` onto the subgraph. Hot-path root.
+  FRACTAL_HOT virtual void Apply(const Graph& graph, uint32_t extension,
+                                 Subgraph* subgraph) const = 0;
 
-  /// Undoes the most recent Apply.
-  virtual void Undo(const Graph& /*graph*/, Subgraph* subgraph) const {
+  /// Undoes the most recent Apply. Hot-path root.
+  FRACTAL_HOT virtual void Undo(const Graph& /*graph*/,
+                                Subgraph* subgraph) const {
     subgraph->Pop();
   }
 
@@ -68,22 +71,22 @@ class ExtensionStrategy {
 /// motifs, cliques, triangles (Listings 1-2).
 class VertexInducedStrategy : public ExtensionStrategy {
  public:
-  void ComputeExtensions(const Graph& graph, const Subgraph& subgraph,
-                         ExtensionContext& ctx,
-                         std::vector<uint32_t>* out) const override;
-  void Apply(const Graph& graph, uint32_t extension,
-             Subgraph* subgraph) const override;
+  FRACTAL_HOT void ComputeExtensions(
+      const Graph& graph, const Subgraph& subgraph, ExtensionContext& ctx,
+      FRACTAL_ARENA_OUT std::vector<uint32_t>* out) const override;
+  FRACTAL_HOT void Apply(const Graph& graph, uint32_t extension,
+                         Subgraph* subgraph) const override;
 };
 
 /// Edge-induced extension with canonical subgraph checking. Used by FSM and
 /// keyword search (Listings 3-4).
 class EdgeInducedStrategy : public ExtensionStrategy {
  public:
-  void ComputeExtensions(const Graph& graph, const Subgraph& subgraph,
-                         ExtensionContext& ctx,
-                         std::vector<uint32_t>* out) const override;
-  void Apply(const Graph& graph, uint32_t extension,
-             Subgraph* subgraph) const override;
+  FRACTAL_HOT void ComputeExtensions(
+      const Graph& graph, const Subgraph& subgraph, ExtensionContext& ctx,
+      FRACTAL_ARENA_OUT std::vector<uint32_t>* out) const override;
+  FRACTAL_HOT void Apply(const Graph& graph, uint32_t extension,
+                         Subgraph* subgraph) const override;
 };
 
 /// Whether a pattern match requires the absence of non-pattern edges.
@@ -104,11 +107,11 @@ class PatternInducedStrategy : public ExtensionStrategy {
   explicit PatternInducedStrategy(
       Pattern pattern, MatchSemantics semantics = MatchSemantics::kSubgraph);
 
-  void ComputeExtensions(const Graph& graph, const Subgraph& subgraph,
-                         ExtensionContext& ctx,
-                         std::vector<uint32_t>* out) const override;
-  void Apply(const Graph& graph, uint32_t extension,
-             Subgraph* subgraph) const override;
+  FRACTAL_HOT void ComputeExtensions(
+      const Graph& graph, const Subgraph& subgraph, ExtensionContext& ctx,
+      FRACTAL_ARENA_OUT std::vector<uint32_t>* out) const override;
+  FRACTAL_HOT void Apply(const Graph& graph, uint32_t extension,
+                         Subgraph* subgraph) const override;
   uint32_t MaxDepth() const override { return pattern_.NumVertices(); }
 
   const Pattern& pattern() const { return pattern_; }
@@ -143,11 +146,11 @@ class PatternInducedStrategy : public ExtensionStrategy {
 /// clique vertices), avoiding the generic canonical-check machinery.
 class KClistStrategy : public ExtensionStrategy {
  public:
-  void ComputeExtensions(const Graph& graph, const Subgraph& subgraph,
-                         ExtensionContext& ctx,
-                         std::vector<uint32_t>* out) const override;
-  void Apply(const Graph& graph, uint32_t extension,
-             Subgraph* subgraph) const override;
+  FRACTAL_HOT void ComputeExtensions(
+      const Graph& graph, const Subgraph& subgraph, ExtensionContext& ctx,
+      FRACTAL_ARENA_OUT std::vector<uint32_t>* out) const override;
+  FRACTAL_HOT void Apply(const Graph& graph, uint32_t extension,
+                         Subgraph* subgraph) const override;
 };
 
 /// True when the FRACTAL_REFERENCE_EXTENSIONS environment variable is set

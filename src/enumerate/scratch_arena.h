@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/hot_annotations.h"
 
 namespace fractal {
 
@@ -38,12 +39,13 @@ class ScratchArena {
 
   /// Returns an empty buffer (capacity preserved from prior use). The
   /// pointer stays valid until Release — buffers are node-allocated, so
-  /// later Acquires never move earlier ones.
-  std::vector<uint32_t>* Acquire();
+  /// later Acquires never move earlier ones. Hot-path root: steady state is
+  /// a free-list pop; only the cold miss branch allocates.
+  FRACTAL_HOT std::vector<uint32_t>* Acquire();
 
   /// Returns a buffer to the pool. `buffer` must come from Acquire() on
-  /// this arena and must not be used afterwards.
-  void Release(std::vector<uint32_t>* buffer);
+  /// this arena and must not be used afterwards. Hot-path root.
+  FRACTAL_HOT void Release(std::vector<uint32_t>* buffer);
 
   /// Buffers currently out on loan (diagnostics / tests).
   size_t live_buffers() const { return live_; }
@@ -78,8 +80,10 @@ class ScratchArena {
     static constexpr uint32_t kAbsent = UINT32_MAX;
 
     /// Empties the map and ensures keys [0, capacity) are addressable.
-    void Reset(uint32_t capacity) {
+    FRACTAL_HOT void Reset(uint32_t capacity) {
       if (capacity > values_.size()) {
+        FRACTAL_HOT_ESCAPE("map storage grows once to the largest capacity "
+                           "requested, then is reused every call");
         values_.resize(capacity, 0);
         stamps_.resize(capacity, 0);
       }
@@ -111,9 +115,11 @@ class ScratchArena {
 
  private:
   // All buffers ever created (stable node allocation); free_ holds the
-  // subset currently available.
+  // subset currently available. free_ is arena storage itself: Acquire's
+  // miss branch reserves it to owned_.size(), so Release's push_back never
+  // reallocates.
   std::vector<std::unique_ptr<std::vector<uint32_t>>> owned_;
-  std::vector<std::vector<uint32_t>*> free_;
+  FRACTAL_ARENA_OUT std::vector<std::vector<uint32_t>*> free_;
   size_t live_ = 0;
   StampedMap vertex_map_;
 };

@@ -18,6 +18,17 @@ Subgraph& Subgraph::operator=(const Subgraph& other) {
   // storage is kept so steady-state prefix assignment allocates nothing.
   for (const VertexId v : vertices_) ClearBit(vertex_bits_, v);
   for (const EdgeId e : edges_) ClearBit(edge_bits_, e);
+  if (vertices_.capacity() < other.vertices_.size() ||
+      edges_.capacity() < other.edges_.size() ||
+      records_.capacity() < other.records_.size()) {
+    // A denser subgraph than any this frame has held: grow the recycled
+    // word storage once to the new high-water mark. With ample capacity the
+    // copy-assignments below never reallocate.
+    AllocGuard::Allow allow("prefix storage high-water-mark growth");
+    vertices_.reserve(other.vertices_.size());
+    edges_.reserve(other.edges_.size());
+    records_.reserve(other.records_.size());
+  }
   vertices_ = other.vertices_;
   edges_ = other.edges_;
   records_ = other.records_;
@@ -41,8 +52,30 @@ void Subgraph::RebuildBits() {
   for (const EdgeId e : edges_) SetBit(edge_bits_, e);
 }
 
-void Subgraph::PushVertexInduced(const Graph& graph, VertexId v) {
+FRACTAL_HOT void Subgraph::ReserveForPush(size_t max_new_edges) {
+  if (vertices_.size() + 2 <= vertices_.capacity() &&
+      records_.size() + 1 <= records_.capacity() &&
+      edges_.size() + max_new_edges <= edges_.capacity()) {
+    return;
+  }
+  FRACTAL_HOT_ESCAPE("word storage grows to the frame's densest subgraph, "
+                     "then stays at capacity");
+  AllocGuard::Allow allow("subgraph word high-water-mark growth");
+  const auto grow = [](auto& v, size_t needed) {
+    if (v.capacity() < needed) {
+      const size_t doubled = v.capacity() * 2;
+      v.reserve(needed > doubled ? needed : doubled);
+    }
+  };
+  grow(vertices_, vertices_.size() + 2);
+  grow(records_, records_.size() + 1);
+  grow(edges_, edges_.size() + max_new_edges);
+}
+
+FRACTAL_HOT void Subgraph::PushVertexInduced(const Graph& graph, VertexId v) {
   FRACTAL_DCHECK(!ContainsVertex(v));
+  // Every existing vertex contributes at most one edge to v.
+  ReserveForPush(vertices_.size());
   PushRecord record;
   record.vertices_added = 1;
   // Add edges in the order of the existing vertex word so that the edge word
@@ -59,8 +92,9 @@ void Subgraph::PushVertexInduced(const Graph& graph, VertexId v) {
   records_.push_back(record);
 }
 
-void Subgraph::PushEdgeInduced(const Graph& graph, EdgeId e) {
+FRACTAL_HOT void Subgraph::PushEdgeInduced(const Graph& graph, EdgeId e) {
   FRACTAL_DCHECK(!ContainsEdge(e));
+  ReserveForPush(1);
   const EdgeEndpoints& endpoints = graph.Endpoints(e);
   PushRecord record;
   record.edges_added = 1;
@@ -79,8 +113,10 @@ void Subgraph::PushEdgeInduced(const Graph& graph, EdgeId e) {
   records_.push_back(record);
 }
 
-void Subgraph::PushVertexWithEdges(VertexId v, std::span<const EdgeId> edges) {
+FRACTAL_HOT void Subgraph::PushVertexWithEdges(VertexId v,
+                                               std::span<const EdgeId> edges) {
   FRACTAL_DCHECK(!ContainsVertex(v));
+  ReserveForPush(edges.size());
   PushRecord record;
   record.vertices_added = 1;
   for (const EdgeId e : edges) {
@@ -94,7 +130,7 @@ void Subgraph::PushVertexWithEdges(VertexId v, std::span<const EdgeId> edges) {
   records_.push_back(record);
 }
 
-void Subgraph::Pop() {
+FRACTAL_HOT void Subgraph::Pop() {
   FRACTAL_CHECK(!records_.empty()) << "Pop on empty subgraph";
   const PushRecord record = records_.back();
   records_.pop_back();

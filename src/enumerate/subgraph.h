@@ -17,6 +17,8 @@
 
 #include "graph/graph.h"
 #include "pattern/pattern.h"
+#include "util/alloc_guard.h"
+#include "util/hot_annotations.h"
 
 namespace fractal {
 
@@ -54,19 +56,20 @@ class Subgraph {
   bool ContainsEdge(EdgeId e) const { return TestBit(edge_bits_, e); }
 
   /// Vertex-induced push: appends v plus every edge connecting v to the
-  /// current vertices (Fig. 1, vertex-induced extension).
-  void PushVertexInduced(const Graph& graph, VertexId v);
+  /// current vertices (Fig. 1, vertex-induced extension). Hot-path root.
+  FRACTAL_HOT void PushVertexInduced(const Graph& graph, VertexId v);
 
   /// Edge-induced push: appends edge e plus its endpoints that are not yet
-  /// in the subgraph (Fig. 1, edge-induced extension).
-  void PushEdgeInduced(const Graph& graph, EdgeId e);
+  /// in the subgraph (Fig. 1, edge-induced extension). Hot-path root.
+  FRACTAL_HOT void PushEdgeInduced(const Graph& graph, EdgeId e);
 
   /// Pattern-induced push: appends v plus exactly the given incident edges
-  /// (the ones the reference pattern requires).
-  void PushVertexWithEdges(VertexId v, std::span<const EdgeId> edges);
+  /// (the ones the reference pattern requires). Hot-path root.
+  FRACTAL_HOT void PushVertexWithEdges(VertexId v,
+                                       std::span<const EdgeId> edges);
 
-  /// Undoes the most recent push (any kind).
-  void Pop();
+  /// Undoes the most recent push (any kind). Hot-path root.
+  FRACTAL_HOT void Pop();
 
   /// Number of pushes currently applied.
   uint32_t Depth() const { return static_cast<uint32_t>(records_.size()); }
@@ -93,9 +96,15 @@ class Subgraph {
     const size_t word = id >> 6;
     return word < bits.size() && ((bits[word] >> (id & 63)) & 1) != 0;
   }
-  static void SetBit(std::vector<uint64_t>& bits, uint32_t id) {
+  FRACTAL_HOT static void SetBit(FRACTAL_ARENA_OUT std::vector<uint64_t>& bits,
+                                 uint32_t id) {
     const size_t word = id >> 6;
-    if (word >= bits.size()) bits.resize(word + 1, 0);
+    if (word >= bits.size()) {
+      FRACTAL_HOT_ESCAPE("bitset grows to the highest id ever seen, then "
+                         "stays at capacity for the rest of the step");
+      AllocGuard::Allow allow("bitset high-water-mark growth");
+      bits.resize(word + 1, 0);
+    }
     bits[word] |= uint64_t{1} << (id & 63);
   }
   static void ClearBit(std::vector<uint64_t>& bits, uint32_t id) {
@@ -107,12 +116,21 @@ class Subgraph {
   /// the copy operations).
   void RebuildBits();
 
-  std::vector<VertexId> vertices_;
-  std::vector<EdgeId> edges_;
-  std::vector<PushRecord> records_;
+  /// Secures headroom for one push (<= 2 vertices, 1 record, max_new_edges
+  /// edges) so the appends in the Push* bodies never reallocate; amortized
+  /// high-water-mark growth of the recycled words happens here, under an
+  /// AllocGuard::Allow.
+  FRACTAL_HOT void ReserveForPush(size_t max_new_edges);
+
+  // Recycled storage: the words and bitsets keep their grown capacity across
+  // Clear/assignment (class comment), so amortized growth on them is part of
+  // the zero-steady-state-allocation design — hence FRACTAL_ARENA_OUT.
+  FRACTAL_ARENA_OUT std::vector<VertexId> vertices_;
+  FRACTAL_ARENA_OUT std::vector<EdgeId> edges_;
+  FRACTAL_ARENA_OUT std::vector<PushRecord> records_;
   // One bit per id present in the corresponding word; see class comment.
-  std::vector<uint64_t> vertex_bits_;
-  std::vector<uint64_t> edge_bits_;
+  FRACTAL_ARENA_OUT std::vector<uint64_t> vertex_bits_;
+  FRACTAL_ARENA_OUT std::vector<uint64_t> edge_bits_;
 };
 
 }  // namespace fractal

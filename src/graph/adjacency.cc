@@ -18,12 +18,12 @@ obs::Counter& Galloped() {
   return counter;
 }
 
-bool ShouldGallop(size_t smaller, size_t larger) {
+FRACTAL_HOT bool ShouldGallop(size_t smaller, size_t larger) {
   return larger >= kGallopMinLarger && larger / (smaller + 1) >= kGallopRatio;
 }
 
-void IntersectMerge(std::span<const uint32_t> a, std::span<const uint32_t> b,
-                    std::vector<uint32_t>* out) {
+FRACTAL_HOT void IntersectMerge(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                    FRACTAL_ARENA_OUT std::vector<uint32_t>* out) {
   size_t i = 0;
   size_t j = 0;
   while (i < a.size() && j < b.size()) {
@@ -37,9 +37,9 @@ void IntersectMerge(std::span<const uint32_t> a, std::span<const uint32_t> b,
 }
 
 /// `small` drives; membership is probed in `large` by galloping.
-void IntersectGallop(std::span<const uint32_t> small,
+FRACTAL_HOT void IntersectGallop(std::span<const uint32_t> small,
                      std::span<const uint32_t> large,
-                     std::vector<uint32_t>* out) {
+                     FRACTAL_ARENA_OUT std::vector<uint32_t>* out) {
   size_t cursor = 0;
   for (const uint32_t x : small) {
     cursor = GallopLowerBound(large, cursor, x);
@@ -51,8 +51,8 @@ void IntersectGallop(std::span<const uint32_t> small,
   }
 }
 
-void DifferenceMerge(std::span<const uint32_t> a, std::span<const uint32_t> b,
-                     std::vector<uint32_t>* out) {
+FRACTAL_HOT void DifferenceMerge(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                     FRACTAL_ARENA_OUT std::vector<uint32_t>* out) {
   size_t i = 0;
   size_t j = 0;
   while (i < a.size() && j < b.size()) {
@@ -73,9 +73,9 @@ void DifferenceMerge(std::span<const uint32_t> a, std::span<const uint32_t> b,
 
 /// `a` drives; each element's absence from the much larger `b` is decided
 /// by a galloping probe.
-void DifferenceGallopProbe(std::span<const uint32_t> a,
+FRACTAL_HOT void DifferenceGallopProbe(std::span<const uint32_t> a,
                            std::span<const uint32_t> b,
-                           std::vector<uint32_t>* out) {
+                           FRACTAL_ARENA_OUT std::vector<uint32_t>* out) {
   size_t cursor = 0;
   for (const uint32_t x : a) {
     cursor = GallopLowerBound(b, cursor, x);
@@ -85,9 +85,9 @@ void DifferenceGallopProbe(std::span<const uint32_t> a,
 
 /// `b` is much smaller than `a`: copy the runs of `a` between consecutive
 /// elements of `b`, galloping over `a` to find each run boundary.
-void DifferenceGallopCopy(std::span<const uint32_t> a,
+FRACTAL_HOT void DifferenceGallopCopy(std::span<const uint32_t> a,
                           std::span<const uint32_t> b,
-                          std::vector<uint32_t>* out) {
+                          FRACTAL_ARENA_OUT std::vector<uint32_t>* out) {
   size_t i = 0;
   for (const uint32_t y : b) {
     const size_t end = GallopLowerBound(a, i, y);
@@ -100,14 +100,14 @@ void DifferenceGallopCopy(std::span<const uint32_t> a,
 }
 
 /// Restricts a sorted span to elements > bound.
-std::span<const uint32_t> Above(std::span<const uint32_t> s, uint32_t bound) {
+FRACTAL_HOT std::span<const uint32_t> Above(std::span<const uint32_t> s, uint32_t bound) {
   const auto it = std::upper_bound(s.begin(), s.end(), bound);
   return s.subspan(static_cast<size_t>(it - s.begin()));
 }
 
 }  // namespace
 
-size_t GallopLowerBound(std::span<const uint32_t> haystack, size_t begin,
+FRACTAL_HOT size_t GallopLowerBound(std::span<const uint32_t> haystack, size_t begin,
                         uint32_t needle) {
   if (begin >= haystack.size() || haystack[begin] >= needle) return begin;
   // Doubling probes: bracket the needle in (begin + step/2, begin + step].
@@ -123,10 +123,11 @@ size_t GallopLowerBound(std::span<const uint32_t> haystack, size_t begin,
   return static_cast<size_t>(it - haystack.begin());
 }
 
-void Intersect(std::span<const uint32_t> a, std::span<const uint32_t> b,
-               std::vector<uint32_t>* out) {
+FRACTAL_HOT void Intersect(std::span<const uint32_t> a, std::span<const uint32_t> b,
+               FRACTAL_ARENA_OUT std::vector<uint32_t>* out) {
   Intersections().Add(1);
   if (a.size() > b.size()) std::swap(a, b);
+  EnsureHeadroom(out, a.size());  // output is a subset of the smaller side
   if (ShouldGallop(a.size(), b.size())) {
     Galloped().Add(1);
     IntersectGallop(a, b, out);
@@ -135,14 +136,15 @@ void Intersect(std::span<const uint32_t> a, std::span<const uint32_t> b,
   }
 }
 
-void IntersectAbove(std::span<const uint32_t> a, std::span<const uint32_t> b,
-                    uint32_t bound, std::vector<uint32_t>* out) {
+FRACTAL_HOT void IntersectAbove(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                    uint32_t bound, FRACTAL_ARENA_OUT std::vector<uint32_t>* out) {
   Intersect(Above(a, bound), Above(b, bound), out);
 }
 
-void Difference(std::span<const uint32_t> a, std::span<const uint32_t> b,
-                std::vector<uint32_t>* out) {
+FRACTAL_HOT void Difference(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                FRACTAL_ARENA_OUT std::vector<uint32_t>* out) {
   Intersections().Add(1);
+  EnsureHeadroom(out, a.size());  // output is a subset of a
   if (ShouldGallop(a.size(), b.size())) {
     Galloped().Add(1);
     DifferenceGallopProbe(a, b, out);
@@ -154,14 +156,15 @@ void Difference(std::span<const uint32_t> a, std::span<const uint32_t> b,
   }
 }
 
-void DifferenceAbove(std::span<const uint32_t> a, std::span<const uint32_t> b,
-                     uint32_t bound, std::vector<uint32_t>* out) {
+FRACTAL_HOT void DifferenceAbove(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                     uint32_t bound, FRACTAL_ARENA_OUT std::vector<uint32_t>* out) {
   Difference(Above(a, bound), Above(b, bound), out);
 }
 
-void CopyAbove(std::span<const uint32_t> a, uint32_t bound,
-               std::vector<uint32_t>* out) {
+FRACTAL_HOT void CopyAbove(std::span<const uint32_t> a, uint32_t bound,
+               FRACTAL_ARENA_OUT std::vector<uint32_t>* out) {
   const std::span<const uint32_t> tail = Above(a, bound);
+  EnsureHeadroom(out, tail.size());
   out->insert(out->end(), tail.begin(), tail.end());
 }
 

@@ -18,8 +18,28 @@
 #include <span>
 #include <vector>
 
+#include "util/alloc_guard.h"
+#include "util/hot_annotations.h"
+
 namespace fractal {
 namespace adjacency {
+
+/// Ensures `out` can absorb `extra` more elements without reallocating
+/// mid-kernel. Every kernel bounds its output size by its input size, so
+/// with headroom secured up front the append loops are allocation-free;
+/// amortized high-water-mark growth of the recycled arena buffer happens
+/// here, under an AllocGuard::Allow (the runtime twin of the lint escape),
+/// and grows geometrically so a stream of new marks stays O(n) total copy.
+FRACTAL_HOT inline void EnsureHeadroom(
+    FRACTAL_ARENA_OUT std::vector<uint32_t>* out, size_t extra) {
+  const size_t needed = out->size() + extra;
+  if (out->capacity() < needed) {
+    FRACTAL_HOT_ESCAPE("arena-buffer high-water-mark growth");
+    AllocGuard::Allow allow("arena-buffer high-water-mark growth");
+    const size_t doubled = out->capacity() * 2;
+    out->reserve(needed > doubled ? needed : doubled);
+  }
+}
 
 /// Size ratio (larger/smaller) above which kernels switch from the linear
 /// merge to galloping, provided the larger side also clears
@@ -31,29 +51,29 @@ inline constexpr size_t kGallopMinLarger = 32;
 /// probes from `begin` followed by a binary search of the bracketed run.
 /// O(log distance) instead of O(log |haystack|) — cheap for the clustered
 /// accesses the kernels make.
-size_t GallopLowerBound(std::span<const uint32_t> haystack, size_t begin,
+FRACTAL_HOT size_t GallopLowerBound(std::span<const uint32_t> haystack, size_t begin,
                         uint32_t needle);
 
 /// Appends {x : x in a, x in b} to out, ascending.
-void Intersect(std::span<const uint32_t> a, std::span<const uint32_t> b,
-               std::vector<uint32_t>* out);
+FRACTAL_HOT void Intersect(std::span<const uint32_t> a, std::span<const uint32_t> b,
+               FRACTAL_ARENA_OUT std::vector<uint32_t>* out);
 
 /// Appends {x : x in a, x in b, x > bound} to out, ascending.
-void IntersectAbove(std::span<const uint32_t> a, std::span<const uint32_t> b,
-                    uint32_t bound, std::vector<uint32_t>* out);
+FRACTAL_HOT void IntersectAbove(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                    uint32_t bound, FRACTAL_ARENA_OUT std::vector<uint32_t>* out);
 
 /// Appends {x : x in a, x not in b} to out, ascending.
-void Difference(std::span<const uint32_t> a, std::span<const uint32_t> b,
-                std::vector<uint32_t>* out);
+FRACTAL_HOT void Difference(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                FRACTAL_ARENA_OUT std::vector<uint32_t>* out);
 
 /// Appends {x : x in a, x not in b, x > bound} to out, ascending.
-void DifferenceAbove(std::span<const uint32_t> a, std::span<const uint32_t> b,
-                     uint32_t bound, std::vector<uint32_t>* out);
+FRACTAL_HOT void DifferenceAbove(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                     uint32_t bound, FRACTAL_ARENA_OUT std::vector<uint32_t>* out);
 
 /// Appends {x : x in a, x > bound} to out, ascending. Pure restriction —
 /// not counted as a kernel invocation.
-void CopyAbove(std::span<const uint32_t> a, uint32_t bound,
-               std::vector<uint32_t>* out);
+FRACTAL_HOT void CopyAbove(std::span<const uint32_t> a, uint32_t bound,
+               FRACTAL_ARENA_OUT std::vector<uint32_t>* out);
 
 }  // namespace adjacency
 }  // namespace fractal

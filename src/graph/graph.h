@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/hot_annotations.h"
 
 namespace fractal {
 
@@ -67,13 +68,13 @@ class Graph {
   /// 2|E| / (|V| (|V|-1)), the undirected density reported in Table 1.
   double Density() const;
 
-  uint32_t Degree(VertexId v) const {
+  FRACTAL_HOT uint32_t Degree(VertexId v) const {
     FRACTAL_DCHECK(v < NumVertices());
     return adj_offsets_[v + 1] - adj_offsets_[v];
   }
 
   /// Neighbors of v, sorted ascending by vertex id.
-  std::span<const VertexId> Neighbors(VertexId v) const {
+  FRACTAL_HOT std::span<const VertexId> Neighbors(VertexId v) const {
     FRACTAL_DCHECK(v < NumVertices());
     return {adj_neighbors_.data() + adj_offsets_[v],
             adj_neighbors_.data() + adj_offsets_[v + 1]};
@@ -81,7 +82,7 @@ class Graph {
 
   /// Edge ids parallel to Neighbors(v): IncidentEdges(v)[i] is the id of the
   /// edge (v, Neighbors(v)[i]).
-  std::span<const EdgeId> IncidentEdges(VertexId v) const {
+  FRACTAL_HOT std::span<const EdgeId> IncidentEdges(VertexId v) const {
     FRACTAL_DCHECK(v < NumVertices());
     return {adj_edge_ids_.data() + adj_offsets_[v],
             adj_edge_ids_.data() + adj_offsets_[v + 1]};
@@ -89,7 +90,7 @@ class Graph {
 
   /// Adjacency test: O(1) against a hub (a vertex whose degree crosses the
   /// bitmap threshold, see HubDegreeThreshold), O(log min(deg)) otherwise.
-  bool IsAdjacent(VertexId u, VertexId v) const {
+  FRACTAL_HOT bool IsAdjacent(VertexId u, VertexId v) const {
     if (const uint64_t* row = HubRow(u)) {
       return (row[v >> 6] >> (v & 63)) & 1;
     }
@@ -104,7 +105,7 @@ class Graph {
   /// time for every vertex with Degree(v) >= HubDegreeThreshold(); lets the
   /// extension kernels filter candidate runs against a high-degree word
   /// vertex with one load per candidate.
-  const uint64_t* HubRow(VertexId v) const {
+  FRACTAL_HOT const uint64_t* HubRow(VertexId v) const {
     FRACTAL_DCHECK(v < NumVertices());
     if (hub_slot_.empty()) return nullptr;
     const uint32_t slot = hub_slot_[v];
@@ -119,18 +120,18 @@ class Graph {
   uint32_t NumHubs() const { return num_hubs_; }
 
   /// Edge id of (u, v) if it exists. O(log min(deg)).
-  std::optional<EdgeId> EdgeBetween(VertexId u, VertexId v) const;
+  FRACTAL_HOT std::optional<EdgeId> EdgeBetween(VertexId u, VertexId v) const;
 
-  const EdgeEndpoints& Endpoints(EdgeId e) const {
+  FRACTAL_HOT const EdgeEndpoints& Endpoints(EdgeId e) const {
     FRACTAL_DCHECK(e < NumEdges());
     return edges_[e];
   }
 
-  Label VertexLabel(VertexId v) const {
+  FRACTAL_HOT Label VertexLabel(VertexId v) const {
     FRACTAL_DCHECK(v < NumVertices());
     return vertex_labels_[v];
   }
-  Label GetEdgeLabel(EdgeId e) const {
+  FRACTAL_HOT Label GetEdgeLabel(EdgeId e) const {
     FRACTAL_DCHECK(e < NumEdges());
     return edge_labels_[e];
   }
@@ -149,7 +150,7 @@ class Graph {
   /// True unless the vertex was masked out by graph reduction
   /// (see graph_reduce.h). Masked vertices keep their id and label but have
   /// empty adjacency and are skipped as enumeration roots.
-  bool IsVertexActive(VertexId v) const {
+  FRACTAL_HOT bool IsVertexActive(VertexId v) const {
     FRACTAL_DCHECK(v < NumVertices());
     return vertex_active_.empty() || vertex_active_[v] != 0;
   }

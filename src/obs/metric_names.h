@@ -1,0 +1,76 @@
+// Registry of every metric and trace name the system emits — the single
+// source of truth checked by tools/fractal_lint.py (rule: metric-name).
+// Metric and trace names are plain string literals at their use sites;
+// without a registry, a typo silently creates a fresh counter and the
+// dashboards/tests reading the intended name see zeros forever. Any name
+// passed to MetricsRegistry::GetCounter/GetGauge/GetHistogram or to a
+// FRACTAL_TRACE_* macro inside src/ must appear below (tests may mint
+// ad-hoc "test.*" names).
+//
+// To add a metric: add the literal here first, then use it. The lint points
+// at this file when it flags an unregistered name.
+#ifndef FRACTAL_OBS_METRIC_NAMES_H_
+#define FRACTAL_OBS_METRIC_NAMES_H_
+
+#include <string_view>
+
+namespace fractal {
+namespace obs {
+
+/// Counter, gauge, and histogram names (obs/metrics.h).
+inline constexpr std::string_view kMetricNames[] = {
+    // Counters — runtime layer.
+    "runtime.work_units",
+    "runtime.steals_internal",
+    "runtime.steals_external",
+    "runtime.bytes_shipped",
+    "runtime.extension_tests",
+    "runtime.steps",
+    "runtime.steps_degraded",
+    "runtime.workers_crashed",
+    // Counters — message bus.
+    "bus.steal_timeouts",
+    "bus.requests_dropped",
+    // Counters — enumeration data plane.
+    "enumerate.intersections",
+    "enumerate.galloped",
+    "enumerate.scratch_hits",
+    "enumerate.scratch_misses",
+    "enumerate.steals",
+    // Gauges.
+    "runtime.suspect_victims",
+    // Histograms.
+    "bus.steal_rtt_us",
+    "bus.retry_backoff_us",
+    "codec.encode_ns",
+    "codec.decode_ns",
+    "enumerate.batch_size",
+};
+
+/// Trace span/instant names (obs/trace.h FRACTAL_TRACE_*).
+inline constexpr std::string_view kTraceNames[] = {
+    "bus/delay_spike",
+    "bus/reply",
+    "bus/reply_bytes",
+    "bus/request_steal",
+    "cluster/run_step",
+    "cluster/step_barrier",
+    "dfs/expand",
+    "enumerate/refill",
+    "executor/execute",
+    "executor/step",
+    "executor/step_retry",
+    "graph/reduce",
+    "graph/reduce_to_keywords",
+    "runtime/step_degraded",
+    "worker/drain_roots",
+    "worker/process_stolen",
+    "worker/steal_miss",
+    "worker/steal_service",
+    "worker/victim_suspect",
+};
+
+}  // namespace obs
+}  // namespace fractal
+
+#endif  // FRACTAL_OBS_METRIC_NAMES_H_

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/alloc_guard.h"
 #include "util/strings.h"
 
 namespace fractal {
@@ -24,7 +25,13 @@ MetricsRegistry& MetricsRegistry::Get() {
   return *registry;
 }
 
+// Registration is a cold, one-time, lock-taking operation by design — hot
+// code caches the returned reference in a function-local static (header
+// comment), and that first call can land arbitrarily late (e.g. the first
+// galloped kernel of a run), so the map-node/string allocations here must
+// not trip an armed AllocGuard.
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  AllocGuard::Allow allow("one-time metric registration");
   MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -32,6 +39,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  AllocGuard::Allow allow("one-time metric registration");
   MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -39,6 +47,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  AllocGuard::Allow allow("one-time metric registration");
   MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
@@ -106,10 +115,14 @@ std::string MetricsRegistry::DumpJson() const {
 
 namespace {
 
+// The Allow here covers the char* -> std::string key temporary, which is
+// constructed before GetCounter's own Allow scope opens.
 Counter& NamedCounter(const char* name) {
+  AllocGuard::Allow allow("one-time metric registration");
   return MetricsRegistry::Get().GetCounter(name);
 }
 Histogram& NamedHistogram(const char* name) {
+  AllocGuard::Allow allow("one-time metric registration");
   return MetricsRegistry::Get().GetHistogram(name);
 }
 
@@ -173,8 +186,10 @@ Counter& ScratchMissesCounter() {
 }
 
 Gauge& SuspectVictimsGauge() {
-  static Gauge& gauge =
-      MetricsRegistry::Get().GetGauge("runtime.suspect_victims");
+  static Gauge& gauge = []() -> Gauge& {
+    AllocGuard::Allow allow("one-time metric registration");
+    return MetricsRegistry::Get().GetGauge("runtime.suspect_victims");
+  }();
   return gauge;
 }
 

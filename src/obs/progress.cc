@@ -1,6 +1,8 @@
 #include "obs/progress.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
@@ -42,13 +44,20 @@ void StepProgressReporter::Loop(int64_t interval_ms) {
     const uint64_t internal = InternalStealsCounter().Value();
     const uint64_t external = ExternalStealsCounter().Value();
     const uint64_t bytes = BytesShippedCounter().Value();
-    FRACTAL_LOG(Info) << "step progress: +" << (work - last_work)
-                      << " work units (" << static_cast<uint64_t>(
-                             static_cast<double>(work - last_work) / interval)
-                      << "/s), +" << (internal - last_internal)
-                      << " int steals, +" << (external - last_external)
-                      << " ext steals, +" << (bytes - last_bytes)
-                      << " bytes shipped";
+    // Formatted into a stack buffer and emitted through the allocation-free
+    // LogLine path: the streaming FRACTAL_LOG builds an ostringstream per
+    // statement, which put periodic heap churn on a step-lifetime thread.
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "step progress: +%" PRIu64 " work units (%" PRIu64 "/s), +%" PRIu64
+        " int steals, +%" PRIu64 " ext steals, +%" PRIu64 " bytes shipped",
+        work - last_work,
+        static_cast<uint64_t>(static_cast<double>(work - last_work) /
+                              interval),
+        internal - last_internal, external - last_external,
+        bytes - last_bytes);
+    FRACTAL_LOG_LINE(Info, line);
     last_work = work;
     last_internal = internal;
     last_external = external;

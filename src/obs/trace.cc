@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "util/alloc_guard.h"
+#include "util/hot_annotations.h"
 #include "util/strings.h"
 
 namespace fractal {
@@ -94,6 +96,9 @@ void Tracer::Disable() {
 }
 
 uint32_t Tracer::InternName(const char* name) {
+  // Per-call-site one-time interning; the first span through a given site
+  // can execute mid-run on a guarded thread (e.g. the first steal).
+  AllocGuard::Allow allow("one-time trace-name interning");
   MutexLock lock(mu_);
   if (names_.empty()) names_.push_back("");
   for (uint32_t id = 1; id < names_.size(); ++id) {
@@ -130,6 +135,10 @@ ThreadBuffer& Tracer::LocalBuffer() {
   };
   thread_local Slot slot;
   if (slot.buffer == nullptr) {
+    FRACTAL_HOT_ESCAPE(
+        "one-time per-thread ring acquisition; every later Record on this "
+        "thread takes the fast path above");
+    AllocGuard::Allow allow("trace ring registration for a new thread");
     MutexLock lock(mu_);
     // Single consumer: pops only happen here, under mu_. A concurrent
     // exit-time push can only prepend new nodes, so head->next_free is

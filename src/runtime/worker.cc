@@ -85,7 +85,7 @@ void Worker::ThreadLoop(ThreadContext& t) {
   }
 }
 
-void Worker::RunStepOnThread(ThreadContext& t) {
+FRACTAL_HOT void Worker::RunStepOnThread(ThreadContext& t) {
   const Cluster::StepState& step = cluster_->step_;
   StepControl& control = cluster_->control_;
   StepTask& task = *step.task;
@@ -117,8 +117,12 @@ void Worker::RunStepOnThread(ThreadContext& t) {
   const size_t total = step.roots.size();
   const size_t begin = total * live_rank / live_threads;
   const size_t end = total * (live_rank + 1) / live_threads;
-  std::vector<uint32_t> slice(step.roots.begin() + begin,
-                              step.roots.begin() + end);
+  std::vector<uint32_t> slice;
+  {
+    FRACTAL_HOT_ESCAPE("per-step setup: one root-partition copy per thread "
+                       "per step, not per work unit");
+    slice.assign(step.roots.begin() + begin, step.roots.begin() + end);
+  }
   if (step.num_levels > 0 && !slice.empty()) {
     FRACTAL_TRACE_SPAN_V("worker/drain_roots", slice.size());
     WallTimer busy_timer;
@@ -172,8 +176,8 @@ void Worker::RunStepOnThread(ThreadContext& t) {
   t.control = nullptr;
 }
 
-bool Worker::ClaimInternalWork(ThreadContext& t,
-                               SubgraphEnumerator::StolenWork* out) {
+FRACTAL_HOT bool Worker::ClaimInternalWork(ThreadContext& t,
+                                           SubgraphEnumerator::StolenWork* out) {
   // Shallowest frames first: they hold the largest pieces of work.
   const uint32_t num_levels = cluster_->step_.num_levels;
   for (uint32_t depth = 0; depth < num_levels; ++depth) {
@@ -193,6 +197,8 @@ bool Worker::ClaimInternalWork(ThreadContext& t,
 
 bool Worker::ClaimExternalWork(ThreadContext& t,
                                SubgraphEnumerator::StolenWork* out) {
+  FRACTAL_HOT_ESCAPE("simulated network path: RPC buffers, codec scratch "
+                     "and backoff sleeps are off the enumeration hot path");
   const ClusterOptions& options = cluster_->options();
   const NetworkConfig& net = options.network;
   const uint32_t num_workers = options.num_workers;
@@ -261,7 +267,7 @@ bool Worker::ClaimExternalWork(ThreadContext& t,
   return false;
 }
 
-bool Worker::ClaimLocalWork(SubgraphEnumerator::StolenWork* out) {
+FRACTAL_HOT bool Worker::ClaimLocalWork(SubgraphEnumerator::StolenWork* out) {
   const uint32_t num_levels = cluster_->step_.num_levels;
   for (uint32_t depth = 0; depth < num_levels; ++depth) {
     for (uint32_t core = 0; core < num_threads(); ++core) {

@@ -32,6 +32,7 @@
 #include "obs/metrics.h"
 #include "runtime/fault.h"
 #include "runtime/telemetry.h"
+#include "util/hot_annotations.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -94,7 +95,7 @@ struct ThreadContext {
   /// accumulators), while the surviving workers drain their own frames to
   /// the barrier — the step is then re-executed from scratch. With no
   /// injector armed the hook costs a single predictable-branch load.
-  bool ConsumeWorkUnit() {
+  FRACTAL_HOT bool ConsumeWorkUnit() {
     ++stats.work_units;
     obs::WorkUnitsCounter().Add(1);
     FaultInjector* injector = control->injector;
@@ -155,14 +156,16 @@ class Worker {
 
   /// Executes the current step on thread `t`: drain the initial partition,
   /// then steal until the step has no work left anywhere (paper §4.2).
-  void RunStepOnThread(ThreadContext& t);
+  /// Hot-path root: everything under it except the audited per-step setup
+  /// and the network path runs per work unit.
+  FRACTAL_HOT void RunStepOnThread(ThreadContext& t);
 
   /// WS_int: claims one extension from a sibling thread of this worker,
   /// shallowest frames first (they hold the largest pieces of work). The
   /// Claim* calls fill a caller-owned StolenWork (false == no work found) so
   /// the steal loop reuses one prefix buffer across all its attempts.
-  bool ClaimInternalWork(ThreadContext& t,
-                         SubgraphEnumerator::StolenWork* out);
+  FRACTAL_HOT bool ClaimInternalWork(ThreadContext& t,
+                                     SubgraphEnumerator::StolenWork* out);
 
   /// WS_ext: requests work from the other workers through the message bus,
   /// skipping dead/crashed/suspect victims, retrying timed-out victims with
@@ -178,7 +181,7 @@ class Worker {
   /// Steal-service side of WS_ext: answers requests from other workers by
   /// claiming work from this worker's own frames.
   void StealServiceLoop();
-  bool ClaimLocalWork(SubgraphEnumerator::StolenWork* out);
+  FRACTAL_HOT bool ClaimLocalWork(SubgraphEnumerator::StolenWork* out);
 
   Cluster* cluster_;
   uint32_t worker_id_;

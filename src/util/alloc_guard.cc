@@ -1,0 +1,271 @@
+#include "util/alloc_guard.h"
+
+#ifdef FRACTAL_ALLOC_GUARD_BACKTRACE
+#include <execinfo.h>
+#endif
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace fractal {
+namespace {
+
+// Thread-local observation state. Trivially-destructible POD with zero
+// dynamic initialization so the interposed operator new can consult it at
+// any point of thread/process lifetime, including before main().
+struct GuardState {
+  uint32_t guard_depth;   // open kCount/kAbort scopes
+  uint32_t abort_depth;   // open kAbort scopes
+  uint32_t allow_depth;   // open Allow regions
+  uint64_t allocations;   // observed while guarded, this thread
+  uint64_t bytes;
+  uint64_t frees;
+};
+thread_local GuardState tls;
+
+// Cumulative across threads; relaxed is fine (tests read it quiescent).
+std::atomic<uint64_t> g_total_guarded{0};
+
+// kModeUninitialized until the first GlobalMode() call parses the env.
+constexpr int kModeUninitialized = -1;
+std::atomic<int> g_mode{kModeUninitialized};
+constexpr uint64_t kWarmupUninitialized = UINT64_MAX;
+std::atomic<uint64_t> g_warmup{kWarmupUninitialized};
+
+// Async-safe-ish failure report: hand-rolled formatting into a stack
+// buffer + write(2); operator new must not re-enter the allocator here.
+void AbortOnGuardedAllocation(size_t size) {
+  char buf[160];
+  char* p = buf;
+  const char* prefix =
+      "AllocGuard: heap allocation on a guarded hot path (size=";
+  std::memcpy(p, prefix, std::strlen(prefix));
+  p += std::strlen(prefix);
+  char digits[20];
+  int n = 0;
+  uint64_t v = size;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) *p++ = digits[--n];
+  const char* suffix = "); FRACTAL_ALLOC_GUARD=abort\n";
+  std::memcpy(p, suffix, std::strlen(suffix));
+  p += std::strlen(suffix);
+  [[maybe_unused]] ssize_t ignored = write(STDERR_FILENO, buf, p - buf);
+#ifdef FRACTAL_ALLOC_GUARD_BACKTRACE
+  void* frames[32];
+  backtrace_symbols_fd(frames, backtrace(frames, 32), STDERR_FILENO);
+#endif
+  std::abort();
+}
+
+inline void ObserveAllocation(size_t size) {
+  if (tls.guard_depth == 0 || tls.allow_depth > 0) return;
+  ++tls.allocations;
+  tls.bytes += size;
+  g_total_guarded.fetch_add(1, std::memory_order_relaxed);
+  if (tls.abort_depth > 0) AbortOnGuardedAllocation(size);
+}
+
+inline void ObserveDeallocation() {
+  if (tls.guard_depth == 0 || tls.allow_depth > 0) return;
+  ++tls.frees;
+}
+
+}  // namespace
+
+AllocGuard::AllocGuard(Mode mode) : mode_(mode) {
+  if (mode_ == Mode::kOff) return;
+  start_allocations_ = tls.allocations;
+  start_bytes_ = tls.bytes;
+  start_frees_ = tls.frees;
+  ++tls.guard_depth;
+  if (mode_ == Mode::kAbort) ++tls.abort_depth;
+}
+
+AllocGuard::~AllocGuard() {
+  if (mode_ == Mode::kOff) return;
+  --tls.guard_depth;
+  if (mode_ == Mode::kAbort) --tls.abort_depth;
+}
+
+uint64_t AllocGuard::allocations() const {
+  return mode_ == Mode::kOff ? 0 : tls.allocations - start_allocations_;
+}
+
+uint64_t AllocGuard::bytes() const {
+  return mode_ == Mode::kOff ? 0 : tls.bytes - start_bytes_;
+}
+
+uint64_t AllocGuard::frees() const {
+  return mode_ == Mode::kOff ? 0 : tls.frees - start_frees_;
+}
+
+AllocGuard::Allow::Allow(const char* /*reason*/) { ++tls.allow_depth; }
+AllocGuard::Allow::~Allow() { --tls.allow_depth; }
+
+bool AllocGuard::Active() {
+#ifdef FRACTAL_ALLOC_GUARD_RUNTIME
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool AllocGuard::GuardedOnThisThread() {
+  return tls.guard_depth > 0 && tls.allow_depth == 0;
+}
+
+uint64_t AllocGuard::TotalGuardedAllocations() {
+  return g_total_guarded.load(std::memory_order_relaxed);
+}
+
+AllocGuard::Mode AllocGuard::GlobalMode() {
+  int mode = g_mode.load(std::memory_order_relaxed);
+  if (mode == kModeUninitialized) {
+    const char* env = std::getenv("FRACTAL_ALLOC_GUARD");
+    mode = static_cast<int>(Mode::kOff);
+    if (env != nullptr) {
+      if (std::strcmp(env, "count") == 0) {
+        mode = static_cast<int>(Mode::kCount);
+      } else if (std::strcmp(env, "abort") == 0) {
+        mode = static_cast<int>(Mode::kAbort);
+      }
+    }
+    int expected = kModeUninitialized;
+    g_mode.compare_exchange_strong(expected, mode,
+                                   std::memory_order_relaxed);
+    mode = g_mode.load(std::memory_order_relaxed);
+  }
+  return static_cast<Mode>(mode);
+}
+
+void AllocGuard::SetGlobalMode(Mode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+uint64_t AllocGuard::warmup_units() {
+  uint64_t warmup = g_warmup.load(std::memory_order_relaxed);
+  if (warmup == kWarmupUninitialized) {
+    const char* env = std::getenv("FRACTAL_ALLOC_GUARD_WARMUP");
+    warmup = 512;
+    if (env != nullptr && env[0] != '\0') {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != nullptr && *end == '\0' &&
+          parsed != kWarmupUninitialized) {
+        warmup = parsed;
+      }
+    }
+    uint64_t expected = kWarmupUninitialized;
+    g_warmup.compare_exchange_strong(expected, warmup,
+                                     std::memory_order_relaxed);
+    warmup = g_warmup.load(std::memory_order_relaxed);
+  }
+  return warmup;
+}
+
+}  // namespace fractal
+
+#ifdef FRACTAL_ALLOC_GUARD_RUNTIME
+
+// Interposing global operator new/delete: every path funnels through
+// AllocateRaw/FreeRaw so observation happens exactly once per allocation.
+// Semantics match the defaults (new-handler loop, bad_alloc on exhaustion,
+// null-tolerant delete); ASan/TSan keep working because the underlying
+// malloc/free remain intercepted by the sanitizer runtimes.
+
+namespace {
+
+void* AllocateRaw(size_t size, size_t align) {
+  fractal::ObserveAllocation(size);
+  if (size == 0) size = 1;
+  for (;;) {
+    void* p = nullptr;
+    if (align <= alignof(std::max_align_t)) {
+      p = std::malloc(size);
+    } else if (posix_memalign(&p, align, size) != 0) {
+      p = nullptr;
+    }
+    if (p != nullptr) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+void FreeRaw(void* p) {
+  if (p == nullptr) return;
+  fractal::ObserveDeallocation();
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(size_t size) {
+  void* p = AllocateRaw(size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t size) {
+  void* p = AllocateRaw(size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return AllocateRaw(size, alignof(std::max_align_t));
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return AllocateRaw(size, alignof(std::max_align_t));
+}
+void* operator new(size_t size, std::align_val_t align) {
+  void* p = AllocateRaw(size, static_cast<size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  void* p = AllocateRaw(size, static_cast<size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return AllocateRaw(size, static_cast<size_t>(align));
+}
+void* operator new[](size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return AllocateRaw(size, static_cast<size_t>(align));
+}
+
+void operator delete(void* p) noexcept { FreeRaw(p); }
+void operator delete[](void* p) noexcept { FreeRaw(p); }
+void operator delete(void* p, size_t) noexcept { FreeRaw(p); }
+void operator delete[](void* p, size_t) noexcept { FreeRaw(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { FreeRaw(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  FreeRaw(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { FreeRaw(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { FreeRaw(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  FreeRaw(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  FreeRaw(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  FreeRaw(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  FreeRaw(p);
+}
+
+#endif  // FRACTAL_ALLOC_GUARD_RUNTIME

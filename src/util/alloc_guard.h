@@ -1,0 +1,109 @@
+// AllocGuard: the runtime backstop of the hot-path allocation discipline
+// (DESIGN.md §9). tools/fractal_lint.py proves statically that no allocation
+// is *visibly* reachable from a FRACTAL_HOT root; AllocGuard covers whatever
+// the static walk cannot see through (type-erased callbacks, amortized
+// container growth, code behind audited escapes that regressed) by
+// interposing the global operator new/delete and counting — or aborting on —
+// allocations performed while a guard scope is active on the current thread.
+//
+// Usage:
+//   AllocGuard guard(AllocGuard::Mode::kCount);
+//   HotWork();
+//   EXPECT_EQ(guard.allocations(), 0u);
+//
+// Scopes are thread-local: a guard constructed on thread A never observes
+// allocations from thread B. Guards nest (an outer guard's counts include
+// everything inner guards saw); `AllocGuard::Allow` suspends observation for
+// audited cold branches — the runtime twin of FRACTAL_HOT_ESCAPE, and
+// recognized as an escape marker by the static lint so the two hatches stay
+// in sync.
+//
+// Process-wide arming: FractoidStepTask wraps steady-state DFS regions in
+// guard scopes whose mode comes from GlobalMode(), initialized from the
+// FRACTAL_ALLOC_GUARD environment variable ("count", "abort", anything
+// else/unset = off) and overridable per test via SetGlobalMode(). Because a
+// step's scratch pools start cold, the task arms the guard only after the
+// thread has consumed warmup_units() extensions in the step
+// (FRACTAL_ALLOC_GUARD_WARMUP, default 512).
+//
+// The interposing operator new/delete definitions live in alloc_guard.cc and
+// are compiled when FRACTAL_ALLOC_GUARD_RUNTIME is defined (CMake option
+// FRACTAL_ENABLE_ALLOC_GUARD, default ON; the inactive-path cost is one
+// thread-local depth check per allocation). Without the runtime, guards
+// construct fine and observe nothing — Active() reports whether the
+// interposer is compiled in so tests can skip.
+#ifndef FRACTAL_UTIL_ALLOC_GUARD_H_
+#define FRACTAL_UTIL_ALLOC_GUARD_H_
+
+#include <cstdint>
+
+namespace fractal {
+
+class AllocGuard {
+ public:
+  enum class Mode : int {
+    kOff = 0,    // scope is a no-op
+    kCount = 1,  // count allocations/bytes observed in the scope
+    kAbort = 2,  // abort the process on the first observed allocation
+  };
+
+  /// Opens a guard scope on the current thread. kOff constructs an inert
+  /// guard (no thread-local traffic beyond one branch).
+  explicit AllocGuard(Mode mode);
+  ~AllocGuard();
+
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  /// Allocations observed on this thread since the scope opened (includes
+  /// nested guard scopes, excludes Allow regions). Same-thread use only.
+  uint64_t allocations() const;
+  /// Bytes requested by those allocations.
+  uint64_t bytes() const;
+  /// Deallocations observed on this thread since the scope opened.
+  uint64_t frees() const;
+
+  /// Audited cold branch: suspends observation (counting and aborting) on
+  /// this thread for the lifetime of the object. The static lint treats the
+  /// construction site as a FRACTAL_HOT_ESCAPE.
+  class Allow {
+   public:
+    explicit Allow(const char* reason);
+    ~Allow();
+
+    Allow(const Allow&) = delete;
+    Allow& operator=(const Allow&) = delete;
+  };
+
+  /// Whether the interposing operator new/delete runtime is compiled in.
+  static bool Active();
+
+  /// True while a counting/aborting guard scope is open on this thread and
+  /// no Allow region suspends it.
+  static bool GuardedOnThisThread();
+
+  /// Process-wide allocations observed inside any guard scope on any thread
+  /// (cumulative). Lets a driver assert that worker threads it cannot
+  /// inspect directly stayed allocation-free.
+  static uint64_t TotalGuardedAllocations();
+
+  /// Process-wide mode consulted by the runtime's guard wrap points
+  /// (FractoidStepTask). Initialized lazily from FRACTAL_ALLOC_GUARD.
+  static Mode GlobalMode();
+  static void SetGlobalMode(Mode mode);
+
+  /// Work units a thread must consume in a step before the runtime arms its
+  /// guard scopes (scratch pools start cold every step attempt). From
+  /// FRACTAL_ALLOC_GUARD_WARMUP, default 512.
+  static uint64_t warmup_units();
+
+ private:
+  Mode mode_;
+  uint64_t start_allocations_ = 0;
+  uint64_t start_bytes_ = 0;
+  uint64_t start_frees_ = 0;
+};
+
+}  // namespace fractal
+
+#endif  // FRACTAL_UTIL_ALLOC_GUARD_H_

@@ -1,0 +1,64 @@
+// Hot-path allocation-discipline annotations (DESIGN.md §9). The enumeration
+// data plane (DESIGN.md §8) derives its speed from steady-state DFS expansion
+// performing *zero* heap allocation; this header turns that property from
+// prose into a machine-checked contract, the same way thread_annotations.h
+// did for the lock hierarchy.
+//
+// Vocabulary:
+//   FRACTAL_HOT
+//     Marks a function as a hot-path root (or audited hot-path leaf). The
+//     static checker (tools/fractal_lint.py) walks the call graph from every
+//     FRACTAL_HOT function and fails on reachable allocation, throwing
+//     constructs, container growth on non-arena storage, and calls into
+//     un-annotated non-inline externals it cannot see through.
+//   FRACTAL_HOT_ESCAPE("reason")
+//     Statement marker: the remainder of the enclosing block is an audited
+//     cold branch (arena refill, crash path, per-step setup). The checker
+//     stops reporting inside the escaped region. The reason string is
+//     mandatory and should say *why* the branch is cold, not what it does.
+//     `AllocGuard::Allow` scopes (util/alloc_guard.h) count as escapes too,
+//     so the runtime and static escape hatches never drift apart.
+//   FRACTAL_ARENA_OUT
+//     Parameter annotation: this container parameter is arena-backed (leased
+//     from a ScratchArena or recycled through SubgraphEnumerator::Refill's
+//     swap), so amortized growth via push_back/insert on it is part of the
+//     zero-steady-state-allocation design, not a violation. The runtime
+//     AllocGuard still observes cold-start growth of these buffers, which is
+//     why the guard arms only after per-step warm-up.
+//
+// Under clang the macros lower to `annotate` attributes so the libclang
+// frontend of fractal_lint.py sees them in the AST; everywhere else they
+// compile to nothing (the textual lint frontend matches them lexically).
+// Either way they have zero runtime cost.
+#ifndef FRACTAL_UTIL_HOT_ANNOTATIONS_H_
+#define FRACTAL_UTIL_HOT_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define FRACTAL_HOT_ATTRIBUTE(x) __attribute__((annotate(x)))
+#else
+#define FRACTAL_HOT_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+/// Hot-path root/leaf: reachable code must not allocate, throw, or call
+/// unaudited externals. Checked by tools/fractal_lint.py.
+#define FRACTAL_HOT FRACTAL_HOT_ATTRIBUTE("fractal_hot")
+
+/// Arena-backed container parameter: amortized growth allowed.
+#define FRACTAL_ARENA_OUT FRACTAL_HOT_ATTRIBUTE("fractal_arena")
+
+namespace fractal {
+namespace hot_internal {
+
+/// Expansion target of FRACTAL_HOT_ESCAPE: a no-op call the libclang
+/// frontend can locate in the AST (the textual frontend matches the macro
+/// name itself). Inlined away entirely under optimization.
+inline void EscapeMarker(const char* /*reason*/) {}
+
+}  // namespace hot_internal
+}  // namespace fractal
+
+/// Marks the remainder of the enclosing block as an audited cold branch.
+#define FRACTAL_HOT_ESCAPE(reason) \
+  ::fractal::hot_internal::EscapeMarker(reason)
+
+#endif  // FRACTAL_UTIL_HOT_ANNOTATIONS_H_

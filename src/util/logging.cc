@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -75,6 +76,26 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void LogLine(LogLevel level, const char* file, int line,
+             const char* message) {
+  if (static_cast<int>(level) < g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  char buf[512];
+  const int n =
+      std::snprintf(buf, sizeof(buf), "[%s %12.6f t%03u %s:%d] %s\n",
+                    LevelTag(level), MonotonicSeconds(), CachedThreadId(),
+                    basename, line, message);
+  if (n <= 0) return;
+  std::fwrite(buf, 1, std::min(static_cast<size_t>(n), sizeof(buf) - 1),
+              stderr);
+  std::fflush(stderr);
 }
 
 namespace internal_log {

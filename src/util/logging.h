@@ -18,6 +18,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Allocation-free log emission: formats the standard prefix plus the
+/// already-formatted `message` into a stack buffer and writes it with one
+/// fwrite. For threads under the allocation discipline (DESIGN.md §9) that
+/// still need a sign of life — the streaming FRACTAL_LOG path builds an
+/// ostringstream per statement. Messages longer than ~480 bytes are
+/// truncated.
+void LogLine(LogLevel level, const char* file, int line, const char* message);
+
+#define FRACTAL_LOG_LINE(severity, message)                        \
+  ::fractal::LogLine(::fractal::LogLevel::k##severity, __FILE__,   \
+                     __LINE__, (message))
+
 namespace internal_log {
 
 class LogMessage {

@@ -1,0 +1,161 @@
+// AllocGuard unit tests: scope counting, nesting, Allow suppression,
+// thread-locality, the process-wide totals, and the abort backstop. Every
+// test skips itself when the interposing operator new/delete runtime is
+// compiled out (FRACTAL_ENABLE_ALLOC_GUARD=OFF).
+#include "util/alloc_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace fractal {
+namespace {
+
+// TSan's runtime forks poorly; the death test opts out under it.
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
+
+// Heap traffic the optimizer cannot elide.
+void* AllocateVisible(size_t n) {
+  void* p = ::operator new(n);
+  static_cast<volatile char*>(p)[0] = 1;
+  return p;
+}
+
+class AllocGuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!AllocGuard::Active()) {
+      GTEST_SKIP() << "alloc-guard runtime compiled out";
+    }
+  }
+};
+
+TEST_F(AllocGuardTest, CountsAllocationsBytesAndFrees) {
+  AllocGuard guard(AllocGuard::Mode::kCount);
+  void* p = AllocateVisible(64);
+  const uint64_t after_alloc = guard.allocations();
+  const uint64_t bytes = guard.bytes();
+  ::operator delete(p);
+  EXPECT_GE(after_alloc, 1u);
+  EXPECT_GE(bytes, 64u);
+  EXPECT_GE(guard.frees(), 1u);
+}
+
+TEST_F(AllocGuardTest, OffModeObservesNothing) {
+  AllocGuard guard(AllocGuard::Mode::kOff);
+  ::operator delete(AllocateVisible(32));
+  EXPECT_EQ(guard.allocations(), 0u);
+  EXPECT_EQ(guard.bytes(), 0u);
+  EXPECT_EQ(guard.frees(), 0u);
+}
+
+TEST_F(AllocGuardTest, AllowSuspendsObservation) {
+  AllocGuard guard(AllocGuard::Mode::kCount);
+  {
+    AllocGuard::Allow allow("audited test allocation");
+    ::operator delete(AllocateVisible(32));
+  }
+  EXPECT_EQ(guard.allocations(), 0u);
+  ::operator delete(AllocateVisible(32));
+  EXPECT_GE(guard.allocations(), 1u);
+}
+
+TEST_F(AllocGuardTest, NestedScopesAccumulateIntoOuter) {
+  AllocGuard outer(AllocGuard::Mode::kCount);
+  ::operator delete(AllocateVisible(16));
+  const uint64_t outer_before_inner = outer.allocations();
+  uint64_t inner_count = 0;
+  {
+    AllocGuard inner(AllocGuard::Mode::kCount);
+    ::operator delete(AllocateVisible(16));
+    inner_count = inner.allocations();
+  }
+  EXPECT_GE(outer_before_inner, 1u);
+  EXPECT_GE(inner_count, 1u);
+  // The outer scope saw its own allocation plus everything the inner saw.
+  EXPECT_GE(outer.allocations(), outer_before_inner + inner_count);
+}
+
+TEST_F(AllocGuardTest, ScopesAreThreadLocal) {
+  std::atomic<int> phase{0};
+  std::thread other([&] {
+    while (phase.load(std::memory_order_acquire) < 1) std::this_thread::yield();
+    ::operator delete(AllocateVisible(1024));  // unguarded: other thread
+    phase.store(2, std::memory_order_release);
+  });
+  {
+    AllocGuard guard(AllocGuard::Mode::kCount);
+    phase.store(1, std::memory_order_release);
+    while (phase.load(std::memory_order_acquire) < 2) std::this_thread::yield();
+    EXPECT_EQ(guard.allocations(), 0u)
+        << "a guard on this thread observed another thread's allocation";
+  }
+  other.join();
+}
+
+TEST_F(AllocGuardTest, GuardedOnThisThreadTracksScopeAndAllow) {
+  EXPECT_FALSE(AllocGuard::GuardedOnThisThread());
+  {
+    AllocGuard guard(AllocGuard::Mode::kCount);
+    EXPECT_TRUE(AllocGuard::GuardedOnThisThread());
+    {
+      AllocGuard::Allow allow("suspension");
+      EXPECT_FALSE(AllocGuard::GuardedOnThisThread());
+    }
+    EXPECT_TRUE(AllocGuard::GuardedOnThisThread());
+  }
+  EXPECT_FALSE(AllocGuard::GuardedOnThisThread());
+}
+
+TEST_F(AllocGuardTest, TotalGuardedAllocationsAccumulates) {
+  const uint64_t before = AllocGuard::TotalGuardedAllocations();
+  {
+    AllocGuard guard(AllocGuard::Mode::kCount);
+    ::operator delete(AllocateVisible(8));
+  }
+  EXPECT_GE(AllocGuard::TotalGuardedAllocations(), before + 1);
+}
+
+TEST_F(AllocGuardTest, GlobalModeRoundTrips) {
+  const AllocGuard::Mode prior = AllocGuard::GlobalMode();
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kCount);
+  EXPECT_EQ(AllocGuard::GlobalMode(), AllocGuard::Mode::kCount);
+  AllocGuard::SetGlobalMode(prior);
+  EXPECT_EQ(AllocGuard::GlobalMode(), prior);
+}
+
+TEST_F(AllocGuardTest, WarmupUnitsIsPositive) {
+  EXPECT_GT(AllocGuard::warmup_units(), 0u);
+}
+
+TEST_F(AllocGuardTest, AbortModeAbortsOnAllocation) {
+  if (kTsan) GTEST_SKIP() << "death tests are unreliable under TSan";
+  EXPECT_DEATH(
+      {
+        AllocGuard guard(AllocGuard::Mode::kAbort);
+        ::operator delete(AllocateVisible(8));
+      },
+      "AllocGuard: heap allocation on a guarded hot path");
+}
+
+TEST_F(AllocGuardTest, AbortModeHonorsAllow) {
+  AllocGuard guard(AllocGuard::Mode::kAbort);
+  AllocGuard::Allow allow("audited: must not abort");
+  ::operator delete(AllocateVisible(8));  // process survives => pass
+}
+
+}  // namespace
+}  // namespace fractal

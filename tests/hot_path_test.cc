@@ -1,0 +1,166 @@
+// End-to-end check of the hot-path allocation discipline (DESIGN.md §9):
+// after the per-step warm-up, full-cluster runs of the vertex-induced,
+// edge-induced, and KClist strategies perform ZERO heap allocations in their
+// steady-state DFS regions. FractoidStepTask arms an AllocGuard around each
+// extension once a thread has consumed AllocGuard::warmup_units() work units
+// in the step; these tests crank the global mode to kCount (assert the
+// observed total is zero) and kAbort (completing at all is the assertion),
+// and pin the ScratchArena's amortization story: pool misses depend on the
+// DFS shape, not on how much work flows through it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "apps/cliques.h"
+#include "core/context.h"
+#include "graph/test_graphs.h"
+#include "obs/metrics.h"
+#include "util/alloc_guard.h"
+
+namespace fractal {
+namespace {
+
+ExecutionConfig OneThread() {
+  ExecutionConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 1;
+  return config;
+}
+
+ExecutionConfig SmallCluster() {
+  ExecutionConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 2;
+  return config;
+}
+
+struct StrategyCounts {
+  uint64_t vertex_induced = 0;
+  uint64_t edge_induced = 0;
+  uint64_t kclist = 0;
+
+  bool operator==(const StrategyCounts&) const = default;
+};
+
+// One full cluster run per extension strategy. Graph sizes below are picked
+// so a single thread consumes well over AllocGuard::warmup_units() (default
+// 512) extensions per step, i.e. the guards actually arm.
+StrategyCounts RunAllStrategies(const Graph& g, const ExecutionConfig& config) {
+  StrategyCounts counts;
+  {
+    FractalContext fctx;
+    FractalGraph graph = fctx.FromGraph(Graph(g));
+    counts.vertex_induced =
+        graph.VFractoid().Expand(3).CountSubgraphs(config);
+    counts.edge_induced = graph.EFractoid().Expand(2).CountSubgraphs(config);
+    counts.kclist = CountCliquesOptimized(graph, 4, config);
+  }
+  return counts;
+}
+
+class HotPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!AllocGuard::Active()) {
+      GTEST_SKIP() << "alloc-guard runtime compiled out";
+    }
+    prior_mode_ = AllocGuard::GlobalMode();
+  }
+  void TearDown() override {
+    if (AllocGuard::Active()) AllocGuard::SetGlobalMode(prior_mode_);
+  }
+
+  AllocGuard::Mode prior_mode_ = AllocGuard::Mode::kOff;
+};
+
+TEST_F(HotPathTest, SteadyStateIsAllocationFreeUnderCountMode) {
+  const Graph g = testgraphs::Complete(12);
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kOff);
+  const StrategyCounts expected = RunAllStrategies(g, OneThread());
+
+  const uint64_t work_before = obs::WorkUnitsCounter().Value();
+  const uint64_t guarded_before = AllocGuard::TotalGuardedAllocations();
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kCount);
+  const StrategyCounts counted = RunAllStrategies(g, OneThread());
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kOff);
+  const uint64_t guarded = AllocGuard::TotalGuardedAllocations() -
+                           guarded_before;
+  const uint64_t work = obs::WorkUnitsCounter().Value() - work_before;
+
+  EXPECT_EQ(counted, expected);
+  // The workload must be big enough that the guard armed at all, otherwise
+  // this test asserts nothing.
+  ASSERT_GT(work, AllocGuard::warmup_units());
+  EXPECT_EQ(guarded, 0u)
+      << "steady-state heap allocations on the enumeration hot path";
+}
+
+TEST_F(HotPathTest, CompletesUnderAbortModeSingleThread) {
+  const Graph g = testgraphs::Complete(12);
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kOff);
+  const StrategyCounts expected = RunAllStrategies(g, OneThread());
+
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kAbort);
+  // Surviving the runs is the assertion: any steady-state allocation on a
+  // guarded thread aborts the process.
+  const StrategyCounts aborted_mode = RunAllStrategies(g, OneThread());
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kOff);
+  EXPECT_EQ(aborted_mode, expected);
+}
+
+TEST_F(HotPathTest, CompletesUnderAbortModeWithStealingCluster) {
+  const Graph g = testgraphs::Complete(13);
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kOff);
+  const StrategyCounts expected = RunAllStrategies(g, SmallCluster());
+
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kAbort);
+  const StrategyCounts aborted_mode = RunAllStrategies(g, SmallCluster());
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kOff);
+  EXPECT_EQ(aborted_mode, expected);
+}
+
+TEST_F(HotPathTest, ScratchMissesDependOnShapeNotWorkVolume) {
+  AllocGuard::SetGlobalMode(AllocGuard::Mode::kOff);
+  // Same DFS shape (same strategies, same depths, same thread count) on a
+  // small and a much larger graph: the arena pools warm up to the DFS's
+  // peak concurrent lease count, which is a property of the shape. The
+  // misses must NOT scale with the work volume.
+  const uint64_t misses_before_small = obs::ScratchMissesCounter().Value();
+  const uint64_t work_before_small = obs::WorkUnitsCounter().Value();
+  RunAllStrategies(testgraphs::Complete(8), OneThread());
+  const uint64_t misses_small =
+      obs::ScratchMissesCounter().Value() - misses_before_small;
+  const uint64_t work_small = obs::WorkUnitsCounter().Value() -
+                              work_before_small;
+
+  const uint64_t misses_before_large = obs::ScratchMissesCounter().Value();
+  const uint64_t work_before_large = obs::WorkUnitsCounter().Value();
+  RunAllStrategies(testgraphs::Complete(13), OneThread());
+  const uint64_t misses_large =
+      obs::ScratchMissesCounter().Value() - misses_before_large;
+  const uint64_t work_large = obs::WorkUnitsCounter().Value() -
+                              work_before_large;
+
+  ASSERT_GT(work_large, 2 * work_small);
+  EXPECT_EQ(misses_large, misses_small)
+      << "scratch misses grew with work volume: the pool is not amortizing";
+}
+
+// Meaningful when the harness sets FRACTAL_ALLOC_GUARD (the ci.sh
+// alloc-guard stage runs this binary with FRACTAL_ALLOC_GUARD=abort): the
+// lazily parsed global mode must reflect the environment.
+TEST_F(HotPathTest, EnvironmentSelectsGlobalMode) {
+  const char* env = std::getenv("FRACTAL_ALLOC_GUARD");
+  if (env == nullptr) GTEST_SKIP() << "FRACTAL_ALLOC_GUARD not set";
+  const std::string mode(env);
+  if (mode == "abort") {
+    EXPECT_EQ(prior_mode_, AllocGuard::Mode::kAbort);
+  } else if (mode == "count") {
+    EXPECT_EQ(prior_mode_, AllocGuard::Mode::kCount);
+  }
+}
+
+}  // namespace
+}  // namespace fractal

@@ -1,0 +1,20 @@
+// Seeded violation for tools/fractal_lint.py --self-test: heap allocation
+// reachable from a FRACTAL_HOT root, both directly and through a callee.
+// LINT-EXPECT: allocation
+#include <cstdint>
+
+#include "util/hot_annotations.h"
+
+namespace fractal_fixture {
+
+inline uint32_t* AllocatingHelper(uint32_t n) {
+  return new uint32_t[n];  // seeded: reached via the call-graph walk
+}
+
+FRACTAL_HOT inline uint32_t* AllocateOnHotPath(uint32_t n) {
+  uint32_t* direct = new uint32_t[n];  // seeded: direct allocation
+  delete[] direct;
+  return AllocatingHelper(n);
+}
+
+}  // namespace fractal_fixture

@@ -1,0 +1,33 @@
+// Compliant fixture for tools/fractal_lint.py --self-test: hot code written
+// under the allocation discipline (DESIGN.md §9) must produce no findings.
+// LINT-EXPECT-CLEAN
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/hot_annotations.h"
+
+namespace fractal_fixture {
+
+// Growth goes to annotated arena storage; helper calls resolve in-repo.
+FRACTAL_HOT inline void KeepEvens(FRACTAL_ARENA_OUT std::vector<uint32_t>* out,
+                                  const uint32_t* in, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    if ((in[i] & 1u) == 0u) out->push_back(in[i]);
+  }
+}
+
+// Whitelisted std calls and a one-time `static` initializer are fine.
+FRACTAL_HOT inline uint32_t ClampToLimit(uint32_t v) {
+  static const uint32_t limit = 1u << 20;
+  return std::min(v, limit);
+}
+
+// An audited cold branch may allocate: the escape marker covers the
+// remainder of its enclosing block.
+FRACTAL_HOT inline uint32_t* ColdStartGrow(uint32_t n) {
+  FRACTAL_HOT_ESCAPE("one-time cold-start growth, audited by hand");
+  return new uint32_t[n];
+}
+
+}  // namespace fractal_fixture

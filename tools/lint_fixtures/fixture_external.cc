@@ -1,0 +1,18 @@
+// Seeded violation for tools/fractal_lint.py --self-test: a hot function
+// calling a free function that has no in-repo definition and no whitelist
+// entry — the checker cannot prove it allocation-free.
+// LINT-EXPECT: unannotated-external
+#include <cstdint>
+
+#include "util/hot_annotations.h"
+
+namespace fractal_fixture {
+
+// Declared but defined in some other library the lint cannot see into.
+uint64_t ExternalChecksum(const uint32_t* data, uint64_t n);
+
+FRACTAL_HOT inline uint64_t HashBlock(const uint32_t* data, uint64_t n) {
+  return ExternalChecksum(data, n);  // seeded: opaque external call
+}
+
+}  // namespace fractal_fixture

@@ -1,0 +1,20 @@
+// Seeded violation for tools/fractal_lint.py --self-test: metric and trace
+// name literals that are not registered in src/obs/metric_names.h. A typo
+// here would silently create a fresh, never-read series.
+// LINT-EXPECT: metric-name
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fractal_fixture {
+
+inline fractal::obs::Counter& TypoCounter() {
+  // seeded: the registered name is "enumerate.scratch_misses".
+  return fractal::obs::MetricsRegistry::Get().GetCounter(
+      "enumerate.scratch_missses");
+}
+
+inline void TracedBlock() {
+  FRACTAL_TRACE_SPAN("fixture/unregistered_span");  // seeded: not registered
+}
+
+}  // namespace fractal_fixture

@@ -1,0 +1,24 @@
+// Seeded violation for tools/fractal_lint.py --self-test: raw std
+// synchronization primitives outside util/mutex.h. All locking goes through
+// fractal::Mutex/CondVar so TSA annotations and lockdep see every edge.
+// LINT-EXPECT: raw-mutex
+#include <condition_variable>
+#include <mutex>
+
+namespace fractal_fixture {
+
+class UninstrumentedQueue {
+ public:
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);  // seeded: bypasses lockdep
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;               // seeded: raw std::mutex member
+  std::condition_variable cv_;  // seeded: raw condition_variable member
+  bool closed_ = false;
+};
+
+}  // namespace fractal_fixture

@@ -1,0 +1,24 @@
+// Seeded violation for tools/fractal_lint.py --self-test: container growth
+// on a hot path without arena backing. The second function shows the
+// compliant form (FRACTAL_ARENA_OUT) and must stay silent.
+// LINT-EXPECT: stl-growth
+#include <cstdint>
+#include <vector>
+
+#include "util/hot_annotations.h"
+
+namespace fractal_fixture {
+
+FRACTAL_HOT inline void GrowUnbackedVectors(std::vector<uint32_t>* out,
+                                            uint32_t v) {
+  std::vector<uint32_t> scratch;
+  scratch.push_back(v);             // seeded: local non-arena container
+  out->push_back(scratch.front());  // seeded: un-annotated out-param
+}
+
+FRACTAL_HOT inline void GrowArenaVector(
+    FRACTAL_ARENA_OUT std::vector<uint32_t>* out, uint32_t v) {
+  out->push_back(v);  // compliant: receiver is annotated arena storage
+}
+
+}  // namespace fractal_fixture

@@ -1,0 +1,24 @@
+// Seeded violation for tools/fractal_lint.py --self-test: a throw on a hot
+// path. The second function shows the audited form (FRACTAL_HOT_ESCAPE
+// covers the remainder of the enclosing block) and must stay silent.
+// LINT-EXPECT: throw
+#include <cstdint>
+
+#include "util/hot_annotations.h"
+
+namespace fractal_fixture {
+
+FRACTAL_HOT inline uint32_t CheckedDivide(uint32_t a, uint32_t b) {
+  if (b == 0) throw b;  // seeded: hot paths report errors by value
+  return a / b;
+}
+
+FRACTAL_HOT inline uint32_t AuditedDivide(uint32_t a, uint32_t b) {
+  if (b == 0) {
+    FRACTAL_HOT_ESCAPE("divide-by-zero is a caller bug, not a hot branch");
+    throw b;  // compliant: inside an audited escape block
+  }
+  return a / b;
+}
+
+}  // namespace fractal_fixture
