@@ -9,12 +9,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/context.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -22,20 +24,32 @@
 namespace fractal {
 namespace bench {
 
-/// Opt-in tracing for a whole bench run: construct at the top of main with
-/// argc/argv. Recognizes `--trace-out <path>` / `--trace-out=<path>` (or the
-/// FRACTAL_TRACE_OUT environment variable as a fallback) and `--metrics`;
-/// all other flags are left untouched for the bench itself. Tracing is
-/// enabled for the session and the merged Chrome trace JSON is exported on
-/// destruction.
+/// Opt-in tracing and profiling for a whole bench run: construct at the top
+/// of main with argc/argv. Recognizes `--trace-out <path>` /
+/// `--trace-out=<path>` (or the FRACTAL_TRACE_OUT environment variable as a
+/// fallback), `--profile-out <path>` / `--profile-out=<path>` (or
+/// FRACTAL_PROFILE, whose value is the output path), `--profile-hz <rate>`
+/// (or FRACTAL_PROFILE_HZ), and `--metrics`; all other flags are left
+/// untouched for the bench itself. Tracing is enabled for the session and
+/// the merged Chrome trace JSON is exported on destruction; the profiler
+/// samples every thread the runtime registers and writes collapsed stacks
+/// (flamegraph.pl / speedscope input) on destruction.
 class TraceSession {
  public:
   TraceSession(int argc, char** argv) {
+    std::string profile_out;
+    int profile_hz = obs::Profiler::kDefaultHz;
     for (int i = 1; i < argc; ++i) {
       if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
         path_ = argv[++i];
       } else if (!std::strncmp(argv[i], "--trace-out=", 12)) {
         path_ = argv[i] + 12;
+      } else if (!std::strcmp(argv[i], "--profile-out") && i + 1 < argc) {
+        profile_out = argv[++i];
+      } else if (!std::strncmp(argv[i], "--profile-out=", 14)) {
+        profile_out = argv[i] + 14;
+      } else if (!std::strcmp(argv[i], "--profile-hz") && i + 1 < argc) {
+        profile_hz = std::atoi(argv[++i]);
       } else if (!std::strcmp(argv[i], "--metrics")) {
         dump_metrics_ = true;
       }
@@ -44,10 +58,21 @@ class TraceSession {
       const char* env = std::getenv("FRACTAL_TRACE_OUT");
       if (env != nullptr) path_ = env;
     }
+    if (profile_out.empty()) {
+      const char* env = std::getenv("FRACTAL_PROFILE");
+      if (env != nullptr) profile_out = env;
+    }
+    if (const char* env = std::getenv("FRACTAL_PROFILE_HZ")) {
+      profile_hz = std::atoi(env);
+    }
     if (!path_.empty()) obs::Tracer::Get().Enable();
+    profile_.emplace(profile_out, profile_hz);
   }
 
   ~TraceSession() {
+    // Stop sampling (and write the collapsed stacks) before draining the
+    // trace rings so the export below is not itself profiled.
+    profile_.reset();
     if (!path_.empty()) {
       obs::Tracer::Get().Disable();
       const Status status = obs::Tracer::Get().ExportChromeTrace(path_);
@@ -69,6 +94,7 @@ class TraceSession {
  private:
   std::string path_;
   bool dump_metrics_ = false;
+  std::optional<obs::ProfileSession> profile_;
 };
 
 /// The default simulated cluster used by comparative benches: 2 workers x 2

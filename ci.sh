@@ -6,9 +6,13 @@
 #      This stage also proves the tree builds with lockdep compiled out
 #      (the production configuration), then exercises the observability
 #      layer end to end: a small motif bench run with --trace-out whose
-#      exported Chrome trace is schema-checked by tools/check_trace.py.
-#      Finally a perf smoke runs the extension-kernel A/B microbenchmarks
-#      (kernels vs. reference scans) into BENCH_extension.json.
+#      exported Chrome trace is schema-checked by tools/check_trace.py, a
+#      CLI run whose Prometheus /metricsz dump is format-checked by
+#      tools/check_metricsz.py and whose sampling-profiler collapsed-stack
+#      export must be non-empty. Finally a perf smoke runs the
+#      extension-kernel A/B microbenchmarks (kernels vs. reference scans)
+#      into BENCH_extension.json and gates it against the committed
+#      baseline with tools/bench_compare.py.
 #   2. Chaos sweep: resilience_test's ChaosTest replays CHAOS_SEEDS seeded
 #      random fault plans (worker crashes, dead steal services, dropped and
 #      delayed requests, stragglers) and fails on any result divergence
@@ -46,8 +50,8 @@ JOBS="${JOBS:-$(nproc)}"
 # Every suite that spawns threads (directly or through the Cluster runtime),
 # plus property_test so the kernel-vs-reference differential sweeps over the
 # extension data plane run under ASan/UBSan and TSan on every PR.
-SANITIZED_SUITES='core_test|runtime_test|obs_test|lockdep_test|enumerate_test|property_test|apps_test|extras_test|resilience_test|alloc_guard_test|hot_path_test'
-SANITIZED_TARGETS='core_test runtime_test obs_test lockdep_test enumerate_test property_test apps_test extras_test resilience_test alloc_guard_test hot_path_test'
+SANITIZED_SUITES='core_test|runtime_test|obs_test|introspection_test|profiler_test|lockdep_test|enumerate_test|property_test|apps_test|extras_test|resilience_test|alloc_guard_test|hot_path_test'
+SANITIZED_TARGETS='core_test runtime_test obs_test introspection_test profiler_test lockdep_test enumerate_test property_test apps_test extras_test resilience_test alloc_guard_test hot_path_test'
 # Chaos seeds for the fault-injection sweep: a wide sweep on the fast
 # Release build, a narrower one under the (10-20x slower) sanitizers.
 CHAOS_SEEDS="${CHAOS_SEEDS:-32}"
@@ -71,6 +75,24 @@ else
   echo "python3 not installed; structural trace validation skipped"
 fi
 
+echo "=== introspection: /metricsz exposition + profiler export ==="
+# The same CLI run exercises the whole introspection plane: the sampling
+# profiler writes collapsed stacks (flamegraph.pl / speedscope input) and
+# the Prometheus dump must satisfy the text-format contract (cumulative
+# buckets, +Inf == _count) that tools/check_metricsz.py enforces.
+METRICSZ_TXT="build-ci/metricsz.txt"
+PROFILE_TXT="build-ci/profile_collapsed.txt"
+./build-ci/examples/fractal_cli --kernel triangles --workers 2 --threads 2 \
+  --metricsz-out "$METRICSZ_TXT" --profile-out "$PROFILE_TXT"
+test -s "$PROFILE_TXT"
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/check_metricsz.py "$METRICSZ_TXT"
+else
+  test -s "$METRICSZ_TXT"
+  grep -q '# TYPE fractal_' "$METRICSZ_TXT"
+  echo "python3 not installed; structural metricsz validation skipped"
+fi
+
 echo "=== perf smoke: extension kernels vs. reference scans ==="
 # A/B microbenchmark of the set-algebra extension kernels against the
 # pre-refactor reference scans (bench/bench_micro.cc, dense-graph pairs).
@@ -80,6 +102,13 @@ echo "=== perf smoke: extension kernels vs. reference scans ==="
   --benchmark_filter='Extensions(Kernel|Reference)' \
   --benchmark_out=BENCH_extension.json --benchmark_out_format=json
 test -s BENCH_extension.json
+# Gate against the committed baseline: >20% real_time regression on any
+# shared series fails (same host) or warns (baseline from another machine —
+# tools/bench_compare.py compares the benchmark context to decide).
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/bench_compare.py \
+    bench/baselines/BENCH_extension.json BENCH_extension.json
+fi
 
 echo "=== chaos: ${CHAOS_SEEDS}-seed random fault plans stay bit-exact ==="
 # Seeded random fault plans (crashes, dead steal services, drops, delays,

@@ -22,6 +22,7 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "pattern/catalog.h"
 #include "runtime/fault.h"
@@ -39,7 +40,9 @@ void Usage() {
       "       [--query <triangle|square|diamond|house|q1..q8>]\n"
       "       [--workers <n>] [--threads <n>] [--no-stealing]\n"
       "       [--trace-out <chrome-trace.json>] [--metrics]\n"
-      "       [--progress-ms <interval>]\n"
+      "       [--metricsz-out <prometheus.txt>]\n"
+      "       [--profile-out <collapsed.txt>] [--profile-hz <rate>]\n"
+      "       [--statusz-port <port>] [--progress-ms <interval>]\n"
       "       [--fault-spec <plan>] [--fault-seed <n>]\n"
       "       [--crash-worker <w>] [--crash-after <units>]\n"
       "\n"
@@ -60,6 +63,8 @@ int main(int argc, char** argv) {
   std::string kernel = "triangles";
   std::string graph_path, edgelist_path, query_name = "triangle";
   std::string trace_out;
+  std::string profile_out, metricsz_out;
+  int profile_hz = obs::Profiler::kDefaultHz;
   std::string fault_spec;
   uint64_t fault_seed = 0;
   int crash_worker = -1;
@@ -105,6 +110,14 @@ int main(int argc, char** argv) {
       trace_out = argv[i] + 12;
     } else if (!std::strcmp(argv[i], "--metrics")) {
       dump_metrics = true;
+    } else if (!std::strcmp(argv[i], "--metricsz-out")) {
+      metricsz_out = next("--metricsz-out");
+    } else if (!std::strcmp(argv[i], "--profile-out")) {
+      profile_out = next("--profile-out");
+    } else if (!std::strcmp(argv[i], "--profile-hz")) {
+      profile_hz = std::atoi(next("--profile-hz"));
+    } else if (!std::strcmp(argv[i], "--statusz-port")) {
+      config.statusz_port = std::atoi(next("--statusz-port"));
     } else if (!std::strcmp(argv[i], "--progress-ms")) {
       config.progress_interval_ms = std::atoi(next("--progress-ms"));
     } else if (!std::strcmp(argv[i], "--fault-spec")) {
@@ -178,6 +191,9 @@ int main(int argc, char** argv) {
   std::printf("graph: %s\n", input.DebugString().c_str());
 
   if (!trace_out.empty()) obs::Tracer::Get().Enable();
+  // Scoped here so the session covers graph indexing and the kernel, and
+  // the collapsed-stack file is written before the metrics dumps below.
+  obs::ProfileSession profile_session(profile_out, profile_hz);
 
   FractalContext fctx(config);
   FractalGraph graph = fctx.FromGraph(std::move(input));
@@ -257,6 +273,17 @@ int main(int argc, char** argv) {
   }
   if (dump_metrics) {
     std::printf("%s", obs::MetricsRegistry::Get().DumpText().c_str());
+  }
+  if (!metricsz_out.empty()) {
+    const std::string prom = obs::MetricsRegistry::Get().DumpPrometheus();
+    std::FILE* file = std::fopen(metricsz_out.c_str(), "w");
+    if (file == nullptr ||
+        std::fwrite(prom.data(), 1, prom.size(), file) != prom.size() ||
+        std::fclose(file) != 0) {
+      std::fprintf(stderr, "cannot write %s\n", metricsz_out.c_str());
+      return 1;
+    }
+    std::printf("prometheus metrics written to %s\n", metricsz_out.c_str());
   }
   return 0;
 }

@@ -67,6 +67,11 @@ struct ExecutionConfig {
   /// step progress (work-unit throughput, steal rates) at this interval.
   int64_t progress_interval_ms = 0;
 
+  /// When >= 0 (and no cluster is injected), the ephemeral cluster serves
+  /// /statusz, /metricsz, /tracez, and /profilez on 127.0.0.1:<port> for
+  /// the execution's lifetime (obs/exposition.h; 0 = ephemeral port).
+  int statusz_port = -1;
+
   /// Collect matched subgraphs of the final step (otherwise only counted).
   bool collect_subgraphs = false;
   /// Cap on collected subgraphs (protects memory on huge result sets).

@@ -36,6 +36,7 @@ ClusterOptions ToClusterOptions(const ExecutionConfig& config) {
       config.external_work_stealing && config.num_workers >= 2;
   options.network = config.network;
   options.progress_interval_ms = config.progress_interval_ms;
+  options.statusz_port = config.statusz_port;
   return options;
 }
 

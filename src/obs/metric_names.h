@@ -37,8 +37,18 @@ inline constexpr std::string_view kMetricNames[] = {
     "enumerate.scratch_hits",
     "enumerate.scratch_misses",
     "enumerate.steals",
+    // Counters — introspection plane.
+    "obs.profiler_samples",
+    "obs.exposition_requests",
     // Gauges.
     "runtime.suspect_victims",
+    "runtime.step_active",
+    "runtime.current_step",
+    "runtime.units_per_sec",
+    // Base name for the per-worker interval-delta gauges; live instances
+    // carry a ".<worker>" suffix minted at sampler rate (dynamic names are
+    // invisible to the lint — register the base).
+    "runtime.worker_units",
     // Histograms.
     "bus.steal_rtt_us",
     "bus.retry_backoff_us",
@@ -62,12 +72,25 @@ inline constexpr std::string_view kTraceNames[] = {
     "executor/step_retry",
     "graph/reduce",
     "graph/reduce_to_keywords",
+    "obs/profile_window",
     "runtime/step_degraded",
     "worker/drain_roots",
     "worker/process_stolen",
     "worker/steal_miss",
     "worker/steal_service",
     "worker/victim_suspect",
+};
+
+/// HTTP paths served by the exposition server (obs/exposition.h
+/// AddEndpoint). Same rationale as the metric names: a typo'd registration
+/// would 404 forever while dashboards poll the intended path.
+inline constexpr std::string_view kEndpointNames[] = {
+    "/",
+    "/healthz",
+    "/metricsz",
+    "/profilez",
+    "/statusz",
+    "/tracez",
 };
 
 }  // namespace obs

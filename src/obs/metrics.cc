@@ -67,10 +67,12 @@ std::string MetricsRegistry::DumpText() const {
   }
   for (const auto& [name, histogram] : histograms_) {
     out << StrFormat(
-        "histogram %-32s count=%llu sum=%llu mean=%.1f p50~%llu p99~%llu\n",
+        "histogram %-32s count=%llu sum=%llu mean=%.1f p50~%llu p90~%llu "
+        "p99~%llu\n",
         name.c_str(), (unsigned long long)histogram->Count(),
         (unsigned long long)histogram->Sum(), histogram->Mean(),
         (unsigned long long)histogram->ApproxPercentile(50),
+        (unsigned long long)histogram->ApproxPercentile(90),
         (unsigned long long)histogram->ApproxPercentile(99));
   }
   return out.str();
@@ -115,6 +117,64 @@ std::string MetricsRegistry::DumpJson() const {
 
 namespace {
 
+/// Prometheus metric name: `fractal_` prefix, every non-[a-zA-Z0-9_] byte
+/// (the registry uses dots) mapped to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "fractal_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  MutexLock lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string p = PrometheusName(name) + "_total";
+    out << "# TYPE " << p << " counter\n";
+    out << p << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " gauge\n";
+    out << p << " " << gauge->Value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string p = PrometheusName(name);
+    const uint64_t count = histogram->Count();
+    out << "# TYPE " << p << " histogram\n";
+    // Cumulative buckets; only boundaries with mass below them get a line
+    // (the le values stay strictly increasing because buckets are walked in
+    // order), and the top bucket (upper bound 2^64-1) folds into +Inf.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+      const uint64_t in_bucket = histogram->BucketCount(i);
+      if (in_bucket == 0) continue;
+      cumulative += in_bucket;
+      out << p << "_bucket{le=\"" << Histogram::BucketUpperBound(i) << "\"} "
+          << cumulative << "\n";
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << count << "\n";
+    out << p << "_sum " << histogram->Sum() << "\n";
+    out << p << "_count " << count << "\n";
+    // Percentile companions as their own gauge families: mixing summary
+    // quantiles into a histogram family is invalid exposition format.
+    for (const double q : {50.0, 90.0, 99.0}) {
+      const std::string qp = p + StrFormat("_p%.0f", q);
+      out << "# TYPE " << qp << " gauge\n";
+      out << qp << " " << histogram->ApproxPercentile(q) << "\n";
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
 // The Allow here covers the char* -> std::string key temporary, which is
 // constructed before GetCounter's own Allow scope opens.
 Counter& NamedCounter(const char* name) {
@@ -124,6 +184,10 @@ Counter& NamedCounter(const char* name) {
 Histogram& NamedHistogram(const char* name) {
   AllocGuard::Allow allow("one-time metric registration");
   return MetricsRegistry::Get().GetHistogram(name);
+}
+Gauge& NamedGauge(const char* name) {
+  AllocGuard::Allow allow("one-time metric registration");
+  return MetricsRegistry::Get().GetGauge(name);
 }
 
 }  // namespace
@@ -185,12 +249,38 @@ Counter& ScratchMissesCounter() {
   return counter;
 }
 
+Counter& ProfilerSamplesCounter() {
+  static Counter& counter = NamedCounter("obs.profiler_samples");
+  return counter;
+}
+Counter& ExpositionRequestsCounter() {
+  static Counter& counter = NamedCounter("obs.exposition_requests");
+  return counter;
+}
+
 Gauge& SuspectVictimsGauge() {
-  static Gauge& gauge = []() -> Gauge& {
-    AllocGuard::Allow allow("one-time metric registration");
-    return MetricsRegistry::Get().GetGauge("runtime.suspect_victims");
-  }();
+  static Gauge& gauge = NamedGauge("runtime.suspect_victims");
   return gauge;
+}
+Gauge& StepActiveGauge() {
+  static Gauge& gauge = NamedGauge("runtime.step_active");
+  return gauge;
+}
+Gauge& CurrentStepGauge() {
+  static Gauge& gauge = NamedGauge("runtime.current_step");
+  return gauge;
+}
+Gauge& UnitsPerSecGauge() {
+  static Gauge& gauge = NamedGauge("runtime.units_per_sec");
+  return gauge;
+}
+Gauge& WorkerUnitsGauge(uint32_t worker) {
+  // Registered under the lint-visible base name "runtime.worker_units";
+  // the dynamic per-worker suffix is invisible to the registered-name rule
+  // by design (sampler-rate call sites only).
+  AllocGuard::Allow allow("one-time metric registration");
+  return MetricsRegistry::Get().GetGauge(
+      StrFormat("runtime.worker_units.%u", worker));
 }
 
 Histogram& StealRttHistogram() {

@@ -114,6 +114,13 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{...}}; histogram
   /// buckets are keyed by their lower bound and only nonzero ones appear.
   std::string DumpJson() const EXCLUDES(mu_);
+  /// Prometheus text exposition format (served at /metricsz): names are
+  /// sanitized (dots -> underscores) under a `fractal_` prefix, counters
+  /// get the conventional `_total` suffix, histograms render as cumulative
+  /// `_bucket{le="..."}` series (power-of-two upper bounds; only buckets
+  /// with mass, plus `+Inf`) with `_sum`/`_count`, and p50/p90/p99 from
+  /// ApproxPercentile appear as companion `_p50`/`_p90`/`_p99` gauges.
+  std::string DumpPrometheus() const EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
@@ -166,10 +173,31 @@ Counter& ScratchHitsCounter();
 /// once the DFS reaches steady state ("enumerate.scratch_misses").
 Counter& ScratchMissesCounter();
 
+/// Samples captured by the sampling profiler, credited at each
+/// Profiler::Stop ("obs.profiler_samples").
+Counter& ProfilerSamplesCounter();
+/// HTTP requests answered by the exposition server
+/// ("obs.exposition_requests").
+Counter& ExpositionRequestsCounter();
+
 /// (requester, victim) pairs currently marked suspect by the steal-RPC
 /// health tracker; reset to 0 at each step start
 /// ("runtime.suspect_victims").
 Gauge& SuspectVictimsGauge();
+/// 1 while a Cluster step is between submit and barrier, else 0
+/// ("runtime.step_active").
+Gauge& StepActiveGauge();
+/// Number of cluster steps started so far ("runtime.current_step"; a gauge
+/// so /statusz shows the step the progress sampler is describing).
+Gauge& CurrentStepGauge();
+/// Work units per second over the progress sampler's last interval
+/// ("runtime.units_per_sec").
+Gauge& UnitsPerSecGauge();
+/// Work units consumed by worker `w` over the progress sampler's last
+/// interval ("runtime.worker_units" with a `.w` suffix, e.g.
+/// "runtime.worker_units.3"). Unlike the handles above this takes the
+/// registry lock per call — sampler-rate use only.
+Gauge& WorkerUnitsGauge(uint32_t worker);
 
 /// WS_ext request round-trip time in microseconds, successful steals only
 /// ("bus.steal_rtt_us").

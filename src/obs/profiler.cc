@@ -1,0 +1,569 @@
+#include "obs/profiler.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#if defined(__linux__)
+#include <dlfcn.h>
+#include <pthread.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <cxxabi.h>
+#endif
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/alloc_guard.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+// Older glibc spells the SIGEV_THREAD_ID target field through an internal
+// union member without the POSIX-next alias.
+#if defined(__linux__) && !defined(sigev_notify_thread_id)
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+// Deep frame-pointer walks read stack words between frames, which ASan/MSan
+// may have poisoned (redzones, unpoisoned-on-return memory). Under those
+// sanitizers we keep only the leaf pc from the interrupted context — still
+// enough for the "samples land in the spinning function" contract.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_MEMORY__)
+#define FRACTAL_PROFILER_LEAF_ONLY 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(memory_sanitizer)
+#define FRACTAL_PROFILER_LEAF_ONLY 1
+#endif
+#endif
+#ifndef FRACTAL_PROFILER_LEAF_ONLY
+#define FRACTAL_PROFILER_LEAF_ONLY 0
+#endif
+
+namespace fractal {
+namespace obs {
+
+namespace {
+constexpr int kMaxFrames = 32;
+constexpr size_t kRingCapacity = 4096;  // ~40 s of samples at 100 Hz
+}  // namespace
+
+/// One sample slot. Written by the SIGPROF handler on the owning thread,
+/// read by Snapshot() on any thread; the `next` counter's release store
+/// publishes the slot, and Snapshot re-checks `next` afterwards to discard
+/// slots that were overwritten mid-copy (ring wraparound race).
+struct ProfileSample {
+  uintptr_t pcs[kMaxFrames];
+  int32_t depth;
+  const char* span;
+};
+
+struct ProfileBuffer {
+  /// Intrusive link for Profiler::free_list_ (thread-exit reuse).
+  ProfileBuffer* next_free = nullptr;
+
+  // Identity — written at registration (before any timer exists for the
+  // thread), read by the handler and by exports.
+  uint32_t tid = 0;
+  char name[64] = {0};
+  uintptr_t stack_lo = 0;  // 0 = unknown: leaf-only capture
+  uintptr_t stack_hi = 0;
+  SpanStack* spans = nullptr;
+
+  std::atomic<bool> live{false};  // owning thread still running
+  /// Timer lifecycle. `timer_armed` serializes arm/disarm between Start(),
+  /// Stop(), and the owning thread's exit path (which may not lock): only
+  /// the side winning the exchange touches `timer`.
+  std::atomic<bool> timer_armed{false};
+  timer_t timer{};
+
+  /// Samples ever taken; the valid window is the trailing
+  /// min(next, kRingCapacity) slots. Release store publishes slot writes.
+  std::atomic<uint64_t> next{0};
+  ProfileSample slots[kRingCapacity];
+};
+
+namespace {
+
+/// Raw pointer the SIGPROF handler reads. Separate from the registration
+/// slot below and trivially destructible, so it is never in a
+/// partially-destroyed state; the exit path nulls it *before* recycling the
+/// ring.
+constinit thread_local ProfileBuffer* tls_profile_buffer = nullptr;
+
+uint32_t CurrentTid() {
+#if defined(__linux__)
+  return static_cast<uint32_t>(syscall(SYS_gettid));
+#else
+  return 0;
+#endif
+}
+
+void DisarmOwnTimerLockFree(ProfileBuffer* buffer) {
+#if defined(__linux__)
+  if (buffer->timer_armed.exchange(false, std::memory_order_acq_rel)) {
+    timer_delete(buffer->timer);
+  }
+#else
+  (void)buffer;
+#endif
+}
+
+#if defined(__linux__)
+/// The SIGPROF handler. May touch ONLY: tls_profile_buffer, the ring's raw
+/// slot memory, relaxed/release atomics, the interrupted ucontext, and the
+/// thread's SpanStack (same-thread data). No allocation, no locks, no
+/// non-async-signal-safe libc. errno is saved/restored because the handler
+/// interrupts arbitrary code.
+void SigprofHandler(int /*signum*/, siginfo_t* /*info*/, void* ucontext) {
+  const int saved_errno = errno;
+  ProfileBuffer* buffer = tls_profile_buffer;
+  if (buffer != nullptr) {
+    const uint64_t n = buffer->next.load(std::memory_order_relaxed);
+    ProfileSample& slot = buffer->slots[n % kRingCapacity];
+    int depth = 0;
+    uintptr_t pc = 0;
+    uintptr_t fp = 0;
+    auto* uc = static_cast<ucontext_t*>(ucontext);
+#if defined(__x86_64__)
+    pc = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+    fp = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+    pc = static_cast<uintptr_t>(uc->uc_mcontext.pc);
+    fp = static_cast<uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+    (void)uc;
+#endif
+    if (pc != 0) slot.pcs[depth++] = pc;
+#if FRACTAL_PROFILER_LEAF_ONLY
+    (void)fp;  // sanitizers poison stack redzones; no frame walk
+#else
+    // Frame-pointer chain walk (the build compiles with
+    // -fno-omit-frame-pointer). Every dereference is bounds-checked against
+    // the stack extent captured at registration and required to be aligned
+    // and strictly ascending, so a corrupt or foreign frame terminates the
+    // walk instead of faulting.
+    if (buffer->stack_lo != 0) {
+      while (depth < kMaxFrames && fp >= buffer->stack_lo &&
+             fp + 2 * sizeof(uintptr_t) <= buffer->stack_hi &&
+             (fp & (sizeof(uintptr_t) - 1)) == 0) {
+        const uintptr_t* frame = reinterpret_cast<const uintptr_t*>(fp);
+        const uintptr_t ret = frame[1];
+        const uintptr_t next_fp = frame[0];
+        if (ret < 0x1000) break;  // not a plausible code address
+        slot.pcs[depth++] = ret;
+        if (next_fp <= fp) break;  // frames must ascend
+        fp = next_fp;
+      }
+    }
+#endif
+    slot.depth = depth;
+    slot.span = buffer->spans != nullptr ? buffer->spans->Top() : nullptr;
+    buffer->next.store(n + 1, std::memory_order_release);
+  }
+  errno = saved_errno;
+}
+#endif  // __linux__
+
+/// Thread-exit unregistration. Mirrors Tracer::LocalBuffer's Slot: runs in
+/// a thread_local destructor where lockdep's own thread_local may already
+/// be destroyed, so it must not take an instrumented Mutex — hence the
+/// atomic timer disarm and the lock-free Treiber push.
+struct TlsSlot {
+  Profiler* profiler = nullptr;
+  ProfileBuffer* buffer = nullptr;
+  ~TlsSlot();
+};
+
+thread_local TlsSlot tls_slot;
+
+}  // namespace
+
+// Out-of-line so it can reach Profiler::free_list_ (friend struct below
+// can't be in an anonymous namespace and still match the friend
+// declaration, so the push is delegated through this named struct).
+struct ProfileTlsSlot {
+  static void Unregister(Profiler* profiler, ProfileBuffer* buffer) {
+    // Order matters: stop deliveries, hide the ring from any straggler
+    // signal, only then recycle. A SIGPROF already in flight between the
+    // disarm and the null store writes one sample into the ring, which is
+    // harmless (the ring is not freed, merely listed for reuse).
+    DisarmOwnTimerLockFree(buffer);
+    tls_profile_buffer = nullptr;
+    buffer->live.store(false, std::memory_order_release);
+    ProfileBuffer* head =
+        profiler->free_list_.load(std::memory_order_relaxed);
+    do {
+      buffer->next_free = head;
+    } while (!profiler->free_list_.compare_exchange_weak(
+        head, buffer, std::memory_order_release, std::memory_order_relaxed));
+  }
+};
+
+namespace {
+TlsSlot::~TlsSlot() {
+  if (buffer != nullptr) ProfileTlsSlot::Unregister(profiler, buffer);
+}
+}  // namespace
+
+uint64_t ProfileSnapshot::TotalSamples() const {
+  uint64_t total = 0;
+  for (const ThreadProfile& thread : threads) total += thread.stacks.size();
+  return total;
+}
+
+Profiler& Profiler::Get() {
+  static Profiler* profiler = new Profiler();  // leaked: see class comment
+  return *profiler;
+}
+
+void Profiler::RegisterCurrentThread(const char* name) {
+  // Touch the span stack now so its TLS is materialized outside the signal
+  // handler.
+  SpanStack& spans = CurrentSpanStack();
+  if (tls_slot.buffer != nullptr) {
+    // Already registered: refresh the label only.
+    MutexLock lock(mu_);
+    std::snprintf(tls_slot.buffer->name, sizeof(tls_slot.buffer->name), "%s",
+                  name);
+    return;
+  }
+  AllocGuard::Allow allow("profiler ring registration for a new thread");
+  MutexLock lock(mu_);
+  // Single consumer: pops only happen here, under mu_ (same ABA argument as
+  // Tracer::LocalBuffer).
+  ProfileBuffer* head = free_list_.load(std::memory_order_acquire);
+  while (head != nullptr &&
+         !free_list_.compare_exchange_weak(head, head->next_free,
+                                           std::memory_order_acquire,
+                                           std::memory_order_acquire)) {
+  }
+  ProfileBuffer* buffer = nullptr;
+  if (head != nullptr) {
+    head->next_free = nullptr;
+    buffer = head;
+  } else {
+    auto owned = std::make_unique<ProfileBuffer>();
+    buffer = owned.get();
+    buffers_.push_back(std::move(owned));
+  }
+  buffer->tid = CurrentTid();
+  std::snprintf(buffer->name, sizeof(buffer->name), "%s", name);
+  buffer->stack_lo = 0;
+  buffer->stack_hi = 0;
+#if defined(__linux__)
+  {
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+      void* stack_addr = nullptr;
+      size_t stack_size = 0;
+      if (pthread_attr_getstack(&attr, &stack_addr, &stack_size) == 0) {
+        buffer->stack_lo = reinterpret_cast<uintptr_t>(stack_addr);
+        buffer->stack_hi = buffer->stack_lo + stack_size;
+      }
+      pthread_attr_destroy(&attr);
+    }
+  }
+#endif
+  buffer->spans = &spans;
+  buffer->live.store(true, std::memory_order_release);
+  tls_slot.profiler = this;
+  tls_slot.buffer = buffer;
+  tls_profile_buffer = buffer;
+  if (running_.load(std::memory_order_acquire)) ArmTimer(buffer, hz_);
+}
+
+void Profiler::ArmTimer(ProfileBuffer* buffer, int hz) {
+#if defined(__linux__)
+  // A stale timer can survive on a recycled ring when its previous owner
+  // raced Start() at exit (the exit path's exchange won, so Start()'s arm
+  // targeted a dead tid — deliveries are silently dropped by the kernel).
+  // Reap it before arming a fresh one.
+  if (buffer->timer_armed.exchange(false, std::memory_order_acq_rel)) {
+    timer_delete(buffer->timer);
+  }
+  struct sigevent event;
+  std::memset(&event, 0, sizeof(event));
+  event.sigev_notify = SIGEV_THREAD_ID;
+  event.sigev_signo = SIGPROF;
+  event.sigev_notify_thread_id = static_cast<pid_t>(buffer->tid);
+  timer_t timer;
+  if (timer_create(CLOCK_MONOTONIC, &event, &timer) != 0) return;
+  buffer->timer = timer;
+  const long interval_ns = 1000000000L / hz;
+  struct itimerspec spec;
+  spec.it_interval.tv_sec = interval_ns / 1000000000L;
+  spec.it_interval.tv_nsec = interval_ns % 1000000000L;
+  spec.it_value = spec.it_interval;
+  if (timer_settime(timer, 0, &spec, nullptr) != 0) {
+    timer_delete(timer);
+    return;
+  }
+  buffer->timer_armed.store(true, std::memory_order_release);
+#else
+  (void)buffer;
+  (void)hz;
+#endif
+}
+
+void Profiler::DisarmTimer(ProfileBuffer* buffer) {
+#if defined(__linux__)
+  if (buffer->timer_armed.exchange(false, std::memory_order_acq_rel)) {
+    timer_delete(buffer->timer);
+  }
+#else
+  (void)buffer;
+#endif
+}
+
+Status Profiler::Start(int hz) {
+#if !defined(__linux__)
+  (void)hz;
+  return UnimplementedError("sampling profiler requires Linux timers");
+#else
+  hz = std::min(std::max(hz, 1), kMaxHz);
+  MutexLock lock(mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("profiler already running");
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = &SigprofHandler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (sigaction(SIGPROF, &action, nullptr) != 0) {
+    return InternalError(
+        StrFormat("sigaction(SIGPROF) failed: %s", std::strerror(errno)));
+  }
+  hz_ = hz;
+  samples_at_start_ = 0;
+  for (const auto& buffer : buffers_) {
+    samples_at_start_ += buffer->next.load(std::memory_order_acquire);
+  }
+  // Arm span tracking before the first tick so early samples can already
+  // attribute to open spans.
+  Tracer::SetSpanTracking(true);
+  running_.store(true, std::memory_order_release);
+  for (const auto& buffer : buffers_) {
+    if (buffer->live.load(std::memory_order_acquire)) {
+      ArmTimer(buffer.get(), hz_);
+    }
+  }
+  return Status::Ok();
+#endif
+}
+
+void Profiler::Stop() {
+  MutexLock lock(mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  running_.store(false, std::memory_order_release);
+  for (const auto& buffer : buffers_) DisarmTimer(buffer.get());
+  Tracer::SetSpanTracking(false);
+  uint64_t samples_now = 0;
+  for (const auto& buffer : buffers_) {
+    samples_now += buffer->next.load(std::memory_order_acquire);
+  }
+  ProfilerSamplesCounter().Add(samples_now - samples_at_start_);
+}
+
+std::vector<uint64_t> Profiler::Marks() const {
+  MutexLock lock(mu_);
+  std::vector<uint64_t> marks;
+  marks.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) {
+    marks.push_back(buffer->next.load(std::memory_order_acquire));
+  }
+  return marks;
+}
+
+ProfileSnapshot Profiler::Snapshot(const std::vector<uint64_t>* since) const {
+  ProfileSnapshot snapshot;
+  MutexLock lock(mu_);
+  snapshot.hz = hz_;
+  for (size_t b = 0; b < buffers_.size(); ++b) {
+    const ProfileBuffer& buffer = *buffers_[b];
+    ThreadProfile thread;
+    thread.tid = buffer.tid;
+    thread.name = buffer.name;
+    thread.live = buffer.live.load(std::memory_order_acquire);
+    const uint64_t end = buffer.next.load(std::memory_order_acquire);
+    const uint64_t wrap_begin = end > kRingCapacity ? end - kRingCapacity : 0;
+    // Rings registered after Marks() was taken have no cursor entry; their
+    // whole window is new.
+    const uint64_t window_begin =
+        (since != nullptr && b < since->size()) ? (*since)[b] : 0;
+    const uint64_t begin = std::max(wrap_begin, window_begin);
+    thread.truncated = begin - window_begin;  // lost to wraparound
+    for (uint64_t i = begin; i < end; ++i) {
+      const ProfileSample& slot = buffer.slots[i % kRingCapacity];
+      ProfileStack stack;
+      const int depth = std::min<int32_t>(slot.depth, kMaxFrames);
+      stack.pcs.assign(slot.pcs, slot.pcs + std::max(depth, 0));
+      stack.span = slot.span;
+      // Overwrite-race check: if the handler lapped this slot while we were
+      // copying, the copy may be torn — discard it.
+      const uint64_t end_now = buffer.next.load(std::memory_order_acquire);
+      if (end_now > i + kRingCapacity) {
+        ++thread.truncated;
+        continue;
+      }
+      thread.stacks.push_back(std::move(stack));
+    }
+    snapshot.threads.push_back(std::move(thread));
+  }
+  return snapshot;
+}
+
+std::string Profiler::Symbolize(uintptr_t pc) {
+#if defined(__linux__)
+  Dl_info info;
+  // Subtract 1 for non-leaf return addresses upstream of the call; callers
+  // pass the pc they want resolved, so resolve it as-is here and let
+  // CollapsedStacks adjust.
+  if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // Drop the argument list: collapsed-stack consumers treat ';' and
+    // whitespace as structure, and "Foo::Bar" is what flame graphs show
+    // anyway.
+    const size_t paren = name.find('(');
+    if (paren != std::string::npos && paren > 0) name.resize(paren);
+    return name;
+  }
+#endif
+  return StrFormat("0x%" PRIxPTR, pc);
+}
+
+namespace {
+
+/// Frame name with a per-export memoization map (symbolization is the
+/// expensive part of an export).
+const std::string& SymbolizeCached(
+    uintptr_t pc, std::unordered_map<uintptr_t, std::string>* cache) {
+  auto it = cache->find(pc);
+  if (it == cache->end()) {
+    it = cache->emplace(pc, Profiler::Symbolize(pc)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::string Profiler::CollapsedStacks(const ProfileSnapshot& snapshot) {
+  std::unordered_map<uintptr_t, std::string> symbol_cache;
+  std::map<std::string, uint64_t> collapsed;  // sorted: deterministic output
+  std::string line;
+  for (const ThreadProfile& thread : snapshot.threads) {
+    for (const ProfileStack& stack : thread.stacks) {
+      if (stack.pcs.empty()) continue;
+      line.clear();
+      line += thread.name.empty() ? "thread" : thread.name;
+      // pcs are leaf-first; collapsed format is root-first. Non-leaf
+      // entries are return addresses, so resolve them one byte back into
+      // the call instruction.
+      for (size_t i = stack.pcs.size(); i-- > 0;) {
+        const uintptr_t pc = i == 0 ? stack.pcs[i] : stack.pcs[i] - 1;
+        line += ';';
+        line += SymbolizeCached(pc, &symbol_cache);
+      }
+      collapsed[line] += 1;
+    }
+  }
+  std::string out;
+  for (const auto& [stack, count] : collapsed) {
+    out += stack;
+    out += StrFormat(" %llu\n", (unsigned long long)count);
+  }
+  return out;
+}
+
+std::string Profiler::SpanProfile(const ProfileSnapshot& snapshot) {
+  std::map<std::string, uint64_t> by_span;
+  uint64_t total = 0;
+  for (const ThreadProfile& thread : snapshot.threads) {
+    for (const ProfileStack& stack : thread.stacks) {
+      by_span[stack.span != nullptr ? stack.span : "(no span)"] += 1;
+      ++total;
+    }
+  }
+  std::vector<std::pair<std::string, uint64_t>> rows(by_span.begin(),
+                                                     by_span.end());
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  std::ostringstream out;
+  out << StrFormat("span self-time profile: %llu samples @ %d Hz\n",
+                   (unsigned long long)total, snapshot.hz);
+  for (const auto& [span, count] : rows) {
+    const double pct =
+        total == 0 ? 0.0 : 100.0 * static_cast<double>(count) / total;
+    out << StrFormat("%8llu  %5.1f%%  %s\n", (unsigned long long)count, pct,
+                     span.c_str());
+  }
+  return out.str();
+}
+
+Status Profiler::WriteCollapsed(const std::string& path) const {
+  const ProfileSnapshot snapshot = Snapshot();
+  std::string text = CollapsedStacks(snapshot);
+  // The span table rides along as comments; flamegraph.pl and speedscope
+  // both ignore lines starting with '#'.
+  std::istringstream spans(SpanProfile(snapshot));
+  std::string span_line;
+  while (std::getline(spans, span_line)) {
+    text += "# ";
+    text += span_line;
+    text += '\n';
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return InternalError(
+        StrFormat("cannot open profile file %s", path.c_str()));
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != text.size() || !closed) {
+    return InternalError(
+        StrFormat("short write to profile file %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+ProfileSession::ProfileSession(std::string path, int hz)
+    : path_(std::move(path)) {
+  if (path_.empty()) return;
+  Profiler::Get().RegisterCurrentThread("main");
+  const Status status = Profiler::Get().Start(hz);
+  if (!status.ok()) {
+    FRACTAL_LOG(Warning) << "profiler start failed: " << status;
+    path_.clear();
+  }
+}
+
+ProfileSession::~ProfileSession() {
+  if (path_.empty()) return;
+  Profiler::Get().Stop();
+  const Status status = Profiler::Get().WriteCollapsed(path_);
+  if (!status.ok()) {
+    FRACTAL_LOG(Warning) << "profile export failed: " << status;
+  } else {
+    FRACTAL_LOG(Info) << "profile written to " << path_;
+  }
+}
+
+}  // namespace obs
+}  // namespace fractal

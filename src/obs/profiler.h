@@ -1,0 +1,175 @@
+// In-process sampling wall-clock profiler (DESIGN.md §10). Each registered
+// thread gets a POSIX interval timer (timer_create + SIGEV_THREAD_ID)
+// delivering SIGPROF at the session rate; the async-signal-safe handler
+// walks the frame-pointer chain from the interrupted context into a
+// lock-free per-thread sample ring, and joins the sample against the
+// innermost open FRACTAL_TRACE_SPAN on that thread (obs::SpanStack). All
+// symbolization and aggregation happen offline, outside the handler.
+//
+// Usage:
+//   obs::Profiler::Get().RegisterCurrentThread("worker0/core1");
+//   ...
+//   auto status = obs::Profiler::Get().Start(/*hz=*/100);
+//   ...workload...
+//   obs::Profiler::Get().Stop();
+//   WriteFile(out, obs::Profiler::Get().CollapsedStacks());   // flamegraph
+//   FRACTAL_LOG(Info) << obs::Profiler::Get().SpanProfile();  // span table
+//
+// Cost contract: an *unregistered or idle* thread pays nothing (no SIGPROF
+// timer exists for it); a registered thread with the profiler stopped pays
+// nothing at runtime; span-stack maintenance while profiling is armed is
+// two plain stores per FRACTAL_TRACE_SPAN. The disabled trace-macro fast
+// path stays one relaxed load (see trace.h Tracer::Flags()).
+//
+// Signal-safety contract (what the SIGPROF handler may touch): the
+// thread-local ring pointer, raw slot memory, relaxed/release atomics, the
+// interrupted ucontext, and the thread's SpanStack. It must not allocate,
+// lock, intern names, or call any non-async-signal-safe libc function.
+//
+// Lock class (leaf, DESIGN.md §5): `Profiler::mu` guards the thread
+// registry and session state; it is never taken by the signal handler.
+#ifndef FRACTAL_OBS_PROFILER_H_
+#define FRACTAL_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace fractal {
+namespace obs {
+
+struct ProfileBuffer;  // defined in profiler.cc
+
+/// One captured stack: program counters leaf-first, plus the name of the
+/// innermost FRACTAL_TRACE_SPAN open when the sample fired (nullptr when
+/// none; the pointer is a string literal valid for the process lifetime).
+struct ProfileStack {
+  std::vector<uintptr_t> pcs;  // [0] = leaf
+  const char* span = nullptr;
+};
+
+/// All samples exported from one registered thread's ring.
+struct ThreadProfile {
+  uint32_t tid = 0;  // kernel thread id at registration
+  std::string name;
+  bool live = false;        // owning thread still running at snapshot time
+  uint64_t truncated = 0;   // samples lost to ring wraparound or races
+  std::vector<ProfileStack> stacks;
+};
+
+struct ProfileSnapshot {
+  int hz = 0;  // session rate the samples were taken at (0 = never started)
+  std::vector<ThreadProfile> threads;
+
+  uint64_t TotalSamples() const;
+};
+
+/// Process-wide sampling profiler. Never destroyed (leaked singleton) so
+/// late-exiting threads can still unregister during shutdown.
+class Profiler {
+ public:
+  static constexpr int kDefaultHz = 100;
+  static constexpr int kMaxHz = 1000;
+
+  static Profiler& Get();
+
+  /// Makes the calling thread sampleable: allocates (or reuses, via the
+  /// Treiber free list) its sample ring, captures its kernel tid, stack
+  /// bounds, and SpanStack pointer, and — if a session is running — arms
+  /// its interval timer. Idempotent per thread (later calls only update the
+  /// name). Must be called from the thread itself, outside a signal
+  /// handler. `name` is copied (truncated to 63 chars).
+  void RegisterCurrentThread(const char* name) EXCLUDES(mu_);
+
+  /// Starts a sampling session at `hz` samples/sec/thread (clamped to
+  /// [1, kMaxHz]), arming one interval timer per registered live thread.
+  /// Rings keep accumulating across Start/Stop cycles; use Marks() +
+  /// Snapshot(&marks) for windowed views. Fails if already running or if
+  /// the platform lacks per-thread timers.
+  Status Start(int hz = kDefaultHz) EXCLUDES(mu_);
+
+  /// Disarms every timer and stops sampling. Samples stay exported until
+  /// the next process exit. No-op when not running.
+  void Stop() EXCLUDES(mu_);
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Per-thread sample cursors, for windowed profiles: pass the result to
+  /// Snapshot() later to export only samples taken after this call.
+  std::vector<uint64_t> Marks() const EXCLUDES(mu_);
+
+  /// Copies every ring's valid samples (optionally only those after
+  /// `since`, a vector from Marks()). Safe while sampling is live: slots
+  /// that lose an overwrite race with the handler are dropped and counted
+  /// as truncated.
+  ProfileSnapshot Snapshot(const std::vector<uint64_t>* since = nullptr)
+      const EXCLUDES(mu_);
+
+  /// Renders a snapshot as collapsed-stack text (one line per distinct
+  /// stack: "thread;frameroot;...;frameleaf count"), the format consumed by
+  /// flamegraph.pl and speedscope. Symbolizes via dladdr + demangle.
+  static std::string CollapsedStacks(const ProfileSnapshot& snapshot);
+  std::string CollapsedStacks() const { return CollapsedStacks(Snapshot()); }
+
+  /// Renders a snapshot as a self-time-per-span table: samples whose
+  /// innermost open FRACTAL_TRACE_SPAN was S count toward S's self time.
+  static std::string SpanProfile(const ProfileSnapshot& snapshot);
+  std::string SpanProfile() const { return SpanProfile(Snapshot()); }
+
+  /// Writes CollapsedStacks() followed by a commented-out span table to
+  /// `path`.
+  Status WriteCollapsed(const std::string& path) const;
+
+  /// Best-effort symbolization of one pc (exposed for tests): demangled
+  /// function name, or "0x<hex>" when unknown. Not async-signal-safe.
+  static std::string Symbolize(uintptr_t pc);
+
+ private:
+  Profiler() = default;
+
+  void ArmTimer(ProfileBuffer* buffer, int hz) REQUIRES(mu_);
+  void DisarmTimer(ProfileBuffer* buffer) REQUIRES(mu_);
+
+  mutable Mutex mu_{"Profiler::mu"};
+  /// Every ring ever created, including rings whose thread exited (their
+  /// samples stay exportable) and rings reused by new threads. Index into
+  /// this vector is the stable cursor index used by Marks()/Snapshot().
+  std::vector<std::unique_ptr<ProfileBuffer>> buffers_ GUARDED_BY(mu_);
+  /// Treiber stack of rings whose owning thread exited, for reuse. Same
+  /// pattern and rationale as Tracer::free_list_: the push runs in a
+  /// thread_local destructor at thread exit where no instrumented Mutex may
+  /// be taken; pops are serialized under mu_ (single consumer, ABA-safe).
+  std::atomic<ProfileBuffer*> free_list_{nullptr};
+  std::atomic<bool> running_{false};
+  int hz_ GUARDED_BY(mu_) = 0;
+  uint64_t samples_at_start_ GUARDED_BY(mu_) = 0;
+
+  friend struct ProfileTlsSlot;  // thread-exit unregistration
+};
+
+/// RAII profile session for CLIs and benches: when `path` is non-empty,
+/// registers the calling thread and starts the profiler at `hz`;
+/// destruction stops it and writes collapsed stacks to `path`. When `path`
+/// is empty, does nothing.
+class ProfileSession {
+ public:
+  ProfileSession(std::string path, int hz = Profiler::kDefaultHz);
+  ~ProfileSession();
+
+  ProfileSession(const ProfileSession&) = delete;
+  ProfileSession& operator=(const ProfileSession&) = delete;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace obs
+}  // namespace fractal
+
+#endif  // FRACTAL_OBS_PROFILER_H_

@@ -70,7 +70,16 @@ struct ThreadBuffer {
   uint64_t next GUARDED_BY(mu) = 0;
 };
 
-std::atomic<bool> Tracer::enabled_{false};
+std::atomic<uint32_t> Tracer::flags_{0};
+
+namespace {
+// Constant-initialized: no TLS init guard, so instrumentation reaching this
+// from any point (including via the profiler's registration path) never
+// allocates or locks.
+constinit thread_local SpanStack tls_span_stack;
+}  // namespace
+
+SpanStack& CurrentSpanStack() { return tls_span_stack; }
 
 Tracer& Tracer::Get() {
   static Tracer* tracer = new Tracer();  // leaked: see class comment
@@ -78,7 +87,7 @@ Tracer& Tracer::Get() {
 }
 
 void Tracer::Enable(size_t events_per_thread) {
-  enabled_.store(false, std::memory_order_seq_cst);
+  flags_.fetch_and(~kTracingFlag, std::memory_order_seq_cst);
   MutexLock lock(mu_);
   if (names_.empty()) names_.push_back("");  // id 0 reserved
   capacity_ = events_per_thread;
@@ -88,11 +97,11 @@ void Tracer::Enable(size_t events_per_thread) {
     buffer->slots.assign(capacity_, TraceEvent{});
     buffer->next = 0;
   }
-  enabled_.store(true, std::memory_order_release);
+  flags_.fetch_or(kTracingFlag, std::memory_order_release);
 }
 
 void Tracer::Disable() {
-  enabled_.store(false, std::memory_order_seq_cst);
+  flags_.fetch_and(~kTracingFlag, std::memory_order_seq_cst);
 }
 
 uint32_t Tracer::InternName(const char* name) {

@@ -69,18 +69,64 @@ struct TraceSnapshot {
 
 struct ThreadBuffer;  // defined in trace.cc
 
+/// Per-thread stack of the names of currently-open FRACTAL_TRACE_SPANs,
+/// maintained by TraceSpan while span tracking is armed (the sampling
+/// profiler arms it — obs/profiler.h — so each sample can be joined against
+/// the innermost open span). All writes come from the owning thread; the
+/// only concurrent reader is the SIGPROF handler *on that same thread*, so
+/// release stores (compiling to plain stores plus a compiler barrier)
+/// suffice and nothing here ever allocates or locks.
+struct SpanStack {
+  static constexpr uint32_t kMaxDepth = 64;
+  /// Open span names, outermost first. Entries are the string literals of
+  /// the trace macros, so the pointers are valid for the process lifetime.
+  const char* names[kMaxDepth] = {};
+  /// Current nesting depth. May exceed kMaxDepth transiently (deeper spans
+  /// keep counting but are not recorded by name).
+  std::atomic<uint32_t> depth{0};
+
+  /// Innermost open span name, or nullptr. Async-signal-safe on the owning
+  /// thread.
+  const char* Top() const {
+    const uint32_t d = depth.load(std::memory_order_relaxed);
+    return (d == 0 || d > kMaxDepth) ? nullptr : names[d - 1];
+  }
+};
+
+/// The calling thread's span stack. Constant-initialized thread_local: safe
+/// to touch from instrumentation, but the *first* touch from a signal
+/// handler could hit lazy TLS setup — the profiler touches it at thread
+/// registration so the handler never takes that path.
+SpanStack& CurrentSpanStack();
+
 /// Process-wide trace recorder. Never destroyed (leaked singleton), so
 /// worker threads may record during static destruction of other objects.
 class Tracer {
  public:
   static constexpr size_t kDefaultEventsPerThread = 1u << 16;
 
+  /// Bits of the instrumentation flags word. One relaxed load of the word
+  /// is the entire disabled-path cost of a trace macro, shared by tracing
+  /// and profiler span tracking.
+  static constexpr uint32_t kTracingFlag = 1u << 0;
+  static constexpr uint32_t kSpanStackFlag = 1u << 1;
+
   static Tracer& Get();
 
-  /// The macro fast path: one relaxed load. When false, instrumentation
-  /// sites return before touching any per-thread state.
-  static bool TracingEnabled() {
-    return enabled_.load(std::memory_order_relaxed);
+  /// The macro fast path: one relaxed load of the combined flags word.
+  static uint32_t Flags() { return flags_.load(std::memory_order_relaxed); }
+
+  /// When false, instrumentation sites record no ring events.
+  static bool TracingEnabled() { return (Flags() & kTracingFlag) != 0; }
+
+  /// Arms/disarms per-thread open-span bookkeeping (SpanStack) without
+  /// recording ring events. Used by the sampling profiler.
+  static void SetSpanTracking(bool enabled) {
+    if (enabled) {
+      flags_.fetch_or(kSpanStackFlag, std::memory_order_relaxed);
+    } else {
+      flags_.fetch_and(~kSpanStackFlag, std::memory_order_relaxed);
+    }
   }
 
   /// Starts a fresh tracing session: clears every thread's ring, sizes the
@@ -130,7 +176,7 @@ class Tracer {
   ThreadBuffer& LocalBuffer() EXCLUDES(mu_);
   void Record(TracePhase phase, uint32_t name_id, uint64_t arg);
 
-  static std::atomic<bool> enabled_;
+  static std::atomic<uint32_t> flags_;
 
   mutable Mutex mu_{"Tracer::mu"};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
@@ -163,22 +209,43 @@ class TraceName {
     return v;
   }
 
+  /// The call site's name literal (process-lifetime storage). Used by
+  /// SpanStack entries, which must not intern (interning locks).
+  const char* raw_name() const { return name_; }
+
  private:
   const char* name_;
   std::atomic<uint32_t> id_{0};
 };
 
-/// RAII begin/end pair. When tracing is disabled at construction, both ends
-/// are skipped (even if tracing is enabled mid-span, keeping pairs
-/// balanced); when enabled at construction, the end always records.
+/// RAII begin/end pair. When all instrumentation is disabled at
+/// construction, both ends are skipped (even if tracing is enabled
+/// mid-span, keeping pairs balanced); when enabled at construction, the end
+/// always records. When span tracking is armed, the span's name literal is
+/// additionally pushed on the thread's SpanStack for the duration so
+/// profiler samples can be attributed to it.
 class TraceSpan {
  public:
   explicit TraceSpan(TraceName& name, uint64_t arg = 0) {
-    if (!Tracer::TracingEnabled()) return;
-    name_id_ = name.id();
-    Tracer::Get().RecordBegin(name_id_, arg);
+    const uint32_t flags = Tracer::Flags();
+    if (flags == 0) return;  // the disabled path: one relaxed load
+    if ((flags & Tracer::kSpanStackFlag) != 0) {
+      SpanStack& stack = CurrentSpanStack();
+      const uint32_t d = stack.depth.load(std::memory_order_relaxed);
+      if (d < SpanStack::kMaxDepth) stack.names[d] = name.raw_name();
+      stack.depth.store(d + 1, std::memory_order_release);
+      pushed_ = &stack;
+    }
+    if ((flags & Tracer::kTracingFlag) != 0) {
+      name_id_ = name.id();
+      Tracer::Get().RecordBegin(name_id_, arg);
+    }
   }
   ~TraceSpan() {
+    if (pushed_ != nullptr) {
+      const uint32_t d = pushed_->depth.load(std::memory_order_relaxed);
+      if (d > 0) pushed_->depth.store(d - 1, std::memory_order_release);
+    }
     if (name_id_ != 0) Tracer::Get().RecordEnd(name_id_);
   }
 
@@ -186,7 +253,8 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
-  uint32_t name_id_ = 0;  // 0 = not recording
+  uint32_t name_id_ = 0;       // 0 = not recording ring events
+  SpanStack* pushed_ = nullptr;  // non-null = pop on destruction
 };
 
 inline void TraceInstant(TraceName& name, uint64_t arg = 0) {

@@ -2,11 +2,15 @@
 
 #include <bit>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "util/logging.h"
+#include "util/strings.h"
 
 namespace fractal {
 
@@ -57,9 +61,36 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
     workers_.push_back(std::make_unique<Worker>(this, worker));
   }
   for (auto& worker : workers_) worker->Start();
+  if (options_.statusz_port >= 0) {
+    obs::ExpositionServer::Options server_options;
+    server_options.port = options_.statusz_port;
+    auto server = obs::ExpositionServer::Start(server_options);
+    if (server.ok()) {
+      exposition_ = std::move(server).value();
+      {
+        MutexLock lock(statusz_mu_);
+        statusz_sampler_ = std::make_unique<obs::ProgressSampler>(
+            [this](std::vector<uint64_t>* out) { SampleWorkerUnits(out); });
+      }
+      exposition_->AddEndpoint(
+          "/statusz", [this](const obs::ExpositionServer::Request&) {
+            return obs::ExpositionServer::Response{
+                200, "text/plain; charset=utf-8", RenderStatusz()};
+          });
+    } else {
+      // Introspection is never load-bearing: a cluster with a taken port
+      // still computes.
+      FRACTAL_LOG(Warning) << "statusz server not started: "
+                           << server.status();
+    }
+  }
 }
 
 Cluster::~Cluster() {
+  // Stop serving before tearing down what the handlers report on. The
+  // /statusz closure captures `this`, so the server must be fully joined
+  // before any member is destroyed.
+  exposition_.reset();
   {
     MutexLock lock(mu_);
     shutdown_ = true;
@@ -67,6 +98,63 @@ Cluster::~Cluster() {
   }
   if (bus_) bus_->Shutdown();  // releases the steal-service threads
   for (auto& worker : workers_) worker->Join();
+}
+
+int Cluster::statusz_port() const {
+  return exposition_ != nullptr ? exposition_->port() : -1;
+}
+
+void Cluster::SampleWorkerUnits(std::vector<uint64_t>* out) const {
+  out->resize(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    (*out)[w] = workers_[w]->work_units();
+  }
+}
+
+std::string Cluster::RenderStatusz() {
+  std::ostringstream out;
+  const uint64_t mask = live_mask() & FullMask(options_.num_workers);
+  out << "fractal statusz\n";
+  out << StrFormat("workers            %u x %u threads\n",
+                   options_.num_workers, options_.threads_per_worker);
+  out << StrFormat("steps_run          %llu\n",
+                   (unsigned long long)steps_run());
+  out << StrFormat("step_active        %lld\n",
+                   (long long)obs::StepActiveGauge().Value());
+  out << StrFormat("current_step       %lld\n",
+                   (long long)obs::CurrentStepGauge().Value());
+  out << StrFormat("live_workers       %u/%u\n", num_live_workers(),
+                   options_.num_workers);
+  out << StrFormat("live_mask          0x%llx\n", (unsigned long long)mask);
+  out << StrFormat("suspect_victims    %llu\n",
+                   (unsigned long long)suspect_victims());
+  obs::ProgressSnapshot snapshot;
+  {
+    MutexLock lock(statusz_mu_);
+    if (statusz_sampler_ == nullptr) {
+      statusz_sampler_ = std::make_unique<obs::ProgressSampler>(
+          [this](std::vector<uint64_t>* out_units) {
+            SampleWorkerUnits(out_units);
+          });
+    }
+    snapshot = statusz_sampler_->Sample();
+  }
+  out << StrFormat(
+      "interval           %.3fs: +%llu work units (%llu/s), +%llu int "
+      "steals, +%llu ext steals, +%llu bytes shipped\n",
+      snapshot.interval_seconds,
+      (unsigned long long)snapshot.work_units_delta,
+      (unsigned long long)snapshot.units_per_sec,
+      (unsigned long long)snapshot.internal_steals_delta,
+      (unsigned long long)snapshot.external_steals_delta,
+      (unsigned long long)snapshot.bytes_shipped_delta);
+  for (size_t w = 0; w < snapshot.worker_units_delta.size(); ++w) {
+    out << StrFormat("worker %-3zu         live=%d units=%llu (+%llu)\n", w,
+                     (int)((mask >> w) & 1),
+                     (unsigned long long)workers_[w]->work_units(),
+                     (unsigned long long)snapshot.worker_units_delta[w]);
+  }
+  return out.str();
 }
 
 uint32_t Cluster::num_live_workers() const {
@@ -101,6 +189,10 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   // thread is parked on work_cv_ and every service thread is blocked on the
   // bus with an empty queue, so the preparation below is race-free.
   MutexLock run_lock(run_mu_);
+
+  // One-time ring acquisition for the driver (submitting) thread so its
+  // barrier wait shows up in profiles; idempotent per thread.
+  obs::Profiler::Get().RegisterCurrentThread("driver");
 
   // Snapshot the live mask: the step runs on the surviving subset only.
   const uint64_t live_mask =
@@ -141,13 +233,24 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   control_.working.store(live_threads, std::memory_order_relaxed);
   control_.timer.Restart();
 
+  // Step gauges for /statusz and /metricsz: which step is in flight, and
+  // that one is. Set before the wake-up so a scrape never sees an active
+  // barrier with step_active still 0.
+  obs::CurrentStepGauge().Set(
+      static_cast<int64_t>(steps_run_.load(std::memory_order_relaxed)) + 1);
+  obs::StepActiveGauge().Set(1);
+
   {
-    // Mid-step progress logging: samples the global obs counters, so it
-    // needs no access to the (thread-owned) per-thread stats. Stopped (and
-    // joined) before the telemetry harvest below.
+    // Mid-step progress logging: samples the global obs counters plus the
+    // per-worker unit counters (publishing both as gauges), so it needs no
+    // access to the (thread-owned) per-thread stats. Stopped (and joined)
+    // before the telemetry harvest below.
     std::optional<obs::StepProgressReporter> progress;
     if (options_.progress_interval_ms > 0) {
-      progress.emplace(options_.progress_interval_ms);
+      progress.emplace(options_.progress_interval_ms,
+                       [this](std::vector<uint64_t>* out) {
+                         SampleWorkerUnits(out);
+                       });
     }
     FRACTAL_TRACE_SPAN_V("cluster/step_barrier", live_threads);
     MutexLock lock(mu_);
@@ -156,6 +259,7 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
     work_cv_.NotifyAll();
     while (threads_remaining_ != 0) done_cv_.Wait(mu_);
   }
+  obs::StepActiveGauge().Set(0);
 
   StepResult result;
   result.live_workers = live_workers;

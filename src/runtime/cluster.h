@@ -23,8 +23,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/exposition.h"
+#include "obs/progress.h"
 #include "runtime/fault.h"
 #include "runtime/message_bus.h"
 #include "runtime/worker.h"
@@ -58,6 +61,13 @@ struct ClusterOptions {
   /// throughput and steal rates every `progress_interval_ms` while the step
   /// is in flight (obs/progress.h).
   int64_t progress_interval_ms = 0;
+
+  /// When >= 0, the cluster starts an embedded exposition server
+  /// (obs/exposition.h) on 127.0.0.1:<statusz_port> for its lifetime,
+  /// serving /statusz, /metricsz, /tracez, and /profilez. 0 binds an
+  /// ephemeral port (read back via Cluster::statusz_port()). Default -1:
+  /// no server.
+  int statusz_port = -1;
 };
 
 class Cluster {
@@ -148,6 +158,15 @@ class Cluster {
     return suspects_.load(std::memory_order_relaxed);
   }
 
+  /// Bound port of the embedded exposition server, or -1 when
+  /// ClusterOptions::statusz_port was < 0 (or the bind failed — the
+  /// cluster still constructs; introspection is never load-bearing).
+  int statusz_port() const;
+
+  /// The /statusz page body (exposed for tests; served by the embedded
+  /// server). Reads only atomics and the statusz progress sampler.
+  std::string RenderStatusz();
+
  private:
   friend class Worker;
 
@@ -169,9 +188,23 @@ class Cluster {
     uint64_t live_mask = ~uint64_t{0};
   };
 
+  /// Cumulative work units per worker, for the progress sampler and
+  /// /statusz (delegates to Worker::work_units).
+  void SampleWorkerUnits(std::vector<uint64_t>* out) const;
+
   ClusterOptions options_;
   std::unique_ptr<MessageBus> bus_;  // null unless external stealing
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Embedded introspection server (obs/exposition.h); null unless
+  /// options_.statusz_port >= 0 and the bind succeeded. Declared after
+  /// workers_ so it is destroyed (and its thread joined) before the workers
+  /// it reports on — the destructor also resets it explicitly first.
+  std::unique_ptr<obs::ExpositionServer> exposition_;
+  /// Delta state behind RenderStatusz; guarded by statusz_mu_ (leaf) since
+  /// tests may hit /statusz concurrently with a direct RenderStatusz call.
+  std::unique_ptr<obs::ProgressSampler> statusz_sampler_
+      GUARDED_BY(statusz_mu_);
+  Mutex statusz_mu_{"Cluster::statusz_mu"};
   std::atomic<uint64_t> steps_run_{0};
   std::atomic<uint64_t> live_mask_{~uint64_t{0}};
   std::atomic<uint64_t> suspects_{0};

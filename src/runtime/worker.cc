@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstdio>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "runtime/cluster.h"
 #include "runtime/codec.h"
@@ -23,6 +25,7 @@ Worker::Worker(Cluster* cluster, uint32_t worker_id)
     t->worker_id = worker_id_;
     t->local_core = core;
     t->core_id = worker_id_ * per_worker + core;
+    t->worker_units = &work_units_;
     t->jitter = SplitMix64(0x9e3779b9u ^ (uint64_t{t->core_id} << 17));
     threads_.push_back(std::move(t));
   }
@@ -51,6 +54,15 @@ void Worker::ResetStepHealth() {
 }
 
 void Worker::ThreadLoop(ThreadContext& t) {
+  // Profiler registration is unconditional (one-time ring acquisition, no
+  // steady-state cost while no session runs) so /profilez sees worker
+  // threads even when no session was planned at cluster construction.
+  {
+    char name[32];
+    std::snprintf(name, sizeof(name), "worker%u/core%u", worker_id_,
+                  t.local_core);
+    obs::Profiler::Get().RegisterCurrentThread(name);
+  }
   // Trace identity: Perfetto groups threads by pid, so each worker becomes
   // one "process" (pid 0 is the driver thread). Gated so clusters spawned
   // with tracing off (the common case — ephemeral per-execution clusters)
@@ -280,6 +292,11 @@ FRACTAL_HOT bool Worker::ClaimLocalWork(SubgraphEnumerator::StolenWork* out) {
 }
 
 void Worker::StealServiceLoop() {
+  {
+    char name[32];
+    std::snprintf(name, sizeof(name), "worker%u/steal-service", worker_id_);
+    obs::Profiler::Get().RegisterCurrentThread(name);
+  }
   if (obs::Tracer::TracingEnabled()) {
     obs::Tracer::Get().SetCurrentThreadIdentity(
         worker_id_ + 1, cluster_->options().threads_per_worker,

@@ -86,6 +86,11 @@ struct ThreadContext {
   /// Valid for the duration of a step.
   StepControl* control = nullptr;
 
+  /// Owning worker's cumulative work-unit counter (Worker::work_units_),
+  /// bumped alongside the process-wide counter so the progress sampler and
+  /// /statusz can attribute throughput per worker. Set once at construction.
+  std::atomic<uint64_t>* worker_units = nullptr;
+
   /// Deterministic per-thread stream for steal-retry backoff jitter.
   SplitMix64 jitter{0};
 
@@ -98,6 +103,7 @@ struct ThreadContext {
   FRACTAL_HOT bool ConsumeWorkUnit() {
     ++stats.work_units;
     obs::WorkUnitsCounter().Add(1);
+    worker_units->fetch_add(1, std::memory_order_relaxed);
     FaultInjector* injector = control->injector;
     if (injector == nullptr) return true;
     return injector->OnWorkUnit(worker_id);
@@ -147,6 +153,12 @@ class Worker {
     return static_cast<uint32_t>(threads_.size());
   }
 
+  /// Work units consumed by this worker across all steps (live, sampleable
+  /// mid-step; the per-worker analogue of obs::WorkUnitsCounter).
+  uint64_t work_units() const {
+    return work_units_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Cluster;
 
@@ -185,6 +197,8 @@ class Worker {
 
   Cluster* cluster_;
   uint32_t worker_id_;
+  /// Cumulative work units over this worker's threads (see work_units()).
+  std::atomic<uint64_t> work_units_{0};
   /// One slot per potential victim (indexed by worker id).
   std::vector<VictimHealth> victim_health_;
   std::vector<std::unique_ptr<ThreadContext>> threads_;

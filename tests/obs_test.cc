@@ -278,6 +278,42 @@ TEST(HistogramTest, RecordAndStats) {
   EXPECT_EQ(h.ApproxPercentile(100), 4u);  // lower bound of bucket [4,7]
 }
 
+// Pins ApproxPercentile exactly at bucket boundaries: with 90 samples of 1
+// and 10 of 1000, the 90th percentile is the last sample of the low bucket
+// and the 91st the first of the high one — the estimate must flip between
+// the two bucket lower bounds precisely there (DumpText/DumpPrometheus
+// report these estimates as p50/p90/p99).
+TEST(HistogramTest, ApproxPercentileAtBucketBoundaries) {
+  obs::Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(1);     // bucket [1,1], lb 1
+  for (int i = 0; i < 10; ++i) h.Record(1000);  // bucket [512,1023], lb 512
+  EXPECT_EQ(h.ApproxPercentile(50), 1u);
+  EXPECT_EQ(h.ApproxPercentile(90), 1u);    // target 90 == cumulative 90
+  EXPECT_EQ(h.ApproxPercentile(90.1), 512u);
+  EXPECT_EQ(h.ApproxPercentile(99), 512u);
+  EXPECT_EQ(h.ApproxPercentile(100), 512u);
+
+  obs::Histogram empty;
+  EXPECT_EQ(empty.ApproxPercentile(99), 0u);
+
+  obs::Histogram one;
+  one.Record(42);  // bucket [32,63]
+  for (const double p : {1.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(one.ApproxPercentile(p), 32u) << "p=" << p;
+  }
+}
+
+TEST(MetricsTest, DumpTextReportsAllThreePercentiles) {
+  obs::MetricsRegistry::Get().GetHistogram("test.dump_pcts").Record(100);
+  const std::string text = obs::MetricsRegistry::Get().DumpText();
+  const size_t line = text.find("test.dump_pcts");
+  ASSERT_NE(line, std::string::npos);
+  const std::string tail = text.substr(line, text.find('\n', line) - line);
+  EXPECT_NE(tail.find("p50~"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("p90~"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("p99~"), std::string::npos) << tail;
+}
+
 // --- Metrics registry ------------------------------------------------------
 
 TEST(MetricsTest, ConcurrentCounterIncrements) {

@@ -1,0 +1,195 @@
+// Tests for the in-process sampling profiler (obs/profiler.h): samples of a
+// known CPU-bound function must symbolize back to it and carry the
+// enclosing FRACTAL_TRACE_SPAN, the collapsed-stack export must be
+// flamegraph-parsable, and session lifecycle (start/stop/restart, windowed
+// snapshots) must hold up.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+// The spin target must be an exported (non-static) symbol: dladdr resolves
+// through the dynamic symbol table (CMAKE_ENABLE_EXPORTS), and extern "C"
+// keeps the name mangle-free for exact matching. noclone matters as much as
+// noinline: at -O3 GCC otherwise emits a constant-propagated local clone
+// (`.constprop`) that samples land in but dladdr cannot see.
+#if defined(__clang__)
+#define FRACTAL_TEST_NO_OPT __attribute__((noinline))
+#else
+#define FRACTAL_TEST_NO_OPT __attribute__((noinline, noclone))
+#endif
+extern "C" FRACTAL_TEST_NO_OPT uint64_t FractalProfilerTestSpin(
+    uint64_t iters) {
+  volatile uint64_t acc = 1;
+  for (uint64_t i = 0; i < iters; ++i) {
+    acc = acc * 2862933555777941757ULL + 3037000493ULL;
+  }
+  return acc;
+}
+
+// Read through a volatile so no caller ever sees a compile-time-constant
+// iteration count (belt and braces against interprocedural cloning).
+volatile uint64_t g_spin_chunk_iters = 2'000'000;
+
+namespace fractal {
+namespace {
+
+#if defined(__linux__)
+
+// Spins in FractalProfilerTestSpin (under span "test/spin") until the
+// deadline; chunked so the wall-clock check stays a negligible fraction.
+void SpinFor(double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    FRACTAL_TRACE_SPAN("test/spin");
+    FractalProfilerTestSpin(g_spin_chunk_iters);
+  }
+}
+
+TEST(ProfilerTest, SamplesLandInSpinFunctionWithSpan) {
+  obs::Profiler& profiler = obs::Profiler::Get();
+  profiler.RegisterCurrentThread("profiler-test-spin");
+  const std::vector<uint64_t> marks = profiler.Marks();
+  ASSERT_TRUE(profiler.Start(/*hz=*/250).ok());
+  SpinFor(0.6);
+  profiler.Stop();
+  const obs::ProfileSnapshot snapshot = profiler.Snapshot(&marks);
+
+  uint64_t in_spin = 0, in_spin_with_span = 0, total = 0;
+  for (const obs::ThreadProfile& thread : snapshot.threads) {
+    if (thread.name != "profiler-test-spin") continue;
+    for (const obs::ProfileStack& stack : thread.stacks) {
+      ++total;
+      bool hit = false;
+      for (const uintptr_t pc : stack.pcs) {
+        if (obs::Profiler::Symbolize(pc).find("FractalProfilerTestSpin") !=
+            std::string::npos) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) continue;
+      ++in_spin;
+      if (stack.span != nullptr && std::string(stack.span) == "test/spin") {
+        ++in_spin_with_span;
+      }
+    }
+  }
+  // 0.6s at 250 Hz is ~150 samples; demand a tenth of that so a heavily
+  // loaded or sanitized host still passes, but the ratio stays strict.
+  ASSERT_GE(total, 15u) << "too few samples to judge";
+  EXPECT_GE(static_cast<double>(in_spin), 0.9 * static_cast<double>(total))
+      << in_spin << "/" << total << " samples symbolized to the spin fn";
+  EXPECT_GE(static_cast<double>(in_spin_with_span),
+            0.9 * static_cast<double>(in_spin))
+      << in_spin_with_span << "/" << in_spin
+      << " spin samples carried the test/spin span";
+}
+
+TEST(ProfilerTest, CollapsedStacksAreFlamegraphParsable) {
+  obs::Profiler& profiler = obs::Profiler::Get();
+  profiler.RegisterCurrentThread("profiler-test-collapse");
+  const std::vector<uint64_t> marks = profiler.Marks();
+  ASSERT_TRUE(profiler.Start(/*hz=*/250).ok());
+  SpinFor(0.3);
+  profiler.Stop();
+  const std::string collapsed =
+      obs::Profiler::CollapsedStacks(profiler.Snapshot(&marks));
+  ASSERT_FALSE(collapsed.empty());
+  std::istringstream lines(collapsed);
+  std::string line;
+  size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    // "thread;frame;...;frame count": a trailing integer after the last
+    // space, at least one ';'-separated frame before it.
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "no count in: " << line;
+    ASSERT_LT(space + 1, line.size());
+    for (size_t i = space + 1; i < line.size(); ++i) {
+      ASSERT_TRUE(line[i] >= '0' && line[i] <= '9')
+          << "non-numeric count in: " << line;
+    }
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 0u);
+  EXPECT_NE(collapsed.find("profiler-test-collapse;"), std::string::npos);
+  EXPECT_NE(collapsed.find("FractalProfilerTestSpin"), std::string::npos) << collapsed;
+}
+
+TEST(ProfilerTest, SpanProfileAttributesSelfTime) {
+  obs::Profiler& profiler = obs::Profiler::Get();
+  profiler.RegisterCurrentThread("profiler-test-span");
+  const std::vector<uint64_t> marks = profiler.Marks();
+  ASSERT_TRUE(profiler.Start(/*hz=*/250).ok());
+  SpinFor(0.3);
+  profiler.Stop();
+  const std::string table =
+      obs::Profiler::SpanProfile(profiler.Snapshot(&marks));
+  EXPECT_NE(table.find("test/spin"), std::string::npos) << table;
+  EXPECT_NE(table.find("span self-time profile"), std::string::npos);
+}
+
+TEST(ProfilerTest, StartWhileRunningFailsAndRestartWorks) {
+  obs::Profiler& profiler = obs::Profiler::Get();
+  profiler.RegisterCurrentThread("profiler-test-lifecycle");
+  ASSERT_TRUE(profiler.Start(/*hz=*/100).ok());
+  EXPECT_TRUE(profiler.running());
+  EXPECT_FALSE(profiler.Start(/*hz=*/100).ok());  // already running
+  profiler.Stop();
+  EXPECT_FALSE(profiler.running());
+  profiler.Stop();  // idempotent
+  // A second session keeps accumulating into the same rings.
+  const std::vector<uint64_t> marks = profiler.Marks();
+  ASSERT_TRUE(profiler.Start(/*hz=*/250).ok());
+  SpinFor(0.2);
+  profiler.Stop();
+  EXPECT_GT(profiler.Snapshot(&marks).TotalSamples(), 0u);
+}
+
+TEST(ProfilerTest, WindowedSnapshotExcludesEarlierSamples) {
+  obs::Profiler& profiler = obs::Profiler::Get();
+  profiler.RegisterCurrentThread("profiler-test-window");
+  ASSERT_TRUE(profiler.Start(/*hz=*/250).ok());
+  SpinFor(0.2);
+  const std::vector<uint64_t> marks = profiler.Marks();
+  const uint64_t at_mark = profiler.Snapshot().TotalSamples();
+  SpinFor(0.2);
+  profiler.Stop();
+  const uint64_t windowed = profiler.Snapshot(&marks).TotalSamples();
+  const uint64_t all = profiler.Snapshot().TotalSamples();
+  EXPECT_LT(windowed, all);
+  EXPECT_LE(windowed, all - at_mark + 1);
+}
+
+TEST(ProfilerTest, SymbolizeResolvesExportedFunction) {
+  const std::string name = obs::Profiler::Symbolize(
+      reinterpret_cast<uintptr_t>(&FractalProfilerTestSpin));
+  EXPECT_NE(name.find("FractalProfilerTestSpin"), std::string::npos) << name;
+}
+
+TEST(ProfilerTest, HzIsClampedNotRejected) {
+  obs::Profiler& profiler = obs::Profiler::Get();
+  profiler.RegisterCurrentThread("profiler-test-clamp");
+  ASSERT_TRUE(profiler.Start(/*hz=*/1000000).ok());  // clamps to kMaxHz
+  profiler.Stop();
+  ASSERT_TRUE(profiler.Start(/*hz=*/0).ok());  // clamps to 1
+  profiler.Stop();
+}
+
+#else  // !defined(__linux__)
+
+TEST(ProfilerTest, StartIsUnimplementedOffLinux) {
+  EXPECT_FALSE(obs::Profiler::Get().Start().ok());
+}
+
+#endif
+
+}  // namespace
+}  // namespace fractal

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI perf gate: diff two google-benchmark JSON files and fail on regression.
+
+Compares per-benchmark real_time of `current` against `baseline`, series
+matched by name. When a run carries aggregate entries (repetitions), only
+the `_mean` aggregates are compared; otherwise the raw entries are. Exits
+nonzero when any shared series regressed by more than --threshold (default
+0.20 = 20% slower). Baselines are host-bound: when the two files disagree
+on host_name or per-core clock, the diff is printed but regressions only
+warn (a committed baseline from another machine must not fail CI) unless
+--strict forces the gate.
+
+Usage: bench_compare.py <baseline.json> <current.json>
+           [--threshold 0.20] [--strict]
+"""
+import argparse
+import json
+import sys
+
+
+def load_series(path):
+    with open(path) as f:
+        data = json.load(f)
+    entries = data.get("benchmarks", [])
+    # Aggregate runs name entries "<bench>_mean"; strip the suffix so a
+    # repetitions=N baseline still matches a single-shot current run.
+    means = {
+        e.get("run_name", e["name"]): e
+        for e in entries if e.get("aggregate_name") == "mean"}
+    if means:
+        return data.get("context", {}), means
+    raw = {
+        e["name"]: e for e in entries if "aggregate_name" not in e}
+    return data.get("context", {}), raw
+
+
+def comparable_context(a, b):
+    keys = ("host_name", "mhz_per_cpu", "num_cpus")
+    return all(a.get(k) == b.get(k) for k in keys)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max allowed relative real_time increase")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on regression even across hosts")
+    args = parser.parse_args()
+
+    base_ctx, base = load_series(args.baseline)
+    cur_ctx, cur = load_series(args.current)
+    shared = sorted(base.keys() & cur.keys())
+    if not shared:
+        print("bench_compare: no shared benchmark names "
+              f"({len(base)} baseline, {len(cur)} current)", file=sys.stderr)
+        return 2
+
+    same_host = comparable_context(base_ctx, cur_ctx)
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in shared:
+        b, c = base[name], cur[name]
+        unit = c.get("time_unit", "ns")
+        bt, ct = float(b["real_time"]), float(c["real_time"])
+        delta = (ct - bt) / bt if bt > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {bt:>10.1f}{unit}  {ct:>10.1f}{unit}  "
+              f"{delta:+7.1%}{flag}")
+    only = (base.keys() | cur.keys()) - set(shared)
+    if only:
+        print(f"(not compared: {sorted(only)})")
+
+    if regressions:
+        worst = max(d for _, d in regressions)
+        msg = (f"{len(regressions)} series regressed beyond "
+               f"{args.threshold:.0%} (worst {worst:+.1%})")
+        if same_host or args.strict:
+            print(f"bench_compare FAIL: {msg}", file=sys.stderr)
+            return 1
+        print(f"bench_compare WARN (different host, not gating): {msg}")
+        return 0
+    print(f"bench_compare OK: {len(shared)} series within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CI validator for the Prometheus text exposition (/metricsz, obs/metrics.h).
+
+Checks: every series line parses as `name{labels} value`, every family has
+a preceding # TYPE of a known kind, series values are finite and
+non-negative, histogram bucket counts are cumulative (monotone in le) and
+the +Inf bucket equals _count, _sum/_count exist for every histogram, and
+counter families end in _total. Usage: check_metricsz.py <metricsz.txt>
+"""
+import math
+import re
+import sys
+
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+SERIES_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})? (-?[0-9.eE+]+|\+Inf|NaN)$")
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+
+
+def family_of(name, types):
+    """Series name -> declared family (histograms emit name_bucket etc.)."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def main(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    assert lines, "metricsz output is empty"
+    types = {}  # family -> kind
+    buckets = {}  # family -> list of (le, count)
+    counts = {}  # family -> _count value
+    sums = set()  # families with a _sum line
+    series = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = TYPE_RE.match(line)
+            assert match, f"malformed comment line: {line!r}"
+            name, kind = match.groups()
+            assert name not in types, f"duplicate # TYPE for {name}"
+            types[name] = kind
+            continue
+        match = SERIES_RE.match(line)
+        assert match, f"malformed series line: {line!r}"
+        name, labels, value = match.groups()
+        series += 1
+        assert name.startswith("fractal_"), f"unprefixed metric: {name}"
+        family = family_of(name, types)
+        assert family, f"series {name} has no preceding # TYPE"
+        for label in (labels or "").split(",") if labels else []:
+            assert LABEL_RE.match(label), f"malformed label {label!r} in {line!r}"
+        val = float("inf") if value == "+Inf" else float(value)
+        assert math.isfinite(val), f"non-finite value in {line!r}"
+        assert val >= 0, f"negative sample in {line!r}"
+        kind = types[family]
+        if kind == "counter":
+            assert family.endswith("_total"), f"counter {family} lacks _total"
+        if kind == "histogram":
+            if name.endswith("_bucket"):
+                le = dict(
+                    pair.split("=", 1) for pair in labels.split(",")).get("le")
+                assert le is not None, f"bucket without le label: {line!r}"
+                le_val = float("inf") if le == '"+Inf"' else float(le.strip('"'))
+                buckets.setdefault(family, []).append((le_val, val))
+            elif name.endswith("_count"):
+                counts[family] = val
+            elif name.endswith("_sum"):
+                sums.add(family)
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        assert family in counts, f"histogram {family} lacks _count"
+        assert family in sums, f"histogram {family} lacks _sum"
+        bs = buckets.get(family, [])
+        assert bs, f"histogram {family} has no buckets"
+        les = [le for le, _ in bs]
+        assert les == sorted(les), f"{family} buckets out of le order"
+        cs = [c for _, c in bs]
+        assert cs == sorted(cs), f"{family} bucket counts not cumulative"
+        assert les[-1] == float("inf"), f"{family} lacks a +Inf bucket"
+        assert cs[-1] == counts[family], (
+            f"{family}: +Inf bucket {cs[-1]} != _count {counts[family]}")
+    assert series > 0, "no series emitted"
+    hists = sum(1 for k in types.values() if k == "histogram")
+    print(f"metricsz OK: {series} series, {len(types)} families "
+          f"({hists} histograms)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

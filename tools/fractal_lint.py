@@ -17,9 +17,10 @@ plus two repo-hygiene rules checked everywhere (not just on hot paths):
   raw-mutex             std::mutex / std::condition_variable outside
                         util/mutex.h (all locking goes through the annotated,
                         lockdep-checked wrappers)
-  metric-name           a metric/trace name literal that is not registered in
-                        src/obs/metric_names.h (a typo would silently create
-                        a fresh counter)
+  metric-name           a metric/trace/endpoint name literal that is not
+                        registered in src/obs/metric_names.h (a typo would
+                        silently create a fresh counter, or an exposition
+                        endpoint no runbook links to)
 
 `FRACTAL_HOT_ESCAPE("reason")` marks the remainder of its enclosing block as
 an audited cold branch; `AllocGuard::Allow` scopes count the same way, and
@@ -132,10 +133,12 @@ CONTROL_KEYWORDS = {
 MACRO_NAME_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
 
 METRIC_LOOKUP_RE = re.compile(
-    r"\b(?:GetCounter|GetGauge|GetHistogram|NamedCounter|NamedHistogram)"
+    r"\b(?:GetCounter|GetGauge|GetHistogram|NamedCounter|NamedGauge"
+    r"|NamedHistogram)"
     r'\s*\(\s*"([^"]+)"')
 TRACE_USE_RE = re.compile(
     r'\bFRACTAL_TRACE_(?:SPAN_V|SPAN|INSTANT)\s*\(\s*"([^"]+)"')
+ENDPOINT_USE_RE = re.compile(r'\bAddEndpoint\s*\(\s*"([^"]+)"')
 
 RULES = ("allocation", "stl-growth", "throw", "unannotated-external",
          "raw-mutex", "metric-name")
@@ -644,7 +647,8 @@ class Repo:
             if rel == registry_rel:
                 continue
             for regex, kind in ((METRIC_LOOKUP_RE, "kMetricNames"),
-                                (TRACE_USE_RE, "kTraceNames")):
+                                (TRACE_USE_RE, "kTraceNames"),
+                                (ENDPOINT_USE_RE, "kEndpointNames")):
                 for m in regex.finditer(raw):
                     name = m.group(1)
                     if name.startswith("test.") or name.startswith("test/"):
@@ -667,7 +671,8 @@ class Repo:
 
 
 def parse_registry(raw):
-    names = {"kMetricNames": set(), "kTraceNames": set()}
+    names = {"kMetricNames": set(), "kTraceNames": set(),
+             "kEndpointNames": set()}
     for kind in names:
         m = re.search(kind + r"\[\]\s*=\s*\{(.*?)\};", raw, re.S)
         if m:

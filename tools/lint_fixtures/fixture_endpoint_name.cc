@@ -1,0 +1,21 @@
+// Seeded violation for tools/fractal_lint.py --self-test: an exposition
+// endpoint path that is not registered in src/obs/metric_names.h
+// (kEndpointNames). An unregistered path would serve silently while every
+// runbook and dashboard link points somewhere else.
+// LINT-EXPECT: metric-name
+#include <utility>
+
+#include "obs/exposition.h"
+
+namespace fractal_fixture {
+
+inline void RegisterTypoEndpoint(fractal::obs::ExpositionServer& server) {
+  // seeded: the registered path is "/statusz".
+  server.AddEndpoint(
+      "/statsz", [](const fractal::obs::ExpositionServer::Request&) {
+        return fractal::obs::ExpositionServer::Response{
+            200, "text/plain; charset=utf-8", "typo"};
+      });
+}
+
+}  // namespace fractal_fixture
