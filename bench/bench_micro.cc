@@ -13,6 +13,7 @@
 #include "pattern/canonical.h"
 #include "runtime/cluster.h"
 #include "runtime/codec.h"
+#include "util/check.h"
 
 namespace fractal {
 namespace {
@@ -275,8 +276,10 @@ void RunMultiStepWorkflow(const FractalGraph& graph,
         fractoid.Aggregate<uint64_t, uint64_t>(name, key, value, reduce)
             .FilterByAggregation<uint64_t, uint64_t>(name, pass);
   }
-  benchmark::DoNotOptimize(
-      fractoid.Expand(1).Execute(config).num_subgraphs);
+  const ExecutionResult result = fractoid.Expand(1).Execute(config);
+  // A silent failure here would benchmark the error path, not dispatch.
+  FRACTAL_CHECK(result.status.ok()) << result.status;
+  benchmark::DoNotOptimize(result.num_subgraphs);
 }
 
 void BM_StepDispatchEphemeralCluster(benchmark::State& state) {

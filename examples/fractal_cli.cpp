@@ -45,14 +45,21 @@ void Usage() {
       "       [--statusz-port <port>] [--progress-ms <interval>]\n"
       "       [--fault-spec <plan>] [--fault-seed <n>]\n"
       "       [--crash-worker <w>] [--crash-after <units>]\n"
+      "       [--retry-mode <scratch|salvage>]\n"
       "\n"
       "fault injection (see runtime/fault.h):\n"
       "  --fault-spec takes ';'-separated entries, e.g.\n"
       "    'crash:w=1,after=50' 'crash:w=1,p=0.001' 'crash-service:w=0,"
       "after=3'\n"
       "    'drop:p=0.05' 'delay:p=0.1,us=5000' 'slow:w=1,us=20'\n"
+      "    'crash-in-salvage:w=1,after=10' (fires during salvage replay)\n"
       "  --crash-worker/--crash-after desugar into a crash:w=...,after=...\n"
-      "  entry; --fault-seed seeds probabilistic decisions.\n");
+      "  entry; --fault-seed seeds probabilistic decisions.\n"
+      "  --retry-mode picks how a crashed step is re-executed: 'scratch'\n"
+      "  (default; discard and re-run on the survivors, paper section 4) or\n"
+      "  'salvage' (lineage-ledger partial recovery, DESIGN.md section 11:\n"
+      "  keep the survivors' completed work and re-enumerate only the\n"
+      "  crashed worker's unfinished fractoid tasks).\n");
 }
 
 }  // namespace
@@ -128,6 +135,17 @@ int main(int argc, char** argv) {
       crash_worker = std::atoi(next("--crash-worker"));
     } else if (!std::strcmp(argv[i], "--crash-after")) {
       crash_after = std::atoll(next("--crash-after"));
+    } else if (!std::strcmp(argv[i], "--retry-mode")) {
+      const std::string mode = next("--retry-mode");
+      if (mode == "salvage") {
+        config.retry.mode = RetryPolicy::Mode::kSalvage;
+      } else if (mode == "scratch") {
+        config.retry.mode = RetryPolicy::Mode::kFromScratch;
+      } else {
+        std::fprintf(stderr, "unknown --retry-mode '%s' (want scratch or "
+                             "salvage)\n", mode.c_str());
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--help")) {
       Usage();
       return 0;

@@ -24,6 +24,13 @@ namespace fractal {
 class Computation;
 
 /// Type-erased view of an aggregation result / accumulator.
+///
+/// The reduce function must be commutative and associative: thread-local
+/// storages merge in thread order, but which thread accumulated which
+/// subgraph depends on stealing — and under salvage recovery
+/// (runtime/lineage.h) on which tasks were replayed where. Bit-exactness of
+/// recovered runs (DESIGN.md §11) rests on the merge being
+/// order-independent.
 class AggregationStorageBase {
  public:
   virtual ~AggregationStorageBase() = default;
@@ -33,6 +40,10 @@ class AggregationStorageBase {
 
   /// Merges (and consumes) another storage created by the same spec.
   virtual void MergeFrom(AggregationStorageBase& other) = 0;
+
+  /// Drops every entry (used to discard an uncommitted task's scratch
+  /// accumulator after a crash).
+  virtual void Clear() = 0;
 
   /// Applies the spec's post-filter (aggFilter), dropping failing entries.
   virtual void ApplyPostFilter() = 0;
@@ -101,6 +112,8 @@ class AggregationStorage : public AggregationStorageBase {
     }
     other->entries_.clear();
   }
+
+  void Clear() override { entries_.clear(); }
 
   void ApplyPostFilter() override {
     if (!post_filter_) return;

@@ -2,22 +2,28 @@
 // (Algorithm 2), binds cached aggregation storages, submits one
 // FractoidStepTask per step to the runtime Cluster (ephemeral per
 // execution, or injected and shared via ExecutionConfig::cluster), retries
-// crashed steps per the RetryPolicy (optionally excluding crashed workers
-// so re-execution runs degraded on the survivors), and merges/publishes
-// the results. All thread lifecycle, partitioning, and work stealing live
-// in runtime/cluster.* / worker.*.
+// crashed steps per the RetryPolicy — from scratch, or under
+// RetryPolicy::Mode::kSalvage by replaying only the crashed worker's
+// unfinished fractoid tasks out of the lineage ledger while the survivors'
+// committed results are retained — and merges/publishes the results. All
+// thread lifecycle, partitioning, and work stealing live in
+// runtime/cluster.* / worker.*.
 #include "core/executor.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <memory>
+#include <numeric>
 #include <thread>
 #include <utility>
 
 #include "core/fractoid_task.h"
 #include "core/step.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/cluster.h"
+#include "runtime/lineage.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -38,6 +44,14 @@ ClusterOptions ToClusterOptions(const ExecutionConfig& config) {
   options.progress_interval_ms = config.progress_interval_ms;
   options.statusz_port = config.statusz_port;
   return options;
+}
+
+/// All-workers mask for the cluster shape. Cluster::live_mask() keeps bits
+/// above num_workers set, so consumers mask with this before popcounting or
+/// handing the mask to the lineage ledger.
+uint64_t FullMask(uint32_t num_workers) {
+  return num_workers >= 64 ? ~uint64_t{0}
+                           : (uint64_t{1} << num_workers) - 1;
 }
 
 }  // namespace
@@ -141,12 +155,31 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
 
     // Execute the step; on (injected) worker failure, the from-scratch
     // model lets us simply re-run it with a fresh task — degraded on the
-    // surviving workers when the policy excludes crashed ones. Failure is
-    // reported through result.status, never by aborting the process.
+    // surviving workers when the policy excludes crashed ones. Under
+    // RetryPolicy::Mode::kSalvage a lineage ledger additionally watermarks
+    // fractoid-task completion, so a crash replays only the crashed
+    // worker's unfinished tasks (a salvage pass) on the survivors while
+    // everything already committed is retained. Failure is reported
+    // through result.status, never by aborting the process.
+    const bool salvage_mode =
+        config.retry.mode == RetryPolicy::Mode::kSalvage;
+    const uint64_t full_mask = FullMask(cluster->options().num_workers);
+    const uint32_t threads_per_worker =
+        cluster->options().threads_per_worker;
     std::vector<uint32_t> new_aggregate_indices;
     FractoidStepTask::Output output;
     Cluster::StepResult step_result;
     bool step_ok = false;
+    // Retained across the salvage passes of one step: the task (its
+    // committed per-thread CoreStates hold the salvaged results) and the
+    // ledger. Both reset for a from-scratch attempt.
+    std::unique_ptr<FractoidStepTask> task;
+    std::unique_ptr<LineageLedger> ledger;
+    bool salvage_pass = false;
+    uint32_t replay_count = 0;
+    uint32_t salvage_passes_used = 0;
+    uint64_t last_salvaged_units = 0;
+    uint64_t root_extension_tests = 0;
     for (uint32_t attempt = 1; attempt <= config.retry.max_attempts;
          ++attempt) {
       if (cluster->num_live_workers() == 0) {
@@ -154,32 +187,50 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
             "no live workers remain to execute the step on");
         break;
       }
-      FractoidStepTask task(fractoid, plan, is_final, config,
-                            cluster->TotalThreads(),
-                            (is_final && sink) ? &sink : nullptr, completed);
-
-      // Root extensions of the empty subgraph; the runtime partitions them
-      // across cores. The candidate tests performed here are part of the EC
-      // metric and credited to core 0 below.
       std::vector<uint32_t> roots;
-      uint64_t root_extension_tests = 0;
-      {
+      if (!salvage_pass) {
+        task = std::make_unique<FractoidStepTask>(
+            fractoid, plan, is_final, config, cluster->TotalThreads(),
+            (is_final && sink) ? &sink : nullptr, completed);
+
+        // Root extensions of the empty subgraph; the runtime partitions
+        // them across cores. The candidate tests performed here are part
+        // of the EC metric and credited to core 0 below.
         ExtensionContext root_ctx;
         strategy.ComputeExtensions(graph, Subgraph(), root_ctx, &roots);
         root_extension_tests = root_ctx.extension_tests;
+
+        if (salvage_mode) {
+          ledger = std::make_unique<LineageLedger>();
+          ledger->BeginAttempt(roots, cluster->live_mask() & full_mask,
+                               threads_per_worker);
+          last_salvaged_units = 0;
+        }
+      } else {
+        // Salvage replay pass: the "roots" are indices into the ledger's
+        // replay set, routed through FractoidStepTask::ProcessReplayRoot.
+        roots.resize(replay_count);
+        std::iota(roots.begin(), roots.end(), 0u);
       }
 
       Cluster::StepOptions step_options;
-      step_options.num_levels = task.num_levels();
+      step_options.num_levels = task->num_levels();
       step_options.fault_injector = injector;
-      step_result = cluster->RunStep(task, std::move(roots), step_options);
+      step_options.lineage = ledger.get();
+      if (injector != nullptr) injector->SetSalvagePass(salvage_pass);
+      step_result = cluster->RunStep(*task, std::move(roots), step_options);
+      if (salvage_pass) {
+        const uint64_t replayed = step_result.telemetry.TotalWorkUnits();
+        result.units_replayed += replayed;
+        obs::UnitsReplayedCounter().Add(replayed);
+      }
 
       if (step_result.ok()) {
         // threads[0] is the first live worker's first thread.
         step_result.telemetry.threads[0].extension_tests +=
             root_extension_tests;
-        new_aggregate_indices = task.new_aggregates();
-        output = task.MergeOutputs();
+        new_aggregate_indices = task->new_aggregates();
+        output = task->MergeOutputs();
         step_ok = true;
         break;
       }
@@ -194,7 +245,17 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
             result.failures.back().ToString().c_str()));
         break;
       }
-      if (config.retry.exclude_crashed_workers && crashed_worker >= 0) {
+      // A crash is salvageable when exactly one worker died this attempt
+      // (a simultaneous multi-worker crash would need cross-crash
+      // exclusion reasoning the ledger does not model) and the pass budget
+      // allows another replay.
+      const bool salvageable =
+          salvage_mode && ledger != nullptr && crashed_worker >= 0 &&
+          injector != nullptr &&
+          std::popcount(injector->crashed_mask() & full_mask) == 1 &&
+          salvage_passes_used < config.retry.max_salvage_passes;
+      if ((salvageable || config.retry.exclude_crashed_workers) &&
+          crashed_worker >= 0) {
         if (cluster->num_live_workers() <= 1) {
           result.status = FailedPreconditionError(StrFormat(
               "step %u: last live worker crashed (%s); nothing left to "
@@ -205,11 +266,37 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
         }
         cluster->MarkWorkerDead(static_cast<uint32_t>(crashed_worker));
       }
+      if (salvageable) {
+        // Partial recovery: keep everything committed, replay only what
+        // the crashed worker left unfinished. PrepareSalvage runs after
+        // MarkWorkerDead so the replay set is partitioned over the actual
+        // survivors.
+        FRACTAL_TRACE_INSTANT("executor/step_salvage", step_index);
+        const uint64_t salvaged = ledger->completed_units();
+        result.units_salvaged += salvaged - last_salvaged_units;
+        obs::UnitsSalvagedCounter().Add(salvaged - last_salvaged_units);
+        last_salvaged_units = salvaged;
+        replay_count = ledger->PrepareSalvage(
+            static_cast<uint32_t>(crashed_worker),
+            cluster->live_mask() & full_mask, threads_per_worker);
+        obs::LedgerBytesGauge().Set(
+            static_cast<int64_t>(ledger->ApproxBytes()));
+        salvage_pass = true;
+        ++salvage_passes_used;
+        ++result.salvage_passes;
+      } else {
+        // From-scratch retry (the only mode when salvage is off; the
+        // fallback when it cannot apply): discard the attempt wholesale.
+        salvage_pass = false;
+        task.reset();
+        ledger.reset();
+      }
       if (config.retry.backoff_micros > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(
             config.retry.backoff_micros << (attempt - 1)));
       }
     }
+    if (injector != nullptr) injector->SetSalvagePass(false);
     if (!step_ok) break;  // result.status carries the failure
 
     result.telemetry.steps.push_back(std::move(step_result.telemetry));

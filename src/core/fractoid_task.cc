@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/lineage.h"
 #include "util/check.h"
 
 namespace fractal {
@@ -44,6 +45,9 @@ FractoidStepTask::FractoidStepTask(
     for (const uint32_t agg_index : new_aggregates_) {
       s->storages.push_back(
           fractoid_.primitives()[agg_index].aggregation->CreateStorage());
+      // Task-scoped scratch accumulator, used only under lineage tracking.
+      s->task_storages.push_back(
+          fractoid_.primitives()[agg_index].aggregation->CreateStorage());
     }
     states_.push_back(std::move(s));
   }
@@ -56,14 +60,140 @@ FRACTAL_HOT void FractoidStepTask::DrainRoots(ThreadContext& t,
   CoreState& s = *states_[t.core_id];
   s.computation->SetIds(t.worker_id, t.core_id);
   if (num_levels_ == 0 || roots.empty()) return;
+  if (t.lineage != nullptr) {
+    DrainRootsTracked(t, s, std::move(roots));
+    return;
+  }
   t.frames[0]->Refill(s.subgraph, /*primitive_index=*/1, std::move(roots));
   DrainFrame(t, s, *t.frames[0]);
+}
+
+FRACTAL_HOT void FractoidStepTask::DrainRootsTracked(
+    ThreadContext& t, CoreState& s, std::vector<uint32_t> roots) {
+  LineageLedger& lineage = *t.lineage;
+  const bool replay = lineage.salvage_pass();
+  // Frame 0 stays the stealable root queue in both modes; the sentinel
+  // primitive index marks stolen entries as replay indices, not extensions.
+  SubgraphEnumerator& frame = *t.frames[0];
+  frame.Refill(s.subgraph, replay ? kReplayRootPrimitive : 1,
+               std::move(roots));
+  FaultInjector* const injector = t.control->injector;
+  while (const auto extension = frame.ConsumeNext()) {
+    const uint64_t task_id = lineage.RootTaskId(*extension);
+    if (replay) {
+      ProcessReplayRoot(t, s, *extension, task_id);
+    } else {
+      const uint64_t units_before = t.stats.work_units;
+      if (!t.ConsumeWorkUnit()) {
+        DiscardTaskScratch(s);
+        break;
+      }
+      {
+        const AllocGuard guard(GuardModeFor(t));
+        strategy_.Apply(graph_, *extension, &s.subgraph);
+        Process(t, s, /*index=*/1);
+        strategy_.Undo(graph_, &s.subgraph);
+      }
+      if (injector != nullptr && injector->WorkerCrashed(t.worker_id)) {
+        DiscardTaskScratch(s);
+      } else {
+        CommitTask(t, s, task_id, units_before);
+      }
+    }
+    if (injector != nullptr && injector->WorkerCrashed(t.worker_id)) break;
+  }
+  frame.Deactivate();
+}
+
+FRACTAL_HOT void FractoidStepTask::ProcessReplayRoot(ThreadContext& t,
+                                                     CoreState& s,
+                                                     uint32_t replay_index,
+                                                     uint64_t task_id) {
+  const SubgraphEnumerator::StolenWork& work =
+      t.lineage->replay_root(replay_index);
+  const uint64_t units_before = t.stats.work_units;
+  {
+    const AllocGuard guard(GuardModeFor(t));
+    s.subgraph = work.prefix;
+    strategy_.Apply(graph_, work.extension, &s.subgraph);
+    if (!t.ConsumeWorkUnit()) {
+      s.subgraph.Clear();
+      DiscardTaskScratch(s);
+      return;
+    }
+    Process(t, s, work.primitive_index);
+    s.subgraph.Clear();
+  }
+  FaultInjector* const injector = t.control->injector;
+  if (injector != nullptr && injector->WorkerCrashed(t.worker_id)) {
+    DiscardTaskScratch(s);
+  } else {
+    CommitTask(t, s, task_id, units_before);
+  }
+}
+
+void FractoidStepTask::CommitTask(ThreadContext& t, CoreState& s,
+                                  uint64_t task_id, uint64_t units_before) {
+  FRACTAL_HOT_ESCAPE("lineage commit: once per fractoid task, not per unit");
+  AllocGuard::Allow allow("lineage commit: fold task scratch, stamp ledger");
+  for (size_t slot = 0; slot < s.task_storages.size(); ++slot) {
+    // MergeFrom consumes (empties) the scratch storage.
+    s.storages[slot]->MergeFrom(*s.task_storages[slot]);
+  }
+  s.local_count += s.task_count;
+  s.task_count = 0;
+  for (Subgraph& subgraph : s.task_collected) {
+    s.collected.push_back(std::move(subgraph));
+  }
+  s.task_collected.clear();
+  t.lineage->StampComplete(task_id, t.stats.work_units - units_before);
+}
+
+void FractoidStepTask::DiscardTaskScratch(CoreState& s) {
+  FRACTAL_HOT_ESCAPE("crash unwind: once per abandoned task, not per unit");
+  for (auto& storage : s.task_storages) storage->Clear();
+  s.task_count = 0;
+  s.task_collected.clear();
 }
 
 FRACTAL_HOT void FractoidStepTask::ProcessStolen(
     ThreadContext& t, const SubgraphEnumerator::StolenWork& work) {
   CoreState& s = *states_[t.core_id];
   s.computation->SetIds(t.worker_id, t.core_id);
+  if (t.lineage != nullptr) {
+    if (work.primitive_index == kReplayRootPrimitive) {
+      // A replay root stolen off frame 0: `extension` is the replay index.
+      ProcessReplayRoot(t, s, work.extension, work.lineage_id);
+      return;
+    }
+    if (t.lineage->has_exclusions() &&
+        t.lineage->Excluded(work.prefix, work.extension,
+                            work.primitive_index)) {
+      // Already covered by a completed earlier pass; StampClaim minted the
+      // record pre-completed, so dropping it loses nothing.
+      return;
+    }
+    const uint64_t units_before = t.stats.work_units;
+    {
+      const AllocGuard guard(GuardModeFor(t));
+      s.subgraph = work.prefix;
+      strategy_.Apply(graph_, work.extension, &s.subgraph);
+      if (!t.ConsumeWorkUnit()) {
+        s.subgraph.Clear();
+        DiscardTaskScratch(s);
+        return;
+      }
+      Process(t, s, work.primitive_index);
+      s.subgraph.Clear();
+    }
+    FaultInjector* const injector = t.control->injector;
+    if (injector != nullptr && injector->WorkerCrashed(t.worker_id)) {
+      DiscardTaskScratch(s);
+    } else {
+      CommitTask(t, s, work.lineage_id, units_before);
+    }
+    return;
+  }
   const AllocGuard guard(GuardModeFor(t));
   s.subgraph = work.prefix;
   strategy_.Apply(graph_, work.extension, &s.subgraph);
@@ -79,13 +209,26 @@ FRACTAL_HOT void FractoidStepTask::ProcessStolen(
 
 void FractoidStepTask::FinishThread(ThreadContext& t) {
   CoreState& s = *states_[t.core_id];
-  t.stats.extension_tests = s.computation->extension_context().extension_tests;
+  // Per-attempt delta: the Computation (and its cumulative test counter)
+  // survives across salvage passes of one task, while t.stats resets at
+  // every step start.
+  const uint64_t tests = s.computation->extension_context().extension_tests;
+  t.stats.extension_tests = tests - s.tests_flushed;
+  s.tests_flushed = tests;
 }
 
 void FractoidStepTask::DrainFrame(ThreadContext& t, CoreState& s,
                                   SubgraphEnumerator& frame) {
   const uint32_t next_index = frame.primitive_index();
   while (const auto extension = frame.ConsumeNext()) {
+    // Salvage replay: subtrees that left the crashed worker through a
+    // steal claim are re-enumerated from their own descriptors, so skip
+    // them here (no work unit consumed — the subtree is not re-executed).
+    // `s.subgraph` is exactly this frame's prefix pre-Apply.
+    if (t.lineage != nullptr && t.lineage->has_exclusions() &&
+        t.lineage->Excluded(s.subgraph, *extension, next_index)) {
+      continue;
+    }
     if (!t.ConsumeWorkUnit()) break;
     // Runtime backstop of the allocation discipline (DESIGN.md §9): once
     // the thread is past per-step warm-up, the whole expansion of this
@@ -103,18 +246,27 @@ void FractoidStepTask::DrainFrame(ThreadContext& t, CoreState& s,
 void FractoidStepTask::SinkVisit(ThreadContext& t, CoreState& s) {
   ++t.stats.subgraphs_visited;
   if (!is_final_) return;
-  ++s.local_count;
+  // Under lineage tracking the count/collection land in the task scratch
+  // and only become durable at CommitTask. The streaming sink still fires
+  // immediately: it is documented at-least-once under salvage recovery.
+  if (t.lineage != nullptr) {
+    ++s.task_count;
+  } else {
+    ++s.local_count;
+  }
   if (sink_ != nullptr) {
     FRACTAL_HOT_ESCAPE("user-supplied sink: application code may allocate");
     AllocGuard::Allow allow("subgraph sink callback");
     (*sink_)(s.subgraph);
   }
   if (config_.collect_subgraphs &&
-      s.collected.size() <
+      s.collected.size() + s.task_collected.size() <
           static_cast<size_t>(config_.max_collected_subgraphs)) {
     FRACTAL_HOT_ESCAPE("opt-in diagnostics: bounded subgraph collection");
     AllocGuard::Allow allow("collect_subgraphs diagnostics copy");
-    s.collected.push_back(s.subgraph);
+    auto& collected =
+        t.lineage != nullptr ? s.task_collected : s.collected;
+    collected.push_back(s.subgraph);
   }
 }
 
@@ -179,9 +331,12 @@ void FractoidStepTask::Process(ThreadContext& t, CoreState& s,
       const int32_t slot = storage_slots_[index];
       if (slot >= 0) {
         // Accumulators (hash maps, pattern keys) are application-level
-        // storage with their own growth policy.
+        // storage with their own growth policy. Under lineage tracking the
+        // update goes to the task scratch (durable only at CommitTask).
         AllocGuard::Allow allow("aggregation accumulator update");
-        s.storages[slot]->Accumulate(s.subgraph, *s.computation);
+        auto& storages =
+            t.lineage != nullptr ? s.task_storages : s.storages;
+        storages[slot]->Accumulate(s.subgraph, *s.computation);
       }
       // An aggregation ends the pipeline unless more primitives follow
       // (already-computed aggregations pass straight through).

@@ -76,12 +76,45 @@ class FractoidStepTask : public StepTask {
     std::vector<Subgraph> collected;
     uint64_t state_bytes = 0;
     uint64_t peak_state_bytes = 0;
+
+    // Task-scoped double buffers, used only with lineage tracking
+    // (ThreadContext::lineage != null): one fractoid task's aggregation /
+    // count / collection output is staged here and folded into the
+    // committed fields above by CommitTask, immediately before the ledger
+    // completion stamp. The committed state therefore contains exactly the
+    // watermarked tasks, so a salvage pass can retain it verbatim while an
+    // uncommitted task's scratch is dropped with DiscardTaskScratch.
+    std::vector<std::unique_ptr<AggregationStorageBase>> task_storages;
+    uint64_t task_count = 0;
+    std::vector<Subgraph> task_collected;
+    // Extension tests already flushed into per-step stats by FinishThread.
+    // Stats must carry the per-attempt delta because CoreStates (and their
+    // Computations) are retained across salvage passes of one task.
+    uint64_t tests_flushed = 0;
   };
 
   FRACTAL_HOT void DrainFrame(ThreadContext& t, CoreState& s,
                               SubgraphEnumerator& frame);
   FRACTAL_HOT void Process(ThreadContext& t, CoreState& s, uint32_t index);
   FRACTAL_HOT void SinkVisit(ThreadContext& t, CoreState& s);
+
+  /// DrainRoots with lineage tracking: one ledger task per root extension,
+  /// committed (or discarded) at its subtree boundary. On a salvage pass
+  /// the roots are replay indices routed through ProcessReplayRoot.
+  FRACTAL_HOT void DrainRootsTracked(ThreadContext& t, CoreState& s,
+                                     std::vector<uint32_t> roots);
+  /// Re-executes one salvaged descriptor (LineageLedger::replay_root) as a
+  /// tracked task. The descriptor's own (prefix, extension) is applied
+  /// directly, bypassing the exclusion check — it IS the replayed work.
+  FRACTAL_HOT void ProcessReplayRoot(ThreadContext& t, CoreState& s,
+                                     uint32_t replay_index, uint64_t task_id);
+  /// Folds the task scratch into the committed state, then stamps the
+  /// ledger: the completion watermark is written only after the results it
+  /// covers are durable in this thread's committed CoreState.
+  void CommitTask(ThreadContext& t, CoreState& s, uint64_t task_id,
+                  uint64_t units_before);
+  /// Drops the uncommitted task scratch (this worker crashed mid-task).
+  static void DiscardTaskScratch(CoreState& s);
 
   /// Mode for the per-extension AllocGuard scope: the global mode once the
   /// thread has consumed its per-step warm-up (scratch pools and recycled

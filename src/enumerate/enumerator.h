@@ -61,10 +61,14 @@ class SubgraphEnumerator {
 
   /// One unit of stolen work: prefix + a single claimed extension, plus the
   /// primitive index at which processing of the extended subgraph resumes.
+  /// When a step runs with a LineageLedger (salvage retry mode), the steal
+  /// path stamps the claim and carries the ledger record id here so the
+  /// thief can stamp completion; 0 otherwise (runtime/lineage.h).
   struct StolenWork {
     Subgraph prefix;
     uint32_t extension = 0;
     uint32_t primitive_index = 0;
+    uint64_t lineage_id = 0;
   };
 
   /// Thief: claims one extension and snapshots the prefix into `*out`.

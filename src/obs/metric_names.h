@@ -28,6 +28,8 @@ inline constexpr std::string_view kMetricNames[] = {
     "runtime.steps",
     "runtime.steps_degraded",
     "runtime.workers_crashed",
+    "runtime.units_salvaged",
+    "runtime.units_replayed",
     // Counters — message bus.
     "bus.steal_timeouts",
     "bus.requests_dropped",
@@ -43,6 +45,7 @@ inline constexpr std::string_view kMetricNames[] = {
     // Gauges.
     "runtime.suspect_victims",
     "runtime.step_active",
+    "runtime.ledger_bytes",
     "runtime.current_step",
     "runtime.units_per_sec",
     // Base name for the per-worker interval-delta gauges; live instances
@@ -70,6 +73,7 @@ inline constexpr std::string_view kTraceNames[] = {
     "executor/execute",
     "executor/step",
     "executor/step_retry",
+    "executor/step_salvage",
     "graph/reduce",
     "graph/reduce_to_keywords",
     "obs/profile_window",

@@ -224,6 +224,14 @@ Counter& WorkersCrashedCounter() {
   static Counter& counter = NamedCounter("runtime.workers_crashed");
   return counter;
 }
+Counter& UnitsSalvagedCounter() {
+  static Counter& counter = NamedCounter("runtime.units_salvaged");
+  return counter;
+}
+Counter& UnitsReplayedCounter() {
+  static Counter& counter = NamedCounter("runtime.units_replayed");
+  return counter;
+}
 Counter& StealTimeoutsCounter() {
   static Counter& counter = NamedCounter("bus.steal_timeouts");
   return counter;
@@ -260,6 +268,10 @@ Counter& ExpositionRequestsCounter() {
 
 Gauge& SuspectVictimsGauge() {
   static Gauge& gauge = NamedGauge("runtime.suspect_victims");
+  return gauge;
+}
+Gauge& LedgerBytesGauge() {
+  static Gauge& gauge = NamedGauge("runtime.ledger_bytes");
   return gauge;
 }
 Gauge& StepActiveGauge() {

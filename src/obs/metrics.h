@@ -155,6 +155,12 @@ Counter& StepsDegradedCounter();
 /// Simulated worker crashes observed at step barriers
 /// ("runtime.workers_crashed").
 Counter& WorkersCrashedCounter();
+/// Work units whose results survived a crash via the lineage ledger and
+/// were *not* re-executed ("runtime.units_salvaged").
+Counter& UnitsSalvagedCounter();
+/// Work units re-executed during salvage replay passes
+/// ("runtime.units_replayed").
+Counter& UnitsReplayedCounter();
 /// WS_ext steal requests that hit their deadline ("bus.steal_timeouts").
 Counter& StealTimeoutsCounter();
 /// WS_ext steal requests dropped in flight by fault injection
@@ -187,6 +193,9 @@ Gauge& SuspectVictimsGauge();
 /// 1 while a Cluster step is between submit and barrier, else 0
 /// ("runtime.step_active").
 Gauge& StepActiveGauge();
+/// Approximate bytes held by the current step's lineage ledger, published
+/// when a salvage pass is prepared ("runtime.ledger_bytes").
+Gauge& LedgerBytesGauge();
 /// Number of cluster steps started so far ("runtime.current_step"; a gauge
 /// so /statusz shows the step the progress sampler is describing).
 Gauge& CurrentStepGauge();

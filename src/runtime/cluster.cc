@@ -128,6 +128,12 @@ std::string Cluster::RenderStatusz() {
   out << StrFormat("live_mask          0x%llx\n", (unsigned long long)mask);
   out << StrFormat("suspect_victims    %llu\n",
                    (unsigned long long)suspect_victims());
+  out << StrFormat("units_salvaged     %llu\n",
+                   (unsigned long long)obs::UnitsSalvagedCounter().Value());
+  out << StrFormat("units_replayed     %llu\n",
+                   (unsigned long long)obs::UnitsReplayedCounter().Value());
+  out << StrFormat("ledger_bytes       %lld\n",
+                   (long long)obs::LedgerBytesGauge().Value());
   obs::ProgressSnapshot snapshot;
   {
     MutexLock lock(statusz_mu_);
@@ -212,6 +218,7 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   step_.roots = std::move(root_extensions);
   step_.num_levels = options.num_levels;
   step_.live_mask = live_mask;
+  step_.lineage = options.lineage;
   for (auto& worker : workers_) {
     for (uint32_t core = 0; core < worker->num_threads(); ++core) {
       ThreadContext& t = worker->thread(core);
@@ -292,6 +299,7 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   control_.injector = nullptr;
   step_.task = nullptr;
   step_.roots.clear();
+  step_.lineage = nullptr;
   steps_run_.fetch_add(1, std::memory_order_relaxed);
   // Extension tests are flushed into per-thread stats by FinishThread, so
   // the cumulative counter is credited here at the barrier rather than in

@@ -100,6 +100,11 @@ class Cluster {
     /// Shared ownership: the message bus keeps a reference for straggling
     /// service threads beyond the step barrier.
     std::shared_ptr<FaultInjector> fault_injector;
+    /// Lineage ledger recording steal claims and task completions for
+    /// partial recovery (runtime/lineage.h); null disables lineage
+    /// tracking (the from-scratch retry model). Owned by the executor and
+    /// valid across the whole step, including its barrier.
+    LineageLedger* lineage = nullptr;
   };
 
   struct StepResult {
@@ -186,6 +191,9 @@ class Cluster {
     /// skip the step (and its barrier), and victim selection is restricted
     /// to live workers.
     uint64_t live_mask = ~uint64_t{0};
+    /// Lineage ledger of the step (StepOptions::lineage); null when the
+    /// step runs without lineage tracking.
+    LineageLedger* lineage = nullptr;
   };
 
   /// Cumulative work units per worker, for the progress sampler and

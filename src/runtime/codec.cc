@@ -53,6 +53,8 @@ std::vector<uint8_t> SubgraphCodec::EncodeStolenWork(
   EncodeSubgraph(work.prefix, &writer);
   writer.PutU32(work.extension);
   writer.PutU32(work.primitive_index);
+  writer.PutU32(static_cast<uint32_t>(work.lineage_id));
+  writer.PutU32(static_cast<uint32_t>(work.lineage_id >> 32));
   return std::move(writer).Take();
 }
 
@@ -62,6 +64,9 @@ bool SubgraphCodec::DecodeStolenWork(const std::vector<uint8_t>& bytes,
   if (!DecodeSubgraph(&reader, &work->prefix)) return false;
   work->extension = reader.GetU32();
   work->primitive_index = reader.GetU32();
+  const uint64_t lineage_lo = reader.GetU32();
+  const uint64_t lineage_hi = reader.GetU32();
+  work->lineage_id = (lineage_hi << 32) | lineage_lo;
   return reader.ok() && reader.AtEnd();
 }
 

@@ -24,6 +24,8 @@ const char* KindName(FaultKind kind) {
       return "delay";
     case FaultKind::kSlowWorker:
       return "slow";
+    case FaultKind::kCrashWorkerInSalvage:
+      return "crash-in-salvage";
   }
   return "?";
 }
@@ -48,6 +50,7 @@ std::string FaultSpec::ToString() const {
   switch (kind) {
     case FaultKind::kCrashWorker:
     case FaultKind::kCrashStealService:
+    case FaultKind::kCrashWorkerInSalvage:
       add(StrFormat("after=%llu", (unsigned long long)after_units));
       break;
     case FaultKind::kCrashWorkerRandom:
@@ -119,6 +122,16 @@ FaultPlan& FaultPlan::SlowWorker(int32_t worker, int64_t micros_per_unit) {
   return *this;
 }
 
+FaultPlan& FaultPlan::CrashWorkerInSalvage(int32_t worker,
+                                           uint64_t after_units) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrashWorkerInSalvage;
+  spec.worker = worker;
+  spec.after_units = after_units;
+  specs_.push_back(spec);
+  return *this;
+}
+
 StatusOr<FaultPlan> FaultPlan::Parse(std::string_view text, uint64_t seed) {
   FaultPlan plan(seed);
   for (std::string_view entry : SplitString(text, ";")) {
@@ -174,6 +187,8 @@ StatusOr<FaultPlan> FaultPlan::Parse(std::string_view text, uint64_t seed) {
                                   : FaultKind::kCrashWorker;
     } else if (kind_name == "crash-service") {
       spec.kind = FaultKind::kCrashStealService;
+    } else if (kind_name == "crash-in-salvage") {
+      spec.kind = FaultKind::kCrashWorkerInSalvage;
     } else if (kind_name == "drop") {
       spec.kind = FaultKind::kDropRequest;
     } else if (kind_name == "delay") {
@@ -194,7 +209,7 @@ FaultPlan FaultPlan::Random(uint64_t seed, uint32_t num_workers) {
   FRACTAL_CHECK(num_workers > 0);
   FaultPlan plan(seed);
   SplitMix64 rng(seed ^ 0x5eedfau);
-  switch (rng.NextBounded(4)) {
+  switch (rng.NextBounded(5)) {
     case 0:
       plan.CrashWorker((int32_t)rng.NextBounded(num_workers),
                        1 + rng.NextBounded(300));
@@ -210,6 +225,16 @@ FaultPlan FaultPlan::Random(uint64_t seed, uint32_t num_workers) {
       plan.DelayStealRequests(0.1 + 0.3 * rng.NextDouble(),
                               (int64_t)(200 + rng.NextBounded(2000)));
       break;
+    case 4: {
+      // Crash-during-recovery: a first crash triggers a salvage pass, then
+      // a second (different) worker dies mid-replay. Inert under the
+      // from-scratch retry mode (no salvage pass ever arms the entry).
+      const uint32_t first = rng.NextBounded(num_workers);
+      plan.CrashWorker((int32_t)first, 1 + rng.NextBounded(300));
+      plan.CrashWorkerInSalvage((int32_t)((first + 1) % num_workers),
+                                1 + rng.NextBounded(100));
+      break;
+    }
   }
   if (rng.NextBounded(100) < 40) {
     plan.SlowWorker((int32_t)rng.NextBounded(num_workers),
@@ -236,6 +261,7 @@ Status FaultPlan::Validate(uint32_t num_workers) const {
     }
     switch (spec.kind) {
       case FaultKind::kCrashWorker:
+      case FaultKind::kCrashWorkerInSalvage:
         if (spec.worker < 0) {
           return InvalidArgumentError(
               "deterministic crash needs an explicit worker (w=...)");
@@ -344,6 +370,19 @@ bool FaultInjector::OnWorkUnit(uint32_t worker) {
         const uint64_t event =
             state.counter.fetch_add(1, std::memory_order_relaxed);
         if (Chance(i, event, spec.probability) &&
+            !state.fired.exchange(true, std::memory_order_relaxed)) {
+          Crash(worker, i);
+        }
+        break;
+      }
+      case FaultKind::kCrashWorkerInSalvage: {
+        if (spec.worker != (int32_t)worker) break;
+        // Units consumed outside a salvage pass do not advance the
+        // trigger, so the entry fires at the Nth *replayed* unit.
+        if (!salvage_pass_.load(std::memory_order_relaxed)) break;
+        const uint64_t units =
+            state.counter.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (units == spec.after_units &&
             !state.fired.exchange(true, std::memory_order_relaxed)) {
           Crash(worker, i);
         }

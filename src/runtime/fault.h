@@ -51,6 +51,10 @@ enum class FaultKind : uint8_t {
   /// Straggler: every extension worker `worker` consumes costs an extra
   /// `micros` of wall time.
   kSlowWorker,
+  /// Worker `worker` crashes at its `after_units`-th consumed extension,
+  /// counting only units consumed while a salvage replay pass is running
+  /// (FaultInjector::SetSalvagePass) — exercises crash-during-recovery.
+  kCrashWorkerInSalvage,
 };
 
 /// One scheduled fault. Which fields are meaningful depends on `kind`.
@@ -79,13 +83,14 @@ class FaultPlan {
   FaultPlan& DropStealRequests(double probability);
   FaultPlan& DelayStealRequests(double probability, int64_t micros);
   FaultPlan& SlowWorker(int32_t worker, int64_t micros_per_unit);
+  FaultPlan& CrashWorkerInSalvage(int32_t worker, uint64_t after_units);
 
   /// Parses the CLI grammar: entries separated by ';', each
   /// `kind:key=value,...`. Kinds and keys:
   ///   crash:w=1,after=50        crash:w=1,p=0.001
   ///   crash-service:w=0,after=3
   ///   drop:p=0.05               delay:p=0.1,us=5000
-  ///   slow:w=1,us=20
+  ///   slow:w=1,us=20            crash-in-salvage:w=1,after=10
   static StatusOr<FaultPlan> Parse(std::string_view text, uint64_t seed);
 
   /// A seeded pseudo-random single-failure plan for chaos sweeps: one
@@ -149,6 +154,13 @@ class FaultInjector {
   /// Hook: extra latency to charge on the request path (0 = none).
   int64_t StealRequestDelayMicros();
 
+  /// Arms/disarms the crash-in-salvage entries: their unit counters only
+  /// advance while a salvage replay pass is in flight. Set by the executor
+  /// around RunStep; deliberately not reset by BeginStep.
+  void SetSalvagePass(bool active) {
+    salvage_pass_.store(active, std::memory_order_relaxed);
+  }
+
   /// Human-readable description of what crashed `worker` this step
   /// (empty when it did not crash).
   std::string CrashCause(uint32_t worker) const;
@@ -175,6 +187,8 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::unique_ptr<EntryState[]> states_;
+  /// True while the executor runs a salvage replay pass (SetSalvagePass).
+  std::atomic<bool> salvage_pass_{false};
   std::atomic<uint64_t> crashed_mask_{0};
   std::atomic<uint64_t> crash_events_{0};
   /// First plan entry that crashed each worker this step (-1 = none);

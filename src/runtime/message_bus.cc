@@ -67,6 +67,7 @@ StealReply MessageBus::RequestSteal(uint32_t requester, uint32_t victim) {
   // reply delay); declared before any lock so both ends record lock-free.
   FRACTAL_TRACE_SPAN_V("bus/request_steal", victim);
   auto request = std::make_shared<Request>();
+  request->requester = requester;
   SimulateDelay(/*payload_bytes=*/16);  // request message
   {
     Inbox& inbox = *inboxes_[victim];
@@ -119,6 +120,10 @@ std::optional<MessageBus::RequestToken> MessageBus::WaitForRequest(
   std::shared_ptr<Request> request = std::move(inbox.queue.front());
   inbox.queue.pop_front();
   return RequestToken(std::move(request));
+}
+
+uint32_t MessageBus::Requester(const RequestToken& token) {
+  return std::static_pointer_cast<Request>(token)->requester;
 }
 
 bool MessageBus::BeginReply(const RequestToken& token) {

@@ -96,6 +96,11 @@ class MessageBus {
   void Reply(const RequestToken& token,
              std::optional<std::vector<uint8_t>> payload);
 
+  /// Worker id that issued the request behind `token`. Immutable after
+  /// construction, so safe from any thread holding the token (used by the
+  /// victim's service to stamp lineage claims with the thief's identity).
+  static uint32_t Requester(const RequestToken& token);
+
   /// Releases all waiters; subsequent requests fail fast.
   void Shutdown();
 
@@ -124,6 +129,9 @@ class MessageBus {
     CondVar cv;
     State state GUARDED_BY(mu) = State::kPending;
     std::optional<std::vector<uint8_t>> payload GUARDED_BY(mu);
+    /// Issuing worker; written once before the request is enqueued and
+    /// never mutated after, hence unguarded.
+    uint32_t requester = 0;
   };
 
   /// Per-worker queue of pending steal requests.

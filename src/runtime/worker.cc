@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "runtime/cluster.h"
 #include "runtime/codec.h"
+#include "runtime/lineage.h"
 #include "util/check.h"
 #include "util/strings.h"
 
@@ -108,6 +109,7 @@ FRACTAL_HOT void Worker::RunStepOnThread(ThreadContext& t) {
   t.stats.core_id = t.core_id;
   t.busy_seconds = 0;
   t.control = &control;
+  t.lineage = step.lineage;
 
   // Initial partition: a contiguous block of the root extensions selected
   // by the thread's rank among *live* cores (paper §4: "an initial
@@ -122,18 +124,15 @@ FRACTAL_HOT void Worker::RunStepOnThread(ThreadContext& t) {
   const uint32_t live_threads =
       static_cast<uint32_t>(std::popcount(live_mask)) * per_worker;
   const uint32_t live_rank =
-      static_cast<uint32_t>(
-          std::popcount(live_mask & ((uint64_t{1} << worker_id_) - 1))) *
-          per_worker +
-      t.local_core;
-  const size_t total = step.roots.size();
-  const size_t begin = total * live_rank / live_threads;
-  const size_t end = total * (live_rank + 1) / live_threads;
+      LiveThreadRank(live_mask, worker_id_, t.local_core, per_worker);
+  const RootSlice partition =
+      PartitionRoots(step.roots.size(), live_rank, live_threads);
   std::vector<uint32_t> slice;
   {
     FRACTAL_HOT_ESCAPE("per-step setup: one root-partition copy per thread "
                        "per step, not per work unit");
-    slice.assign(step.roots.begin() + begin, step.roots.begin() + end);
+    slice.assign(step.roots.begin() + partition.begin,
+                 step.roots.begin() + partition.end);
   }
   if (step.num_levels > 0 && !slice.empty()) {
     FRACTAL_TRACE_SPAN_V("worker/drain_roots", slice.size());
@@ -185,6 +184,7 @@ FRACTAL_HOT void Worker::RunStepOnThread(ThreadContext& t) {
   task.FinishThread(t);
   t.stats.finish_micros = control.timer.ElapsedMicros();
   t.stats.busy_seconds = t.busy_seconds;
+  t.lineage = nullptr;
   t.control = nullptr;
 }
 
@@ -200,6 +200,14 @@ FRACTAL_HOT bool Worker::ClaimInternalWork(ThreadContext& t,
       if (frame.TrySteal(out)) {
         ++t.stats.internal_steals;
         obs::InternalStealsCounter().Add(1);
+        if (t.lineage != nullptr) {
+          FRACTAL_HOT_ESCAPE("lineage stamping: once per steal, not per "
+                             "work unit");
+          // WS_int moves work between cores of the same worker: the claim
+          // is stamped with this worker as both victim and thief, so crash
+          // accounting keeps following the (unchanged) owning worker.
+          t.lineage->StampClaim(worker_id_, worker_id_, out);
+        }
         return true;
       }
     }
@@ -328,6 +336,15 @@ void Worker::StealServiceLoop() {
     // so a request abandoned at its deadline can never orphan a claim.
     if (!cluster_->bus_->BeginReply(*token)) continue;
     if (ClaimLocalWork(&work)) {
+      // Claim-after-commit is exactly the lineage stamping point: the
+      // descriptor is committed to the requester, so ownership moves to the
+      // thief *before* the bytes cross the worker boundary (the payload
+      // then carries the record id). The step's ledger pointer is readable
+      // here by the same argument as step_.task: requests only arrive
+      // while the step runs (class comment above).
+      if (LineageLedger* lineage = cluster_->step_.lineage) {
+        lineage->StampClaim(worker_id_, MessageBus::Requester(*token), &work);
+      }
       WallTimer encode_timer;
       std::vector<uint8_t> payload = SubgraphCodec::EncodeStolenWork(work);
       obs::EncodeTimeHistogram().Record(

@@ -39,6 +39,7 @@
 namespace fractal {
 
 class Cluster;
+class LineageLedger;
 
 /// Shared state of one running step. Owned by the Cluster and reset before
 /// each step. Fault hooks route through `injector` (runtime/fault.h); the
@@ -93,6 +94,11 @@ struct ThreadContext {
 
   /// Deterministic per-thread stream for steal-retry backoff jitter.
   SplitMix64 jitter{0};
+
+  /// Lineage ledger of the current step, null unless the executor runs the
+  /// step in salvage retry mode (runtime/lineage.h). Set/cleared alongside
+  /// `control`; the null check is the entire disabled-path cost.
+  LineageLedger* lineage = nullptr;
 
   /// Counts one consumed extension and runs the fault hook. Returns false
   /// once this thread's worker has (simulated-)crashed: the thread unwinds,

@@ -1,11 +1,14 @@
 // Resilience suite: fault-injection framework, bounded steal RPCs, crash
-// containment, and degraded re-execution (DESIGN.md §7). The load-bearing
-// property throughout is *exactness*: under any fault plan, results must be
-// bit-identical to a fault-free run — the from-scratch step model discards
-// failed attempts wholesale, and the claim-after-commit steal rendezvous
-// guarantees no work unit is lost or duplicated by timeouts.
+// containment, degraded re-execution, and lineage-based partial recovery
+// (DESIGN.md §7, §11). The load-bearing property throughout is *exactness*:
+// under any fault plan, results must be bit-identical to a fault-free run —
+// the from-scratch step model discards failed attempts wholesale, the
+// claim-after-commit steal rendezvous guarantees no work unit is lost or
+// duplicated by timeouts, and the salvage mode's ledger replays exactly the
+// crashed worker's unfinished fractoid tasks, no more and no less.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <thread>
@@ -45,6 +48,24 @@ TEST(FaultPlanTest, ParseRoundTrip) {
   auto reparsed = FaultPlan::Parse(plan.value().ToString(), 42);
   ASSERT_TRUE(reparsed.ok()) << reparsed.status();
   EXPECT_EQ(reparsed.value().ToString(), plan.value().ToString());
+}
+
+TEST(FaultPlanTest, ParsesCrashInSalvage) {
+  auto plan = FaultPlan::Parse("crash:w=2,after=30;crash-in-salvage:w=1,after=10", 9);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan.value().specs().size(), 2u);
+  EXPECT_EQ(plan.value().specs()[1].kind, FaultKind::kCrashWorkerInSalvage);
+  EXPECT_EQ(plan.value().specs()[1].worker, 1);
+  EXPECT_EQ(plan.value().specs()[1].after_units, 10u);
+
+  auto reparsed = FaultPlan::Parse(plan.value().ToString(), 9);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed.value().ToString(), plan.value().ToString());
+
+  // Same target/threshold validation as plain crashes.
+  EXPECT_FALSE(FaultPlan().CrashWorkerInSalvage(2, 10).Validate(2).ok());
+  EXPECT_FALSE(FaultPlan().CrashWorkerInSalvage(0, 0).Validate(2).ok());
+  EXPECT_TRUE(FaultPlan().CrashWorkerInSalvage(1, 10).Validate(2).ok());
 }
 
 TEST(FaultPlanTest, ParseRejectsGarbage) {
@@ -104,6 +125,31 @@ TEST(FaultInjectorTest, RandomCrashRearmsEachStep) {
     EXPECT_TRUE(injector.WorkerCrashed(1));
   }
   EXPECT_EQ(injector.crash_events(), 3u);
+}
+
+TEST(FaultInjectorTest, SalvageCrashGatedOnSalvagePass) {
+  FaultInjector injector(FaultPlan().CrashWorkerInSalvage(0, 5));
+  injector.BeginStep();
+  // Units consumed outside a salvage pass never advance the trigger.
+  for (int j = 0; j < 100; ++j) EXPECT_TRUE(injector.OnWorkUnit(0));
+  EXPECT_EQ(injector.crash_events(), 0u);
+  EXPECT_FALSE(injector.WorkerCrashed(0));
+
+  // The executor arms the entry around a salvage replay pass; the Nth
+  // *replayed* unit fires it. BeginStep must not clear the arming (the
+  // pass spans one RunStep).
+  injector.SetSalvagePass(true);
+  injector.BeginStep();
+  for (int j = 0; j < 5; ++j) injector.OnWorkUnit(0);
+  EXPECT_TRUE(injector.WorkerCrashed(0));
+  EXPECT_EQ(injector.crash_events(), 1u);
+  EXPECT_FALSE(injector.OnWorkUnit(0));
+  EXPECT_FALSE(injector.CrashCause(0).empty());
+
+  // One-shot across later passes and steps.
+  injector.BeginStep();
+  for (int j = 0; j < 100; ++j) injector.OnWorkUnit(0);
+  EXPECT_EQ(injector.crash_events(), 1u);
 }
 
 TEST(FaultInjectorTest, StealServiceDeathIsSticky) {
@@ -299,6 +345,163 @@ TEST(RecoveryTest, LastWorkerCrashIsFailedPrecondition) {
   EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
 }
 
+// --- Lineage-based partial recovery (salvage) ------------------------------
+
+void ExpectSameMotifs(const MotifsResult& actual,
+                      const MotifsResult& expected) {
+  EXPECT_EQ(actual.total, expected.total);
+  ASSERT_EQ(actual.counts.size(), expected.counts.size());
+  for (const auto& [pattern, count] : expected.counts) {
+    const auto it = actual.counts.find(pattern);
+    ASSERT_NE(it, actual.counts.end());
+    EXPECT_EQ(it->second, count);
+  }
+}
+
+// The acceptance bound of the salvage model: with a crash at 50% of the
+// victim's fault-free work, the replay pass must cost well under 0.6x the
+// from-scratch re-execution on the same fault plan, and the aggregation
+// output must stay bit-exact.
+TEST(SalvageTest, HalfwayCrashReplaysLessThanFromScratch) {
+  FractalContext fctx;
+  FractalGraph graph = TestGraph(fctx);
+  const ExecutionConfig healthy = TwoWorkers();
+  const MotifsResult clean = CountMotifs(graph, 3, healthy);
+  ASSERT_TRUE(clean.execution.status.ok()) << clean.execution.status;
+  ASSERT_EQ(clean.execution.telemetry.steps.size(), 1u);
+  const auto& clean_threads = clean.execution.telemetry.steps[0].threads;
+  ASSERT_EQ(clean_threads.size(), 4u);
+  // Worker 1 owns global threads 2 and 3 (two threads per worker).
+  const uint64_t worker1_units =
+      clean_threads[2].work_units + clean_threads[3].work_units;
+  ASSERT_GT(worker1_units, 20u);
+  const uint64_t crash_after = worker1_units / 2;
+
+  // From-scratch recovery: the successful attempt re-enumerates the whole
+  // step on the survivor.
+  ExecutionConfig scratch = TwoWorkers();
+  scratch.fault_plan = FaultPlan().CrashWorker(1, crash_after);
+  const MotifsResult scratch_run = CountMotifs(graph, 3, scratch);
+  ASSERT_TRUE(scratch_run.execution.status.ok())
+      << scratch_run.execution.status;
+  EXPECT_EQ(scratch_run.execution.steps_retried, 1u);
+  EXPECT_EQ(scratch_run.execution.salvage_passes, 0u);
+  EXPECT_EQ(scratch_run.execution.units_replayed, 0u);
+  ASSERT_EQ(scratch_run.execution.telemetry.steps.size(), 1u);
+  const uint64_t scratch_units =
+      scratch_run.execution.telemetry.steps[0].TotalWorkUnits();
+  ExpectSameMotifs(scratch_run, clean);
+
+  // Salvage recovery: same crash, but only the tasks worker 1 left
+  // unfinished are re-enumerated on the survivor.
+  ExecutionConfig salvage = TwoWorkers();
+  salvage.fault_plan = FaultPlan().CrashWorker(1, crash_after);
+  salvage.retry.mode = RetryPolicy::Mode::kSalvage;
+  const MotifsResult salvaged = CountMotifs(graph, 3, salvage);
+  ASSERT_TRUE(salvaged.execution.status.ok()) << salvaged.execution.status;
+  EXPECT_EQ(salvaged.execution.steps_retried, 1u);
+  EXPECT_EQ(salvaged.execution.salvage_passes, 1u);
+  EXPECT_GT(salvaged.execution.units_salvaged, 0u);
+  EXPECT_GT(salvaged.execution.units_replayed, 0u);
+  EXPECT_LT(salvaged.execution.units_replayed, (scratch_units * 6) / 10);
+  ExpectSameMotifs(salvaged, clean);
+}
+
+// Property test: salvaged runs are bit-exact against fault-free runs for
+// both aggregation output (motifs) and plain counting (cliques), across a
+// sweep of graphs, crash targets, and crash points.
+TEST(SalvageTest, SalvagedMotifsAndCliquesBitExact) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    FractalContext fctx;
+    FractalGraph graph =
+        fctx.FromGraph(GenerateRandomGraph(28, 80, 1, 1, seed * 7 + 1));
+    ExecutionConfig baseline;
+    baseline.num_workers = 3;
+    baseline.threads_per_worker = 2;
+    baseline.network.latency_micros = 1;
+
+    ExecutionConfig salvage = baseline;
+    salvage.fault_plan = FaultPlan().CrashWorker(
+        static_cast<int32_t>(seed % 3), 20 + seed * 15);
+    salvage.retry.mode = RetryPolicy::Mode::kSalvage;
+    SCOPED_TRACE("seed " + std::to_string(seed) + " plan '" +
+                 salvage.fault_plan.ToString() + "'");
+
+    const MotifsResult clean_motifs = CountMotifs(graph, 3, baseline);
+    const MotifsResult salvaged_motifs = CountMotifs(graph, 3, salvage);
+    ASSERT_TRUE(salvaged_motifs.execution.status.ok())
+        << salvaged_motifs.execution.status;
+    ExpectSameMotifs(salvaged_motifs, clean_motifs);
+
+    EXPECT_EQ(CountCliques(graph, 4, salvage),
+              CountCliques(graph, 4, baseline));
+  }
+}
+
+// A crash-during-recovery plan that reliably fires both entries: crash the
+// most loaded worker (per the clean run's telemetry) a quarter into its
+// share so the replay frontier is large, then kill a survivor at its 3rd
+// replayed unit.
+struct NestedPlanFixture {
+  MotifsResult clean;
+  ExecutionConfig baseline;
+  FaultPlan plan;
+
+  explicit NestedPlanFixture(const FractalGraph& graph) {
+    baseline.num_workers = 3;
+    baseline.threads_per_worker = 2;
+    baseline.network.latency_micros = 1;
+    clean = CountMotifs(graph, 3, baseline);
+    const auto& threads = clean.execution.telemetry.steps[0].threads;
+    uint64_t worker_units[3] = {};
+    for (uint32_t w = 0; w < 3; ++w) {
+      worker_units[w] =
+          threads[w * 2].work_units + threads[w * 2 + 1].work_units;
+    }
+    const uint32_t victim = static_cast<uint32_t>(
+        std::max_element(worker_units, worker_units + 3) - worker_units);
+    plan.CrashWorker(static_cast<int32_t>(victim), worker_units[victim] / 4)
+        .CrashWorkerInSalvage(static_cast<int32_t>((victim + 1) % 3), 3);
+  }
+};
+
+// Crash-during-recovery: a second worker dies mid-replay; the ledger
+// prepares a nested salvage pass onto the remaining survivor, still exact.
+TEST(SalvageTest, NestedCrashDuringSalvage) {
+  FractalContext fctx;
+  FractalGraph graph = TestGraph(fctx);
+  const NestedPlanFixture fx(graph);
+
+  ExecutionConfig faulty = fx.baseline;
+  faulty.fault_plan = fx.plan;
+  faulty.retry.mode = RetryPolicy::Mode::kSalvage;
+  faulty.retry.max_attempts = 4;
+  const MotifsResult result = CountMotifs(graph, 3, faulty);
+  ASSERT_TRUE(result.execution.status.ok()) << result.execution.status;
+  EXPECT_EQ(result.execution.steps_retried, 2u);
+  EXPECT_EQ(result.execution.salvage_passes, 2u);
+  ExpectSameMotifs(result, fx.clean);
+}
+
+// When the salvage-pass budget runs out mid-recovery the step falls back to
+// a from-scratch retry on the survivors — results must stay exact.
+TEST(SalvageTest, FallsBackToScratchWhenPassBudgetExhausted) {
+  FractalContext fctx;
+  FractalGraph graph = TestGraph(fctx);
+  const NestedPlanFixture fx(graph);
+
+  ExecutionConfig faulty = fx.baseline;
+  faulty.fault_plan = fx.plan;
+  faulty.retry.mode = RetryPolicy::Mode::kSalvage;
+  faulty.retry.max_attempts = 4;
+  faulty.retry.max_salvage_passes = 1;
+  const MotifsResult result = CountMotifs(graph, 3, faulty);
+  ASSERT_TRUE(result.execution.status.ok()) << result.execution.status;
+  EXPECT_EQ(result.execution.steps_retried, 2u);
+  EXPECT_EQ(result.execution.salvage_passes, 1u);
+  ExpectSameMotifs(result, fx.clean);
+}
+
 // --- Chaos sweep -----------------------------------------------------------
 
 // Seeded random fault plans must all converge to bit-identical results.
@@ -342,6 +545,47 @@ TEST(ChaosTest, RandomFaultPlansAreExact) {
       ASSERT_NE(it, motifs.counts.end());
       EXPECT_EQ(it->second, count);
     }
+    EXPECT_EQ(CountCliques(graph, 4, chaotic), clean_cliques);
+  }
+}
+
+// The same sweep under salvage recovery: every random plan — including the
+// crash + crash-during-recovery composites Random() generates — must
+// converge to bit-identical results when retries replay from the ledger
+// instead of re-running from scratch.
+TEST(SalvageChaosTest, RandomFaultPlansAreExact) {
+  int num_seeds = 12;
+  if (const char* env = std::getenv("FRACTAL_CHAOS_SEEDS")) {
+    num_seeds = std::atoi(env);
+    ASSERT_GT(num_seeds, 0);
+  }
+
+  FractalContext fctx;
+  FractalGraph graph = TestGraph(fctx);
+
+  ExecutionConfig baseline;
+  baseline.num_workers = 3;
+  baseline.threads_per_worker = 2;
+  baseline.network.latency_micros = 1;
+  const MotifsResult clean_motifs = CountMotifs(graph, 3, baseline);
+  const uint64_t clean_cliques = CountCliques(graph, 4, baseline);
+
+  for (int seed = 1; seed <= num_seeds; ++seed) {
+    ExecutionConfig chaotic = baseline;
+    chaotic.network.request_timeout_micros = 3000;
+    chaotic.network.max_steal_retries = 2;
+    chaotic.network.retry_backoff_micros = 50;
+    chaotic.network.suspect_after_timeouts = 2;
+    chaotic.retry.mode = RetryPolicy::Mode::kSalvage;
+    chaotic.retry.max_attempts = 4;
+    chaotic.fault_plan =
+        FaultPlan::Random(static_cast<uint64_t>(seed), 3);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " plan '" +
+                 chaotic.fault_plan.ToString() + "'");
+
+    const MotifsResult motifs = CountMotifs(graph, 3, chaotic);
+    ASSERT_TRUE(motifs.execution.status.ok()) << motifs.execution.status;
+    ExpectSameMotifs(motifs, clean_motifs);
     EXPECT_EQ(CountCliques(graph, 4, chaotic), clean_cliques);
   }
 }

@@ -53,6 +53,9 @@ TEST(CodecTest, StolenWorkRoundTrip) {
   work.prefix.PushVertexInduced(g, 3);
   work.extension = 4;
   work.primitive_index = 2;
+  // Lineage ids are 64-bit task indices; use a value past 2^32 to cover
+  // both encoded halves.
+  work.lineage_id = (uint64_t{7} << 32) | 12345u;
 
   const std::vector<uint8_t> bytes = SubgraphCodec::EncodeStolenWork(work);
   SubgraphEnumerator::StolenWork decoded;
@@ -60,6 +63,7 @@ TEST(CodecTest, StolenWorkRoundTrip) {
   EXPECT_EQ(decoded.prefix, work.prefix);
   EXPECT_EQ(decoded.extension, 4u);
   EXPECT_EQ(decoded.primitive_index, 2u);
+  EXPECT_EQ(decoded.lineage_id, (uint64_t{7} << 32) | 12345u);
 }
 
 TEST(CodecTest, RejectsCorruptedPayloads) {
