@@ -17,7 +17,14 @@
 #      random fault plans (worker crashes, dead steal services, dropped and
 #      delayed requests, stragglers) and fails on any result divergence
 #      from the fault-free baseline.
-#   3. Salvage gate (DESIGN.md §11): the lineage-ledger partial-recovery
+#   3. Scheduler gate (DESIGN.md §12): the multi-tenant chaos filter
+#      (SchedulerChaosTest — a crashing tenant sharing the cluster with
+#      clean ones stays bit-exact) plus a CLI end-to-end of
+#      --concurrency: three concurrent triangle queries on one shared
+#      cluster whose /metricsz dump must contain the scheduler counter
+#      families and the per-query units gauges
+#      (tools/check_metricsz.py --require).
+#   4. Salvage gate (DESIGN.md §11): the lineage-ledger partial-recovery
 #      suite — deterministic salvage tests plus a CHAOS_SEEDS-wide
 #      SalvageChaosTest sweep (random fault plans, including
 #      crash-in-salvage, replayed under --retry-mode=salvage semantics) —
@@ -26,32 +33,32 @@
 #      and finally the bench_resilience recovery A/B whose salvage/scratch
 #      replay ratios land in BENCH_recovery.json and are gated by
 #      tools/bench_compare.py against the committed budget baseline.
-#   4. Allocation-discipline lint (tools/fractal_lint.py, DESIGN.md §9):
+#   5. Allocation-discipline lint (tools/fractal_lint.py, DESIGN.md §9):
 #      self-test against the seeded-violation fixtures, then the repo run —
 #      every FRACTAL_HOT call graph must be provably allocation-, throw-,
 #      and raw-mutex-free, and every metric/trace name registered. Uses
 #      libclang when the python bindings are installed, its built-in
 #      textual engine otherwise.
-#   5. Alloc-guard gate: hot_path_test re-run with FRACTAL_ALLOC_GUARD=abort
+#   6. Alloc-guard gate: hot_path_test re-run with FRACTAL_ALLOC_GUARD=abort
 #      — full-cluster runs of the vertex-induced, edge-induced, and KClist
 #      strategies abort the process on any steady-state heap allocation.
-#   6. Static analysis: a clang build with -Wthread-safety promoted to an
+#   7. Static analysis: a clang build with -Wthread-safety promoted to an
 #      error (checking the GUARDED_BY/REQUIRES contracts of util/mutex.h),
 #      then clang-tidy with the curated .clang-tidy profile over src/,
 #      bench/, and tools/ sources. Each tool is used when installed and the
 #      stage fails on any diagnostic; on containers without clang the stage
 #      degrades to the GCC -Werror build of stage 1 plus the runtime
 #      lockdep checking of the sanitizer stages.
-#   7. ASan/UBSan build running every thread-spawning suite (including a
-#      reduced-seed chaos sweep and the alloc-guard suites), plus a full
-#      CHAOS_SEEDS-wide SalvageChaosTest sweep so salvage passes are
-#      memory-checked at chaos scale.
-#   8. TSan build running the same suites (and the same wide salvage
+#   8. ASan/UBSan build running every thread-spawning suite (including a
+#      reduced-seed chaos sweep, the scheduler suite and the alloc-guard
+#      suites), plus a full CHAOS_SEEDS-wide SalvageChaosTest sweep so
+#      salvage passes are memory-checked at chaos scale.
+#   9. TSan build running the same suites (and the same wide salvage
 #      sweep), so the persistent-thread Cluster/Worker runtime (parked
 #      execution threads, steal-service threads, enumerator cursors, the
 #      claim-stamping lineage ledger) is race-checked on every PR.
 #
-# Stages 5-6 keep FRACTAL_ENABLE_LOCKDEP=ON (the default), so every
+# Stages 8-9 keep FRACTAL_ENABLE_LOCKDEP=ON (the default), so every
 # sanitized test run also checks the lock-order graph deterministically.
 #
 # Usage: ./ci.sh            (JOBS=<n> to override parallelism)
@@ -62,8 +69,8 @@ JOBS="${JOBS:-$(nproc)}"
 # Every suite that spawns threads (directly or through the Cluster runtime),
 # plus property_test so the kernel-vs-reference differential sweeps over the
 # extension data plane run under ASan/UBSan and TSan on every PR.
-SANITIZED_SUITES='core_test|runtime_test|obs_test|introspection_test|profiler_test|lockdep_test|enumerate_test|property_test|apps_test|extras_test|resilience_test|alloc_guard_test|hot_path_test'
-SANITIZED_TARGETS='core_test runtime_test obs_test introspection_test profiler_test lockdep_test enumerate_test property_test apps_test extras_test resilience_test alloc_guard_test hot_path_test'
+SANITIZED_SUITES='core_test|runtime_test|obs_test|introspection_test|profiler_test|lockdep_test|enumerate_test|property_test|apps_test|extras_test|resilience_test|alloc_guard_test|hot_path_test|scheduler_test'
+SANITIZED_TARGETS='core_test runtime_test obs_test introspection_test profiler_test lockdep_test enumerate_test property_test apps_test extras_test resilience_test alloc_guard_test hot_path_test scheduler_test'
 # Chaos seeds for the fault-injection sweep: a wide sweep on the fast
 # Release build, a narrower one under the (10-20x slower) sanitizers.
 CHAOS_SEEDS="${CHAOS_SEEDS:-32}"
@@ -127,6 +134,31 @@ echo "=== chaos: ${CHAOS_SEEDS}-seed random fault plans stay bit-exact ==="
 # stragglers) against the fault-free baseline; any divergence fails CI.
 FRACTAL_CHAOS_SEEDS="$CHAOS_SEEDS" ./build-ci/tests/resilience_test \
   --gtest_filter='ChaosTest.*'
+
+echo "=== scheduler: concurrent queries share one cluster, stay bit-exact ==="
+# Multi-tenant chaos cross-product (DESIGN.md §12): a fault-injected tenant
+# crashing workers mid-step next to clean tenants on the same cluster —
+# every query must still match the serial ground truth. (The full
+# scheduler_test suite — stress, cancellation, deadlines, admission
+# overflow — already ran in the tier-1 ctest pass above.)
+./build-ci/tests/scheduler_test --gtest_filter='SchedulerChaosTest.*'
+# CLI end-to-end: three concurrent triangle queries on one shared cluster.
+# The /metricsz dump must carry the scheduler counter families and at least
+# one per-query units gauge (the dynamic fractal_runtime_query_units_<id>
+# family).
+SCHED_METRICSZ="build-ci/scheduler_metricsz.txt"
+./build-ci/examples/fractal_cli --kernel triangles --workers 1 --threads 4 \
+  --concurrency 3 --metricsz-out "$SCHED_METRICSZ"
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/check_metricsz.py "$SCHED_METRICSZ" \
+    --require fractal_runtime_queries_admitted_total \
+    --require fractal_runtime_queries_completed_total \
+    --require fractal_runtime_queries_active \
+    --require fractal_runtime_query_units.
+else
+  grep -q 'fractal_runtime_queries_admitted_total' "$SCHED_METRICSZ"
+  echo "python3 not installed; structural scheduler-metrics check only"
+fi
 
 echo "=== salvage: lineage-ledger partial recovery stays bit-exact ==="
 # Deterministic salvage tests (acceptance bound, nested crash-in-salvage,

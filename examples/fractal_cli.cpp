@@ -12,12 +12,15 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/cliques.h"
 #include "apps/fsm.h"
 #include "apps/motifs.h"
 #include "apps/queries.h"
 #include "core/context.h"
+#include "core/executor.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
@@ -25,7 +28,9 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "pattern/catalog.h"
+#include "runtime/cluster.h"
 #include "runtime/fault.h"
+#include "runtime/query_scheduler.h"
 #include "util/timer.h"
 
 namespace {
@@ -46,6 +51,13 @@ void Usage() {
       "       [--fault-spec <plan>] [--fault-seed <n>]\n"
       "       [--crash-worker <w>] [--crash-after <units>]\n"
       "       [--retry-mode <scratch|salvage>]\n"
+      "       [--concurrency <n>] [--deadline-ms <ms>]\n"
+      "\n"
+      "concurrent queries (DESIGN.md section 12):\n"
+      "  --concurrency runs n copies of the kernel as concurrent queries on\n"
+      "  one shared cluster (triangles, cliques and query kernels only);\n"
+      "  --deadline-ms bounds each query's wall time, alone (synchronous\n"
+      "  deadline-aware run) or per query under --concurrency.\n"
       "\n"
       "fault injection (see runtime/fault.h):\n"
       "  --fault-spec takes ';'-separated entries, e.g.\n"
@@ -60,6 +72,27 @@ void Usage() {
       "  'salvage' (lineage-ledger partial recovery, DESIGN.md section 11:\n"
       "  keep the survivors' completed work and re-enumerate only the\n"
       "  crashed worker's unfinished fractoid tasks).\n");
+}
+
+/// Resolves a --query name to its pattern; false on unknown names.
+bool ParseQueryPattern(const std::string& name, fractal::Pattern* out) {
+  using fractal::Pattern;
+  if (name == "triangle") {
+    *out = Pattern::Clique(3);
+  } else if (name == "square") {
+    *out = Pattern::CyclePattern(4);
+  } else if (name == "diamond") {
+    *out = Pattern::CyclePattern(4);
+    out->AddEdge(0, 2);
+  } else if (name == "house") {
+    *out = Pattern::CyclePattern(5);
+    out->AddEdge(0, 2);
+  } else if (name.size() == 2 && name[0] == 'q') {
+    *out = fractal::SeedQuery(name[1] - '0');
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -77,6 +110,8 @@ int main(int argc, char** argv) {
   int crash_worker = -1;
   long long crash_after = 100;
   bool dump_metrics = false;
+  int concurrency = 0;
+  long long deadline_ms = 0;
   uint32_t k = 3, support = 100, max_edges = 3;
   ExecutionConfig config;
   config.num_workers = 1;
@@ -135,6 +170,10 @@ int main(int argc, char** argv) {
       crash_worker = std::atoi(next("--crash-worker"));
     } else if (!std::strcmp(argv[i], "--crash-after")) {
       crash_after = std::atoll(next("--crash-after"));
+    } else if (!std::strcmp(argv[i], "--concurrency")) {
+      concurrency = std::atoi(next("--concurrency"));
+    } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+      deadline_ms = std::atoll(next("--deadline-ms"));
     } else if (!std::strcmp(argv[i], "--retry-mode")) {
       const std::string mode = next("--retry-mode");
       if (mode == "salvage") {
@@ -217,7 +256,99 @@ int main(int argc, char** argv) {
   FractalGraph graph = fctx.FromGraph(std::move(input));
   WallTimer timer;
 
-  if (kernel == "triangles") {
+  if (concurrency > 0 || deadline_ms > 0) {
+    // Multi-tenant / deadline-aware path (DESIGN.md §12): the
+    // single-fractoid kernels run as scheduled queries on a shared cluster.
+    if (kernel != "triangles" && kernel != "cliques" && kernel != "query") {
+      std::fprintf(stderr,
+                   "--concurrency/--deadline-ms support the single-fractoid "
+                   "kernels (triangles, cliques, query), not '%s'\n",
+                   kernel.c_str());
+      return 2;
+    }
+    Pattern query_pattern;
+    if (kernel == "query" && !ParseQueryPattern(query_name, &query_pattern)) {
+      std::fprintf(stderr, "unknown query '%s'\n", query_name.c_str());
+      return 2;
+    }
+    // Fresh fractoid per query: concurrent executions must not share cached
+    // execution state (that is rejected with kFailedPrecondition).
+    const auto build = [&] {
+      if (kernel == "cliques") return CliquesFractoid(graph, k);
+      if (kernel == "query") return QueryFractoid(graph, query_pattern);
+      return CliquesFractoid(graph, 3);  // triangles
+    };
+    if (concurrency <= 0) {
+      // Deadline only: synchronous run with a stack-owned control block.
+      QueryControl control;
+      control.name = kernel;
+      control.SetDeadlineAfterMillis(deadline_ms);
+      ExecutionConfig bounded = config;
+      bounded.query = &control;
+      const ExecutionResult result = build().Execute(bounded);
+      std::printf("%s: status=%s subgraphs=%llu units=%llu\n", kernel.c_str(),
+                  result.status.ok() ? "OK" : result.status.ToString().c_str(),
+                  (unsigned long long)result.num_subgraphs,
+                  (unsigned long long)control.work_units.load());
+      if (!result.status.ok()) return 1;
+    } else {
+      ClusterOptions cluster_options;
+      cluster_options.num_workers = config.num_workers;
+      cluster_options.threads_per_worker = config.threads_per_worker;
+      cluster_options.internal_work_stealing = config.internal_work_stealing;
+      cluster_options.external_work_stealing =
+          config.external_work_stealing && config.num_workers >= 2;
+      cluster_options.network = config.network;
+      cluster_options.progress_interval_ms = config.progress_interval_ms;
+      cluster_options.statusz_port = config.statusz_port;
+      Cluster cluster(cluster_options);
+      QuerySchedulerOptions scheduler_options;
+      scheduler_options.max_active = static_cast<uint32_t>(concurrency);
+      scheduler_options.max_queued = static_cast<uint32_t>(2 * concurrency);
+      QueryScheduler scheduler(&cluster, scheduler_options);
+
+      std::vector<Fractoid> fractoids;
+      fractoids.reserve(static_cast<size_t>(concurrency));
+      for (int q = 0; q < concurrency; ++q) fractoids.push_back(build());
+      std::vector<QueryHandle> handles;
+      for (int q = 0; q < concurrency; ++q) {
+        QueryScheduler::Submission submission;
+        submission.name = kernel + "-" + std::to_string(q);
+        submission.deadline_ms = deadline_ms;
+        auto handle =
+            ExecuteFractoidAsync(fractoids[q], config, scheduler,
+                                 std::move(submission));
+        if (!handle.ok()) {
+          std::fprintf(stderr, "submit %d: %s\n", q,
+                       handle.status().ToString().c_str());
+          return 1;
+        }
+        handles.push_back(*std::move(handle));
+      }
+      bool all_ok = true;
+      for (QueryHandle& handle : handles) {
+        const ExecutionResult& result = handle.Wait();
+        const std::string status_text =
+            result.status.ok() ? "OK" : result.status.ToString();
+        std::printf("%-14s status=%-8s subgraphs=%llu steps=%llu "
+                    "units=%llu\n",
+                    handle.name().c_str(), status_text.c_str(),
+                    (unsigned long long)result.num_subgraphs,
+                    (unsigned long long)handle.control().steps_run.load(),
+                    (unsigned long long)handle.control().work_units.load());
+        all_ok = all_ok && result.status.ok();
+      }
+      const QueryScheduler::Stats stats = scheduler.stats();
+      std::printf("scheduler: admitted=%llu completed=%llu cancelled=%llu "
+                  "deadline_exceeded=%llu rejected=%llu\n",
+                  (unsigned long long)stats.admitted,
+                  (unsigned long long)stats.completed,
+                  (unsigned long long)stats.cancelled,
+                  (unsigned long long)stats.deadline_exceeded,
+                  (unsigned long long)stats.rejected);
+      if (!all_ok) return 1;
+    }
+  } else if (kernel == "triangles") {
     std::printf("triangles: %llu\n",
                 (unsigned long long)CountTriangles(graph, config));
   } else if (kernel == "cliques") {
@@ -241,19 +372,7 @@ int main(int argc, char** argv) {
     }
   } else if (kernel == "query") {
     Pattern query;
-    if (query_name == "triangle") {
-      query = Pattern::Clique(3);
-    } else if (query_name == "square") {
-      query = Pattern::CyclePattern(4);
-    } else if (query_name == "diamond") {
-      query = Pattern::CyclePattern(4);
-      query.AddEdge(0, 2);
-    } else if (query_name == "house") {
-      query = Pattern::CyclePattern(5);
-      query.AddEdge(0, 2);
-    } else if (query_name.size() == 2 && query_name[0] == 'q') {
-      query = SeedQuery(query_name[1] - '0');
-    } else {
+    if (!ParseQueryPattern(query_name, &query)) {
       std::fprintf(stderr, "unknown query '%s'\n", query_name.c_str());
       return 2;
     }

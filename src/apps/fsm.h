@@ -47,6 +47,13 @@ class DomainSupport {
 
   uint64_t ApproxBytes() const;
 
+  /// Aggregation memory-accounting hook (core/aggregation.h HeapBytesOf):
+  /// heap owned by the domains, excluding sizeof(DomainSupport) which the
+  /// storage counts inline.
+  uint64_t ApproxHeapBytes() const {
+    return ApproxBytes() - sizeof(DomainSupport);
+  }
+
  private:
   uint32_t threshold_ = 0;
   std::vector<std::unordered_set<VertexId>> domains_;

@@ -10,11 +10,14 @@
 #ifndef FRACTAL_CORE_AGGREGATION_H_
 #define FRACTAL_CORE_AGGREGATION_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "enumerate/subgraph.h"
 #include "util/check.h"
@@ -22,6 +25,57 @@
 namespace fractal {
 
 class Computation;
+
+// --- Heap-footprint hook for aggregation keys/values ----------------------
+// AggregationStorage::ApproxBytes must count heap owned *by* the entries
+// (Pattern edge vectors, strings, FSM domain sets, ...), not just their
+// inline sizeof — otherwise Table 2 memory drilldowns undercount exactly
+// the workloads (motifs, FSM) where the keys dominate. A type opts in by
+// exposing a `uint64_t ApproxHeapBytes() const` member; common standard
+// containers are covered by the overloads below. Types without either
+// report 0 (inline-only, correct for trivially copyable keys like ints).
+
+namespace internal {
+template <typename T, typename = void>
+struct HasApproxHeapBytes : std::false_type {};
+template <typename T>
+struct HasApproxHeapBytes<
+    T, std::void_t<decltype(static_cast<uint64_t>(
+           std::declval<const T&>().ApproxHeapBytes()))>> : std::true_type {
+};
+}  // namespace internal
+
+/// Heap bytes owned by `value` (not counting sizeof(T) itself).
+template <typename T>
+uint64_t HeapBytesOf(const T& value) {
+  if constexpr (internal::HasApproxHeapBytes<T>::value) {
+    return value.ApproxHeapBytes();
+  } else {
+    // No hook: assume inline-only. Exact for trivially copyable types;
+    // heap-owning types should expose ApproxHeapBytes() or they undercount.
+    return 0;
+  }
+}
+
+inline uint64_t HeapBytesOf(const std::string& value) {
+  // Approximate SSO: a capacity at or below the inline buffer owns no heap.
+  return value.capacity() > sizeof(std::string) - 1 ? value.capacity() + 1
+                                                    : 0;
+}
+
+template <typename E, typename A>
+uint64_t HeapBytesOf(const std::vector<E, A>& value) {
+  uint64_t bytes = static_cast<uint64_t>(value.capacity()) * sizeof(E);
+  if constexpr (!std::is_trivially_copyable_v<E>) {
+    for (const E& element : value) bytes += HeapBytesOf(element);
+  }
+  return bytes;
+}
+
+template <typename A, typename B>
+uint64_t HeapBytesOf(const std::pair<A, B>& value) {
+  return HeapBytesOf(value.first) + HeapBytesOf(value.second);
+}
 
 /// Type-erased view of an aggregation result / accumulator.
 ///
@@ -102,15 +156,21 @@ class AggregationStorage : public AggregationStorageBase {
   void MergeFrom(AggregationStorageBase& other_base) override {
     auto* other = dynamic_cast<AggregationStorage*>(&other_base);
     FRACTAL_CHECK(other != nullptr) << "merging incompatible aggregations";
-    for (auto& [key, value] : other->entries_) {
-      auto [it, inserted] = entries_.try_emplace(key);
-      if (inserted) {
-        it->second = std::move(value);
+    // Move whole map nodes across instead of copying keys: for heap-owning
+    // keys (Pattern, strings) the thread-local merge at every step barrier
+    // would otherwise allocate per entry — a hot-path violation under the
+    // alloc-guard (the lineage CommitTask path merges inside the guarded
+    // region). Only a rehash of the destination can allocate here.
+    for (auto it = other->entries_.begin(); it != other->entries_.end();) {
+      auto node = other->entries_.extract(it++);
+      const auto found = entries_.find(node.key());
+      if (found == entries_.end()) {
+        entries_.insert(std::move(node));
       } else {
-        reduce_fn_(it->second, std::move(value));
+        reduce_fn_(found->second, std::move(node.mapped()));
+        // `node` frees the duplicate on scope exit.
       }
     }
-    other->entries_.clear();
   }
 
   void Clear() override { entries_.clear(); }
@@ -129,7 +189,17 @@ class AggregationStorage : public AggregationStorageBase {
   size_t NumEntries() const override { return entries_.size(); }
 
   uint64_t ApproxBytes() const override {
-    return entries_.size() * (sizeof(K) + sizeof(V) + 2 * sizeof(void*));
+    // Node-based map: per entry one node (key + value + next pointer +
+    // cached hash) plus the bucket array, plus whatever heap the key/value
+    // themselves own (HeapBytesOf hook above). O(entries) — this feeds
+    // memory drilldowns (Table 2), not the enumeration hot path.
+    uint64_t bytes =
+        static_cast<uint64_t>(entries_.bucket_count()) * sizeof(void*) +
+        entries_.size() * (sizeof(K) + sizeof(V) + 2 * sizeof(void*));
+    for (const auto& [key, value] : entries_) {
+      bytes += HeapBytesOf(key) + HeapBytesOf(value);
+    }
+    return bytes;
   }
 
   const std::unordered_map<K, V, Hash>& entries() const { return entries_; }

@@ -10,10 +10,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "core/aggregation.h"
 #include "enumerate/subgraph.h"
 #include "runtime/fault.h"
 #include "runtime/message_bus.h"
+#include "runtime/query.h"
 #include "runtime/telemetry.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -102,6 +105,16 @@ struct ExecutionConfig {
   /// (paper §4.1: W4 aggregation results are never recomputed).
   bool reuse_cached_aggregations = true;
 
+  /// Query control block of this execution (multi-tenant scheduling,
+  /// DESIGN.md §12; not owned, may be null). When set, the executor checks
+  /// cancellation/deadline at every step boundary, worker threads poll the
+  /// cancel flag once per work unit, and an unwound execution resolves to
+  /// kCancelled / kDeadlineExceeded in ExecutionResult::status. Wired
+  /// automatically by ExecuteFractoidAsync; synchronous callers may point
+  /// it at a stack-owned QueryControl to get a deadline without a
+  /// scheduler. Must outlive the execution.
+  QueryControl* query = nullptr;
+
   /// Fault injection for resilience testing (runtime/fault.h): a seeded,
   /// deterministic schedule of worker crashes, steal-service deaths,
   /// message drops/delays, and stragglers. The from-scratch execution
@@ -133,12 +146,18 @@ struct CompletedAggregation {
 };
 
 /// Aggregation results cached across executions of derived fractoids.
-/// Innermost lock of the core layer: concurrent executions sharing one
-/// fractoid synchronize their cache reads/publishes here, and nothing else
-/// is ever acquired while it is held.
+/// Innermost lock of the core layer: nothing else is ever acquired while
+/// `mu` is held.
 struct ExecutionState {
   Mutex mu{"ExecutionState::mu"};
   std::unordered_map<uint32_t, CompletedAggregation> completed GUARDED_BY(mu);
+  /// Single-execution guard: set for the duration of one execution over
+  /// this state. Fractoids deriving from a common ancestor share one
+  /// ExecutionState (that is what makes cached step aggregations work), so
+  /// two executions over it concurrently would race on the cache; the
+  /// executor turns that into kFailedPrecondition instead of corruption
+  /// (see core/executor.h).
+  std::atomic<bool> executing{false};
 };
 
 /// Everything one fractoid execution produced.
@@ -146,7 +165,9 @@ struct ExecutionResult {
   /// Overall outcome. Ok when every step completed (possibly after
   /// recovered retries); ResourceExhausted when a step kept failing past
   /// RetryPolicy::max_attempts; FailedPrecondition when no live workers
-  /// remained. On error the data fields below are incomplete and must not
+  /// remained or the fractoid's state was already mid-execution; Cancelled
+  /// / DeadlineExceeded when the execution's QueryControl was cancelled or
+  /// expired. On error the data fields below are incomplete and must not
   /// be consumed.
   Status status;
   /// Subgraphs reaching the end of the final step's pipeline.

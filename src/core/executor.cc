@@ -89,6 +89,48 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
   FRACTAL_CHECK(config_status.ok()) << config_status;
   FRACTAL_TRACE_SPAN("executor/execute");
 
+  ExecutionResult result;
+
+  // Single-execution contract (core/executor.h): fractoids deriving from a
+  // common ancestor share one ExecutionState, and a second concurrent
+  // execution over it would race on the cached step aggregations. Fail
+  // closed instead of corrupting the cache.
+  ExecutionState& state = *fractoid.state();
+  if (state.executing.exchange(true, std::memory_order_acq_rel)) {
+    result.status = FailedPreconditionError(
+        "this fractoid (or one sharing its cached execution state) is "
+        "already executing: concurrent executions of one fractoid are not "
+        "supported — derive a distinct fractoid per query");
+    return result;
+  }
+  struct ExecutingGuard {
+    std::atomic<bool>& flag;
+    ~ExecutingGuard() { flag.store(false, std::memory_order_release); }
+  } executing_guard{state.executing};
+
+  // Multi-tenant controls (DESIGN.md §12): checked at every step boundary
+  // here, and once per work unit inside the step by the worker threads.
+  QueryControl* const query = config.query;
+  if (query != nullptr) FRACTAL_TRACE_INSTANT("executor/query", query->id);
+  const auto query_status = [query]() -> Status {
+    return query->DeadlineHit()
+               ? DeadlineExceededError(StrFormat(
+                     "query %llu '%s' exceeded its deadline",
+                     (unsigned long long)query->id, query->name.c_str()))
+               : CancelledError(StrFormat(
+                     "query %llu '%s' cancelled",
+                     (unsigned long long)query->id, query->name.c_str()));
+  };
+  const auto query_aborted = [query]() {
+    if (query == nullptr) return false;
+    query->CheckDeadline(std::chrono::steady_clock::now());
+    return query->cancelled();
+  };
+  if (query_aborted()) {
+    result.status = query_status();
+    return result;
+  }
+
   // The runtime: injected and shared across executions, or ephemeral —
   // created once here and reused by every step of this execution.
   std::unique_ptr<Cluster> owned_cluster;
@@ -100,11 +142,9 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
 
   const auto& workflow = fractoid.primitives();
   const std::vector<StepPlan> steps = CompileSteps(workflow);
-  ExecutionState& state = *fractoid.state();
   const ExtensionStrategy& strategy = *fractoid.strategy();
   const Graph& graph = *fractoid.graph();
 
-  ExecutionResult result;
   result.num_steps = static_cast<uint32_t>(steps.size());
   WallTimer total_timer;
 
@@ -116,6 +156,10 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
   }
 
   for (size_t step_index = 0; step_index < steps.size(); ++step_index) {
+    if (query_aborted()) {
+      result.status = query_status();
+      break;
+    }
     FRACTAL_TRACE_SPAN_V("executor/step", step_index);
     const StepPlan& plan = steps[step_index];
     const bool is_final = step_index + 1 == steps.size();
@@ -182,6 +226,10 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
     uint64_t root_extension_tests = 0;
     for (uint32_t attempt = 1; attempt <= config.retry.max_attempts;
          ++attempt) {
+      if (query_aborted()) {
+        result.status = query_status();
+        break;
+      }
       if (cluster->num_live_workers() == 0) {
         result.status = FailedPreconditionError(
             "no live workers remain to execute the step on");
@@ -217,8 +265,17 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
       step_options.num_levels = task->num_levels();
       step_options.fault_injector = injector;
       step_options.lineage = ledger.get();
+      step_options.query = query;
       if (injector != nullptr) injector->SetSalvagePass(salvage_pass);
       step_result = cluster->RunStep(*task, std::move(roots), step_options);
+      // Cancellation/deadline outranks everything else about the attempt:
+      // the step's output is partial (possibly empty telemetry when the
+      // query was cancelled while queued at the admission gate), so it must
+      // not be merged, retried, or treated as a crash.
+      if (step_result.cancelled) {
+        result.status = query_status();
+        break;
+      }
       if (salvage_pass) {
         const uint64_t replayed = step_result.telemetry.TotalWorkUnits();
         result.units_replayed += replayed;
@@ -336,6 +393,51 @@ ExecutionResult ExecuteFractoidStreaming(const Fractoid& fractoid,
   }
   result.telemetry.wall_seconds = total_timer.ElapsedSeconds();
   return result;
+}
+
+const ExecutionResult& QueryHandle::Wait() {
+  Status status = ticket_->Join();
+  // When the body ran, it filled the slot (including the status) before the
+  // ticket resolved — Join is the happens-before edge. When it never ran
+  // (cancelled while queued, scheduler shutdown) the slot is still
+  // default-constructed; back-fill the final status exactly once so
+  // concurrent Wait callers don't race on the assignment.
+  std::call_once(slot_->once, [this, &status] {
+    if (!status.ok() && slot_->result.status.ok()) {
+      slot_->result.status = std::move(status);
+    }
+  });
+  return slot_->result;
+}
+
+StatusOr<QueryHandle> ExecuteFractoidAsync(
+    const Fractoid& fractoid, const ExecutionConfig& config,
+    QueryScheduler& scheduler, QueryScheduler::Submission submission) {
+  if (config.cluster != nullptr &&
+      config.cluster != scheduler.cluster()) {
+    return InvalidArgumentError(
+        "ExecutionConfig::cluster must be null or the scheduler's own "
+        "cluster");
+  }
+  if (config.query != nullptr) {
+    return InvalidArgumentError(
+        "ExecutionConfig::query is wired by the scheduler and must be null");
+  }
+  ExecutionConfig effective = config;
+  effective.cluster = scheduler.cluster();
+  auto slot = std::make_shared<QueryHandle::Slot>();
+  // The fractoid is captured by reference (documented: it must outlive the
+  // execution); the config and result slot by value so the caller's copies
+  // can go out of scope immediately.
+  auto submitted = scheduler.Submit(
+      std::move(submission),
+      [&fractoid, effective, slot](QueryControl& control) mutable -> Status {
+        effective.query = &control;
+        slot->result = ExecuteFractoid(fractoid, effective);
+        return slot->result.status;
+      });
+  if (!submitted.ok()) return submitted.status();
+  return QueryHandle(std::move(submitted).value(), std::move(slot));
 }
 
 }  // namespace fractal

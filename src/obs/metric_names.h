@@ -30,6 +30,12 @@ inline constexpr std::string_view kMetricNames[] = {
     "runtime.workers_crashed",
     "runtime.units_salvaged",
     "runtime.units_replayed",
+    // Counters — query scheduler (DESIGN.md §12).
+    "runtime.queries_admitted",
+    "runtime.queries_rejected",
+    "runtime.queries_cancelled",
+    "runtime.queries_deadline_exceeded",
+    "runtime.queries_completed",
     // Counters — message bus.
     "bus.steal_timeouts",
     "bus.requests_dropped",
@@ -52,6 +58,12 @@ inline constexpr std::string_view kMetricNames[] = {
     // carry a ".<worker>" suffix minted at sampler rate (dynamic names are
     // invisible to the lint — register the base).
     "runtime.worker_units",
+    // Query-scheduler gauges: in-flight population, plus the per-query
+    // attained-service family ("runtime.query_units.<id>", credited at
+    // step barriers — same dynamic-suffix convention as worker_units).
+    "runtime.queries_active",
+    "runtime.queries_queued",
+    "runtime.query_units",
     // Histograms.
     "bus.steal_rtt_us",
     "bus.retry_backoff_us",
@@ -68,9 +80,11 @@ inline constexpr std::string_view kTraceNames[] = {
     "bus/request_steal",
     "cluster/run_step",
     "cluster/step_barrier",
+    "cluster/step_cancelled",
     "dfs/expand",
     "enumerate/refill",
     "executor/execute",
+    "executor/query",
     "executor/step",
     "executor/step_retry",
     "executor/step_salvage",
@@ -78,6 +92,9 @@ inline constexpr std::string_view kTraceNames[] = {
     "graph/reduce_to_keywords",
     "obs/profile_window",
     "runtime/step_degraded",
+    "scheduler/admit",
+    "scheduler/done",
+    "scheduler/reject",
     "worker/drain_roots",
     "worker/process_stolen",
     "worker/steal_miss",

@@ -257,6 +257,27 @@ Counter& ScratchMissesCounter() {
   return counter;
 }
 
+Counter& QueriesAdmittedCounter() {
+  static Counter& counter = NamedCounter("runtime.queries_admitted");
+  return counter;
+}
+Counter& QueriesRejectedCounter() {
+  static Counter& counter = NamedCounter("runtime.queries_rejected");
+  return counter;
+}
+Counter& QueriesCancelledCounter() {
+  static Counter& counter = NamedCounter("runtime.queries_cancelled");
+  return counter;
+}
+Counter& QueriesDeadlineExceededCounter() {
+  static Counter& counter = NamedCounter("runtime.queries_deadline_exceeded");
+  return counter;
+}
+Counter& QueriesCompletedCounter() {
+  static Counter& counter = NamedCounter("runtime.queries_completed");
+  return counter;
+}
+
 Counter& ProfilerSamplesCounter() {
   static Counter& counter = NamedCounter("obs.profiler_samples");
   return counter;
@@ -285,6 +306,22 @@ Gauge& CurrentStepGauge() {
 Gauge& UnitsPerSecGauge() {
   static Gauge& gauge = NamedGauge("runtime.units_per_sec");
   return gauge;
+}
+Gauge& QueriesActiveGauge() {
+  static Gauge& gauge = NamedGauge("runtime.queries_active");
+  return gauge;
+}
+Gauge& QueriesQueuedGauge() {
+  static Gauge& gauge = NamedGauge("runtime.queries_queued");
+  return gauge;
+}
+Gauge& QueryUnitsGauge(uint64_t query_id) {
+  // Same dynamic-suffix convention as WorkerUnitsGauge below: the base
+  // name "runtime.query_units" is registered for the lint, instances carry
+  // ".<id>". Barrier-rate call sites only.
+  AllocGuard::Allow allow("one-time metric registration");
+  return MetricsRegistry::Get().GetGauge(
+      StrFormat("runtime.query_units.%llu", (unsigned long long)query_id));
 }
 Gauge& WorkerUnitsGauge(uint32_t worker) {
   // Registered under the lint-visible base name "runtime.worker_units";

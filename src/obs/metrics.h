@@ -161,6 +161,18 @@ Counter& UnitsSalvagedCounter();
 /// Work units re-executed during salvage replay passes
 /// ("runtime.units_replayed").
 Counter& UnitsReplayedCounter();
+/// Queries accepted by a QueryScheduler ("runtime.queries_admitted").
+Counter& QueriesAdmittedCounter();
+/// Queries refused with kResourceExhausted because the admission queue was
+/// full ("runtime.queries_rejected").
+Counter& QueriesRejectedCounter();
+/// Queries that resolved kCancelled ("runtime.queries_cancelled").
+Counter& QueriesCancelledCounter();
+/// Queries that resolved kDeadlineExceeded
+/// ("runtime.queries_deadline_exceeded").
+Counter& QueriesDeadlineExceededCounter();
+/// Queries that resolved OK ("runtime.queries_completed").
+Counter& QueriesCompletedCounter();
 /// WS_ext steal requests that hit their deadline ("bus.steal_timeouts").
 Counter& StealTimeoutsCounter();
 /// WS_ext steal requests dropped in flight by fault injection
@@ -207,6 +219,15 @@ Gauge& UnitsPerSecGauge();
 /// "runtime.worker_units.3"). Unlike the handles above this takes the
 /// registry lock per call — sampler-rate use only.
 Gauge& WorkerUnitsGauge(uint32_t worker);
+/// Queries currently executing on scheduler driver threads
+/// ("runtime.queries_active").
+Gauge& QueriesActiveGauge();
+/// Queries admitted but not yet started ("runtime.queries_queued").
+Gauge& QueriesQueuedGauge();
+/// Cumulative work units attained by query `id` ("runtime.query_units"
+/// with a `.id` suffix), set at each step barrier. Takes the registry lock
+/// per call — barrier-rate use only, like WorkerUnitsGauge.
+Gauge& QueryUnitsGauge(uint64_t query_id);
 
 /// WS_ext request round-trip time in microseconds, successful steals only
 /// ("bus.steal_rtt_us").

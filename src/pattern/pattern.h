@@ -90,6 +90,15 @@ class Pattern {
 
   uint64_t Hash() const;
 
+  /// Heap bytes owned by this pattern (its three vectors) — the
+  /// aggregation memory-accounting hook (core/aggregation.h HeapBytesOf);
+  /// sizeof(Pattern) itself is counted by the caller.
+  uint64_t ApproxHeapBytes() const {
+    return vertex_labels_.capacity() * sizeof(Label) +
+           edges_.capacity() * sizeof(PatternEdge) +
+           adjacency_.capacity() * sizeof(uint32_t);
+  }
+
   friend bool operator==(const Pattern& a, const Pattern& b) {
     return a.vertex_labels_ == b.vertex_labels_ && a.edges_ == b.edges_;
   }

@@ -1,6 +1,8 @@
 #include "runtime/cluster.h"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -20,6 +22,16 @@ namespace {
 uint64_t FullMask(uint32_t num_workers) {
   return num_workers >= 64 ? ~uint64_t{0}
                            : ((uint64_t{1} << num_workers) - 1);
+}
+
+// Microseconds until the query's deadline, clamped to >= 1 so timed waits
+// always make progress (a non-positive remainder means the deadline check
+// will fire on the next loop iteration anyway).
+int64_t MicrosUntilDeadline(const QueryControl& query) {
+  const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+                        query.deadline - std::chrono::steady_clock::now())
+                        .count();
+  return std::max<int64_t>(left, 1);
 }
 }  // namespace
 
@@ -160,7 +172,28 @@ std::string Cluster::RenderStatusz() {
                      (unsigned long long)workers_[w]->work_units(),
                      (unsigned long long)snapshot.worker_units_delta[w]);
   }
+  {
+    // Registered sections (e.g. the QueryScheduler's per-query rows) run
+    // under statusz_mu_ so RemoveStatuszSection can guarantee no in-flight
+    // call into a destroyed owner.
+    MutexLock lock(statusz_mu_);
+    for (const auto& [token, section] : statusz_sections_) {
+      out << section();
+    }
+  }
   return out.str();
+}
+
+uint64_t Cluster::AddStatuszSection(std::function<std::string()> section) {
+  MutexLock lock(statusz_mu_);
+  const uint64_t token = ++statusz_section_seq_;
+  statusz_sections_[token] = std::move(section);
+  return token;
+}
+
+void Cluster::RemoveStatuszSection(uint64_t token) {
+  MutexLock lock(statusz_mu_);
+  statusz_sections_.erase(token);
 }
 
 uint32_t Cluster::num_live_workers() const {
@@ -183,18 +216,105 @@ void Cluster::NoteSuspectVictim() {
   obs::SuspectVictimsGauge().Set(static_cast<int64_t>(count));
 }
 
+const Cluster::GateTicket* Cluster::NextGateWaiter() const {
+  const GateTicket* best = nullptr;
+  for (const GateTicket* ticket : gate_waiters_) {
+    if (best == nullptr || ticket->vtime < best->vtime ||
+        (ticket->vtime == best->vtime && ticket->seq < best->seq)) {
+      best = ticket;
+    }
+  }
+  return best;
+}
+
+void Cluster::RemoveGateWaiter(const GateTicket* ticket) {
+  for (auto it = gate_waiters_.begin(); it != gate_waiters_.end(); ++it) {
+    if (*it == ticket) {
+      gate_waiters_.erase(it);
+      return;
+    }
+  }
+}
+
+bool Cluster::AdmitStep(GateTicket& ticket) {
+  MutexLock lock(run_mu_);
+  ticket.seq = gate_seq_++;
+  if (ticket.query != nullptr) {
+    // Start-time fairness: an idle query re-enters at the virtual-time
+    // floor, so banked idleness cannot be spent to starve the others.
+    ticket.query->vtime = std::max(ticket.query->vtime, vtime_floor_);
+    ticket.vtime = ticket.query->vtime;
+  } else {
+    ticket.vtime = vtime_floor_;
+  }
+  gate_waiters_.push_back(&ticket);
+  while (true) {
+    QueryControl* const query = ticket.query;
+    if (query != nullptr) {
+      query->CheckDeadline(std::chrono::steady_clock::now());
+      if (query->cancelled()) {
+        RemoveGateWaiter(&ticket);
+        // The departed waiter may have been the would-be winner; wake the
+        // rest so admission order is re-evaluated.
+        gate_cv_.NotifyAll();
+        return false;
+      }
+    }
+    if (!step_in_flight_ && NextGateWaiter() == &ticket) break;
+    if (query != nullptr && query->has_deadline) {
+      gate_cv_.WaitForMicros(run_mu_, MicrosUntilDeadline(*query));
+    } else {
+      gate_cv_.Wait(run_mu_);
+    }
+  }
+  RemoveGateWaiter(&ticket);
+  step_in_flight_ = true;
+  vtime_floor_ = std::max(vtime_floor_, ticket.vtime);
+  return true;
+}
+
+void Cluster::ReleaseStep(GateTicket& ticket, uint64_t work_units) {
+  MutexLock lock(run_mu_);
+  step_in_flight_ = false;
+  if (ticket.query != nullptr) {
+    QueryControl& query = *ticket.query;
+    query.vtime +=
+        static_cast<double>(work_units) /
+        static_cast<double>(std::max<uint32_t>(query.weight, 1));
+    query.work_units.fetch_add(work_units, std::memory_order_relaxed);
+    query.steps_run.fetch_add(1, std::memory_order_relaxed);
+  }
+  gate_cv_.NotifyAll();
+}
+
+void Cluster::WakeQueryGate() {
+  MutexLock lock(run_mu_);
+  gate_cv_.NotifyAll();
+}
+
 Cluster::StepResult Cluster::RunStep(StepTask& task,
                                      std::vector<uint32_t> root_extensions,
                                      const StepOptions& options) {
-  // Declared before run_lock so the begin event records before the lock is
-  // taken and the end event after it is released (no trace-buffer work while
-  // holding runtime locks).
+  // Declared before the gate so the span covers admission wait (queueing
+  // delay is part of the step's latency under multi-tenancy).
   FRACTAL_TRACE_SPAN_V("cluster/run_step", root_extensions.size());
   // One step at a time: concurrent submissions (e.g. two executions sharing
-  // this cluster) serialize here. While no step is running, every execution
-  // thread is parked on work_cv_ and every service thread is blocked on the
-  // bus with an empty queue, so the preparation below is race-free.
-  MutexLock run_lock(run_mu_);
+  // this cluster) are admitted in weighted-fair order by the gate. Once
+  // admitted, every execution thread is parked on work_cv_ and every
+  // service thread is blocked on the bus with an empty queue, so the
+  // preparation below is race-free (the step_in_flight_ hand-off under
+  // run_mu_ orders it after the previous step's teardown).
+  QueryControl* const query = options.query;
+  GateTicket ticket;
+  ticket.query = query;
+  if (!AdmitStep(ticket)) {
+    // Cancelled (or deadline-expired) while queued: nothing ran, nothing to
+    // discard. Telemetry is intentionally empty.
+    FRACTAL_TRACE_INSTANT("cluster/step_cancelled", query->id);
+    StepResult aborted;
+    aborted.cancelled = true;
+    return aborted;
+  }
 
   // One-time ring acquisition for the driver (submitting) thread so its
   // barrier wait shows up in profiles; idempotent per thread.
@@ -237,6 +357,8 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   // consult the injector beyond this step's barrier without dangling.
   if (bus_ != nullptr) bus_->SetFaultInjector(options.fault_injector);
   control_.injector = injector;
+  control_.cancel =
+      query != nullptr ? &query->cancel_requested : nullptr;
   control_.working.store(live_threads, std::memory_order_relaxed);
   control_.timer.Restart();
 
@@ -264,7 +386,19 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
     threads_remaining_ = live_threads;
     ++step_generation_;
     work_cv_.NotifyAll();
-    while (threads_remaining_ != 0) done_cv_.Wait(mu_);
+    // Deadline-aware barrier wait: no watchdog thread — the driver itself
+    // wakes at the deadline, latches the cancel flag, and the workers
+    // unwind cooperatively within one work unit each.
+    while (threads_remaining_ != 0) {
+      if (query != nullptr && query->has_deadline && !query->cancelled()) {
+        if (query->CheckDeadline(std::chrono::steady_clock::now())) {
+          continue;  // flag latched; now wait for the unwind
+        }
+        done_cv_.WaitForMicros(mu_, MicrosUntilDeadline(*query));
+      } else {
+        done_cv_.Wait(mu_);
+      }
+    }
   }
   obs::StepActiveGauge().Set(0);
 
@@ -297,6 +431,7 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
     result.failure = std::move(failure);
   }
   control_.injector = nullptr;
+  control_.cancel = nullptr;
   step_.task = nullptr;
   step_.roots.clear();
   step_.lineage = nullptr;
@@ -306,6 +441,19 @@ Cluster::StepResult Cluster::RunStep(StepTask& task,
   // the hot loop.
   obs::StepsCounter().Add(1);
   obs::ExtensionTestsCounter().Add(result.telemetry.TotalExtensionTests());
+  // Credit attained service to the query and free the step slot for the
+  // next waiter. A cancelled step is still charged: its partial units were
+  // real cluster time.
+  ReleaseStep(ticket, result.telemetry.TotalWorkUnits());
+  if (query != nullptr) {
+    obs::QueryUnitsGauge(query->id)
+        .Set(static_cast<int64_t>(
+            query->work_units.load(std::memory_order_relaxed)));
+    if (query->cancelled()) {
+      result.cancelled = true;
+      FRACTAL_TRACE_INSTANT("cluster/step_cancelled", query->id);
+    }
+  }
   return result;
 }
 

@@ -15,7 +15,11 @@
 // discarded wholesale and re-run, so results stay bit-identical.
 //
 // One Cluster can be shared by many fractoid executions (see
-// ExecutionConfig::cluster); step submissions serialize.
+// ExecutionConfig::cluster). Step submissions are admitted one at a time
+// through a weighted-fair gate (DESIGN.md §12): concurrent executions
+// interleave at step granularity, ordered by start-time-fair virtual time
+// of their QueryControl (runtime/query.h). Queries without a control block
+// are admitted FIFO at the gate's virtual-time floor.
 #ifndef FRACTAL_RUNTIME_CLUSTER_H_
 #define FRACTAL_RUNTIME_CLUSTER_H_
 
@@ -26,10 +30,14 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+#include <map>
+
 #include "obs/exposition.h"
 #include "obs/progress.h"
 #include "runtime/fault.h"
 #include "runtime/message_bus.h"
+#include "runtime/query.h"
 #include "runtime/worker.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -105,6 +113,12 @@ class Cluster {
     /// tracking (the from-scratch retry model). Owned by the executor and
     /// valid across the whole step, including its barrier.
     LineageLedger* lineage = nullptr;
+    /// Query this step belongs to (multi-tenant scheduling, DESIGN.md §12):
+    /// drives fair admission ordering, cooperative cancellation (workers
+    /// poll its cancel flag once per work unit) and the deadline-aware
+    /// barrier wait. Null runs the step as an anonymous query (FIFO
+    /// admission, no cancellation). Must outlive the RunStep call.
+    QueryControl* query = nullptr;
   };
 
   struct StepResult {
@@ -118,6 +132,13 @@ class Cluster {
     StepTelemetry telemetry;
     /// Workers that participated in the step (popcount of the live mask).
     uint32_t live_workers = 0;
+    /// Set when the step's query was cancelled (or hit its deadline) before
+    /// or during the step: the step output is partial and must be
+    /// discarded. Callers must check this before `ok()`/telemetry — a
+    /// cancelled step may carry empty telemetry (cancelled while queued at
+    /// the admission gate) or a torn work count. QueryControl::deadline_hit
+    /// distinguishes deadline expiry from an explicit cancel.
+    bool cancelled = false;
 
     bool ok() const { return !failure.has_value(); }
   };
@@ -127,9 +148,10 @@ class Cluster {
   /// extensions of the empty subgraph — are partitioned contiguously across
   /// the live cores (paper §4: "an initial partition of extensions ...
   /// determined on-the-fly using its unique core identifier"). Thread-safe:
-  /// concurrent submissions from different executions serialize. The result
-  /// carries the failure record of the step (see StepResult::failure) and
-  /// must not be dropped.
+  /// concurrent submissions from different executions are admitted one at a
+  /// time in weighted-fair order (options.query). The result carries the
+  /// failure/cancellation record of the step (see StepResult) and must not
+  /// be dropped.
   [[nodiscard]] StepResult RunStep(StepTask& task,
                                    std::vector<uint32_t> root_extensions,
                                    const StepOptions& options)
@@ -149,8 +171,10 @@ class Cluster {
     return live_mask_.load(std::memory_order_acquire);
   }
   uint32_t num_live_workers() const;
-  /// Excludes `worker` from subsequent steps (degraded re-execution). Must
-  /// not be called while a step is in flight.
+  /// Excludes `worker` from subsequent steps (degraded re-execution). Safe
+  /// to call while another query's step is in flight: RunStep snapshots the
+  /// mask at admission, so the death takes effect from the next submitted
+  /// step.
   void MarkWorkerDead(uint32_t worker);
   /// Re-admits every worker (e.g. when a cluster is reused by a later
   /// execution after a simulated crash).
@@ -169,8 +193,23 @@ class Cluster {
   int statusz_port() const;
 
   /// The /statusz page body (exposed for tests; served by the embedded
-  /// server). Reads only atomics and the statusz progress sampler.
+  /// server). Reads only atomics and the statusz progress sampler, plus any
+  /// registered sections (which run under statusz_mu_).
   std::string RenderStatusz();
+
+  /// Registers an extra /statusz section (e.g. the QueryScheduler's
+  /// per-query rows). The callback runs under statusz_mu_, so
+  /// RemoveStatuszSection blocks until any in-flight render is done —
+  /// callbacks must only take locks *below* statusz_mu_ in the DESIGN.md §5
+  /// hierarchy. Returns a token for RemoveStatuszSection.
+  uint64_t AddStatuszSection(std::function<std::string()> section)
+      EXCLUDES(statusz_mu_);
+  void RemoveStatuszSection(uint64_t token) EXCLUDES(statusz_mu_);
+
+  /// Wakes admission-gate waiters so a query cancelled while queued
+  /// re-checks its cancel flag. Called by the QueryScheduler (or any
+  /// QueryHandle) after setting QueryControl::cancel_requested.
+  void WakeQueryGate() EXCLUDES(run_mu_);
 
  private:
   friend class Worker;
@@ -200,6 +239,27 @@ class Cluster {
   /// /statusz (delegates to Worker::work_units).
   void SampleWorkerUnits(std::vector<uint64_t>* out) const;
 
+  /// One waiter at the admission gate. Lives on the RunStep caller's stack;
+  /// registered in gate_waiters_ while waiting.
+  struct GateTicket {
+    QueryControl* query = nullptr;  // null: anonymous (FIFO at the floor)
+    uint64_t seq = 0;               // arrival order, tie-break
+    double vtime = 0.0;             // admission key (snapshot under run_mu_)
+  };
+
+  /// Blocks until this ticket wins the gate (weighted fair order) and no
+  /// step is in flight, then claims the step slot. Returns false if the
+  /// ticket's query was cancelled or hit its deadline while waiting — the
+  /// step slot is NOT claimed in that case.
+  bool AdmitStep(GateTicket& ticket) EXCLUDES(run_mu_);
+  /// Releases the step slot, credits `work_units` to the ticket's query
+  /// (virtual time, attained-service counters) and wakes gate waiters.
+  void ReleaseStep(GateTicket& ticket, uint64_t work_units)
+      EXCLUDES(run_mu_);
+  /// Next waiter in admission order: smallest virtual time, FIFO on ties.
+  const GateTicket* NextGateWaiter() const REQUIRES(run_mu_);
+  void RemoveGateWaiter(const GateTicket* ticket) REQUIRES(run_mu_);
+
   ClusterOptions options_;
   std::unique_ptr<MessageBus> bus_;  // null unless external stealing
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -208,18 +268,39 @@ class Cluster {
   /// workers_ so it is destroyed (and its thread joined) before the workers
   /// it reports on — the destructor also resets it explicitly first.
   std::unique_ptr<obs::ExpositionServer> exposition_;
-  /// Delta state behind RenderStatusz; guarded by statusz_mu_ (leaf) since
-  /// tests may hit /statusz concurrently with a direct RenderStatusz call.
+  /// Delta state behind RenderStatusz; guarded by statusz_mu_ since tests
+  /// may hit /statusz concurrently with a direct RenderStatusz call.
+  /// statusz_mu_ sits above the scheduler/query-handle locks in the §5
+  /// hierarchy (registered sections run under it) but below nothing else.
   std::unique_ptr<obs::ProgressSampler> statusz_sampler_
       GUARDED_BY(statusz_mu_);
+  /// Extra /statusz sections keyed by registration token (AddStatuszSection).
+  std::map<uint64_t, std::function<std::string()>> statusz_sections_
+      GUARDED_BY(statusz_mu_);
+  uint64_t statusz_section_seq_ GUARDED_BY(statusz_mu_) = 0;
   Mutex statusz_mu_{"Cluster::statusz_mu"};
   std::atomic<uint64_t> steps_run_{0};
   std::atomic<uint64_t> live_mask_{~uint64_t{0}};
   std::atomic<uint64_t> suspects_{0};
 
-  /// Serializes RunStep callers. Outermost lock of the runtime: acquired
-  /// before Cluster::mu (lock hierarchy in DESIGN.md).
+  /// The query admission gate (DESIGN.md §12). Outermost lock of the
+  /// runtime: acquired before Cluster::mu (lock hierarchy in DESIGN.md §5).
+  /// Unlike the pre-scheduler design it is NOT held across the step body —
+  /// only around the gate state below, so waiters can be reordered (fair
+  /// sharing) and cancelled while queued.
   Mutex run_mu_{"Cluster::run_mu"};
+  CondVar gate_cv_;  // step slot freed, or a queued query was cancelled
+  /// True from a ticket winning the gate until its ReleaseStep. Replaces
+  /// holding run_mu_ across the step: the flag's acquire/release through
+  /// run_mu_ is the happens-before edge ordering one step's teardown before
+  /// the next step's setup (see step_ below).
+  bool step_in_flight_ GUARDED_BY(run_mu_) = false;
+  std::vector<const GateTicket*> gate_waiters_ GUARDED_BY(run_mu_);
+  uint64_t gate_seq_ GUARDED_BY(run_mu_) = 0;
+  /// Monotone floor for arriving queries' virtual times: a newly admitted
+  /// query starts at max(own vtime, floor), so an idle query cannot bank
+  /// service and then monopolize the gate (start-time fairness).
+  double vtime_floor_ GUARDED_BY(run_mu_) = 0.0;
 
   // Park/wake handshake between RunStep and the execution threads.
   Mutex mu_{"Cluster::mu"};
@@ -232,8 +313,10 @@ class Cluster {
   /// Not mutex-protected: published by RunStep *before* the step-generation
   /// bump under mu_, and only read by worker threads after they observe the
   /// new generation (or, for the steal service, causally after an execution
-  /// thread's bus request) — the generation handshake is the
-  /// happens-before edge, so these are data-race-free without a guard.
+  /// thread's bus request) — the generation handshake is the happens-before
+  /// edge, so these are data-race-free without a guard. Between two RunStep
+  /// callers the step_in_flight_ hand-off under run_mu_ orders the previous
+  /// step's teardown before the next one's setup.
   StepState step_;
   StepControl control_;
 };

@@ -1,0 +1,267 @@
+#include "runtime/query_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "runtime/cluster.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace fractal {
+
+namespace {
+
+const char* StateName(ScheduledQuery::State state) {
+  switch (state) {
+    case ScheduledQuery::State::kQueued:
+      return "queued";
+    case ScheduledQuery::State::kRunning:
+      return "running";
+    case ScheduledQuery::State::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Status ScheduledQuery::Join() {
+  MutexLock lock(mu_);
+  while (state_ != State::kDone) cv_.Wait(mu_);
+  return status_;
+}
+
+void ScheduledQuery::Cancel() {
+  control_.RequestCancel();
+  // A step of this query may be queued at the cluster's admission gate in
+  // an untimed wait; wake it so the flag is observed. Resolved queries
+  // have no step in flight — skip the (cluster-touching) wake.
+  if (!done()) cluster_->WakeQueryGate();
+}
+
+bool ScheduledQuery::done() const {
+  MutexLock lock(mu_);
+  return state_ == State::kDone;
+}
+
+ScheduledQuery::State ScheduledQuery::state() const {
+  MutexLock lock(mu_);
+  return state_;
+}
+
+Status ScheduledQuery::status() const {
+  MutexLock lock(mu_);
+  return status_;
+}
+
+void ScheduledQuery::Resolve(Status status) {
+  MutexLock lock(mu_);
+  FRACTAL_CHECK(state_ != State::kDone) << "query resolved twice";
+  state_ = State::kDone;
+  status_ = std::move(status);
+  cv_.NotifyAll();
+}
+
+QueryScheduler::QueryScheduler(Cluster* cluster,
+                               const QuerySchedulerOptions& options)
+    : cluster_(cluster), options_(options) {
+  FRACTAL_CHECK(cluster_ != nullptr) << "scheduler needs a cluster";
+  FRACTAL_CHECK(options_.max_active >= 1)
+      << "scheduler needs at least one driver thread";
+  drivers_.reserve(options_.max_active);
+  for (uint32_t i = 0; i < options_.max_active; ++i) {
+    drivers_.emplace_back([this] { DriverLoop(); });
+  }
+  statusz_token_ =
+      cluster_->AddStatuszSection([this] { return RenderStatuszRows(); });
+}
+
+QueryScheduler::~QueryScheduler() {
+  // Stop feeding /statusz first: RemoveStatuszSection blocks until any
+  // in-flight render is done, so no section callback can outlive `this`.
+  cluster_->RemoveStatuszSection(statusz_token_);
+  CancelAll();
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+    queue_cv_.NotifyAll();
+  }
+  // Drivers drain the remaining queue (every popped query resolves as
+  // cancelled via the pre-run check — CancelAll latched the flags) and
+  // exit; running bodies unwind cooperatively first.
+  for (std::thread& driver : drivers_) driver.join();
+}
+
+StatusOr<std::shared_ptr<ScheduledQuery>> QueryScheduler::Submit(
+    Submission submission, QueryBody body) {
+  FRACTAL_CHECK(body != nullptr) << "query body must be callable";
+  std::shared_ptr<ScheduledQuery> query(new ScheduledQuery(cluster_));
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) {
+      return FailedPreconditionError("query scheduler is shutting down");
+    }
+    if (queue_.size() >= options_.max_queued) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs::QueriesRejectedCounter().Add(1);
+      FRACTAL_TRACE_INSTANT("scheduler/reject", queue_.size());
+      return ResourceExhaustedError(StrFormat(
+          "admission queue full (%zu queued, max %u): back off and resubmit",
+          queue_.size(), options_.max_queued));
+    }
+    QueryControl& control = query->control_;
+    control.id = next_id_++;
+    control.name = submission.name.empty()
+                       ? StrFormat("query-%llu",
+                                   (unsigned long long)control.id)
+                       : std::move(submission.name);
+    control.weight = std::max<uint32_t>(1, submission.weight);
+    control.SetDeadlineAfterMillis(submission.deadline_ms);
+    queue_.push_back(Job{query, std::move(body)});
+    obs::QueriesQueuedGauge().Set(static_cast<int64_t>(queue_.size()));
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    obs::QueriesAdmittedCounter().Add(1);
+    FRACTAL_TRACE_INSTANT("scheduler/admit", control.id);
+    queue_cv_.NotifyOne();
+  }
+  return query;
+}
+
+void QueryScheduler::CancelAll() {
+  std::vector<std::shared_ptr<ScheduledQuery>> outstanding;
+  {
+    MutexLock lock(mu_);
+    outstanding.reserve(queue_.size() + active_.size());
+    for (const Job& job : queue_) outstanding.push_back(job.query);
+    for (const auto& query : active_) outstanding.push_back(query);
+  }
+  for (const auto& query : outstanding) {
+    query->control_.RequestCancel();
+  }
+  if (!outstanding.empty()) cluster_->WakeQueryGate();
+}
+
+void QueryScheduler::DriverLoop() {
+  obs::Profiler::Get().RegisterCurrentThread("query_driver");
+  while (true) {
+    Job job;
+    {
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) queue_cv_.Wait(mu_);
+      if (queue_.empty()) return;  // shutdown and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      obs::QueriesQueuedGauge().Set(static_cast<int64_t>(queue_.size()));
+      active_.push_back(job.query);
+      obs::QueriesActiveGauge().Set(static_cast<int64_t>(active_.size()));
+    }
+    ScheduledQuery& query = *job.query;
+    {
+      MutexLock lock(query.mu_);
+      query.state_ = ScheduledQuery::State::kRunning;
+    }
+    QueryControl& control = query.control_;
+    Status status;
+    control.CheckDeadline(std::chrono::steady_clock::now());
+    if (control.cancelled()) {
+      // Cancelled (or expired) while queued: resolve without running.
+      status = control.DeadlineHit()
+                   ? DeadlineExceededError(StrFormat(
+                         "query %llu '%s' exceeded its deadline while queued",
+                         (unsigned long long)control.id,
+                         control.name.c_str()))
+                   : CancelledError(StrFormat(
+                         "query %llu '%s' cancelled while queued",
+                         (unsigned long long)control.id,
+                         control.name.c_str()));
+    } else {
+      status = job.body(control);
+    }
+    FinishQuery(std::move(job.query), std::move(status));
+  }
+}
+
+void QueryScheduler::FinishQuery(std::shared_ptr<ScheduledQuery> query,
+                                 Status status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      obs::QueriesCompletedCounter().Add(1);
+      break;
+    case StatusCode::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      obs::QueriesCancelledCounter().Add(1);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      obs::QueriesDeadlineExceededCounter().Add(1);
+      break;
+    default:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  FRACTAL_TRACE_INSTANT("scheduler/done", query->control_.id);
+  // Resolve before unlisting so a Join()er that wakes and immediately
+  // queries stats/statusz sees the final counters.
+  query->Resolve(std::move(status));
+  {
+    MutexLock lock(mu_);
+    active_.erase(std::remove(active_.begin(), active_.end(), query),
+                  active_.end());
+    obs::QueriesActiveGauge().Set(static_cast<int64_t>(active_.size()));
+    finished_.push_back(std::move(query));
+    constexpr size_t kFinishedRing = 8;
+    while (finished_.size() > kFinishedRing) finished_.pop_front();
+  }
+}
+
+QueryScheduler::Stats QueryScheduler::stats() const {
+  Stats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string QueryScheduler::RenderStatuszRows() const {
+  std::ostringstream out;
+  const Stats stats = this->stats();
+  MutexLock lock(mu_);
+  out << StrFormat(
+      "queries            active=%zu queued=%zu admitted=%llu rejected=%llu "
+      "completed=%llu cancelled=%llu deadline_exceeded=%llu\n",
+      active_.size(), queue_.size(), (unsigned long long)stats.admitted,
+      (unsigned long long)stats.rejected,
+      (unsigned long long)stats.completed,
+      (unsigned long long)stats.cancelled,
+      (unsigned long long)stats.deadline_exceeded);
+  const auto row = [&out](const ScheduledQuery& query) {
+    const QueryControl& control = query.control();
+    out << StrFormat(
+        "query %-12llu state=%-7s name=%s weight=%u units=%llu steps=%llu",
+        (unsigned long long)control.id, StateName(query.state()),
+        control.name.c_str(), control.weight,
+        (unsigned long long)control.work_units.load(
+            std::memory_order_relaxed),
+        (unsigned long long)control.steps_run.load(
+            std::memory_order_relaxed));
+    if (query.state() == ScheduledQuery::State::kDone) {
+      out << " status=" << query.status().ToString();
+    }
+    out << "\n";
+  };
+  for (const Job& job : queue_) row(*job.query);
+  for (const auto& query : active_) row(*query);
+  for (const auto& query : finished_) row(*query);
+  return out.str();
+}
+
+}  // namespace fractal

@@ -21,6 +21,10 @@ const char* CodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kFailedPrecondition:
       return "FAILED_PRECONDITION";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -61,6 +65,12 @@ Status UnimplementedError(std::string message) {
 }
 Status FailedPreconditionError(std::string message) {
   return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace fractal

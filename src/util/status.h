@@ -22,6 +22,8 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kFailedPrecondition = 7,
+  kCancelled = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Result of a fallible operation: an error code plus a human-readable
@@ -63,6 +65,8 @@ Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status FailedPreconditionError(std::string message);
+Status CancelledError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// Either a value of type T or an error Status. Accessing the value of a
 /// non-OK StatusOr aborts the process (library code is exception-free).

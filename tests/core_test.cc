@@ -3,12 +3,16 @@
 #include <set>
 
 #include "apps/cliques.h"
+#include "core/aggregation.h"
+#include "core/computation.h"
 #include "core/context.h"
 #include "core/step.h"
 #include "graph/generators.h"
 #include "graph/test_graphs.h"
+#include "pattern/pattern.h"
 #include "runtime/cluster.h"
 #include "tests/brute_force.h"
+#include "util/alloc_guard.h"
 
 namespace fractal {
 namespace {
@@ -445,6 +449,90 @@ TEST(ExecutorTest, WorkStealingProducesBalancedWork) {
   const uint64_t count_with = CountCliques(graph, 3, stealing);
   const uint64_t count_without = CountCliques(graph, 3, no_stealing);
   EXPECT_EQ(count_with, count_without);
+}
+
+// --- AggregationStorage memory accounting & merge (regressions) ----------
+
+/// Pattern-keyed storage whose key/value functions ignore the subgraph and
+/// synthesize entries from `next_key` — lets tests drive Accumulate without
+/// an execution.
+using PatternCountStorage = AggregationStorage<Pattern, uint64_t, PatternHash>;
+
+PatternCountStorage MakePatternStorage(uint32_t* next_key) {
+  return PatternCountStorage(
+      [next_key](const Subgraph&, Computation&) {
+        // Distinct heap-owning keys: paths of 3..12 vertices.
+        return Pattern::PathPattern(3 + (*next_key)++ % 10);
+      },
+      [](const Subgraph&, Computation&) -> uint64_t { return 1; },
+      [](uint64_t& a, uint64_t&& b) { a += b; }, nullptr);
+}
+
+TEST(AggregationStorageTest, ApproxBytesCountsHeapOwnedByPatternKeys) {
+  const Graph g = testgraphs::Complete(3);
+  Computation comp(&g);
+  const Subgraph unused;
+
+  uint32_t next_key = 0;
+  PatternCountStorage storage = MakePatternStorage(&next_key);
+  for (int i = 0; i < 10; ++i) storage.Accumulate(unused, comp);
+  ASSERT_EQ(storage.NumEntries(), 10u);
+
+  // The seed counted only inline node size: bucket array + sizeof(K/V) +
+  // per-node pointers. Pattern keys own three vectors each, so the real
+  // footprint must sit strictly above that naive bound — by exactly the
+  // heap the keys report.
+  const uint64_t naive =
+      storage.entries().bucket_count() * sizeof(void*) +
+      storage.NumEntries() *
+          (sizeof(Pattern) + sizeof(uint64_t) + 2 * sizeof(void*));
+  uint64_t owned = 0;
+  for (const auto& [key, value] : storage.entries()) {
+    owned += key.ApproxHeapBytes();
+  }
+  EXPECT_GT(owned, 0u);
+  EXPECT_GT(storage.ApproxBytes(), naive);
+  EXPECT_EQ(storage.ApproxBytes(), naive + owned);
+}
+
+TEST(AggregationStorageTest, MergeFromMovesNodesWithoutAllocating) {
+  if (!AllocGuard::Active()) {
+    GTEST_SKIP() << "alloc-guard runtime not compiled in";
+  }
+  const Graph g = testgraphs::Complete(3);
+  Computation comp(&g);
+  const Subgraph unused;
+
+  // Destination and source share 5 of 10 key shapes (paths of 3..12 vs
+  // 3..7 vertices): the merge exercises both the move-node and the
+  // reduce-duplicate branch.
+  uint32_t dest_key = 0;
+  PatternCountStorage dest = MakePatternStorage(&dest_key);
+  uint32_t source_key = 0;
+  PatternCountStorage source = MakePatternStorage(&source_key);
+  for (int i = 0; i < 10; ++i) dest.Accumulate(unused, comp);
+  for (int i = 0; i < 5; ++i) source.Accumulate(unused, comp);
+  // Pre-warm the destination's bucket array past the merged size so the
+  // guard below measures the merge itself, not an incidental rehash.
+  for (int i = 0; i < 16; ++i) dest.Accumulate(unused, comp);
+  const uint64_t merged_count = dest.NumEntries();
+
+  // The regression: the seed's MergeFrom copied each key into the
+  // destination — one allocation per Pattern vector, inside the step
+  // barrier's guarded region. Moving whole map nodes must not allocate.
+  {
+    AllocGuard guard(AllocGuard::Mode::kCount);
+    dest.MergeFrom(source);
+    EXPECT_EQ(guard.allocations(), 0u)
+        << "MergeFrom allocated despite node-handle moves";
+  }
+  EXPECT_EQ(dest.NumEntries(), merged_count);  // all source keys were known
+  EXPECT_EQ(source.NumEntries(), 0u);          // and consumed
+  // Reduced counts survived the merge: every path shape 3..7 was counted in
+  // both storages.
+  const Pattern probe = Pattern::PathPattern(3);
+  ASSERT_NE(dest.Find(probe), nullptr);
+  EXPECT_GE(*dest.Find(probe), 2u);
 }
 
 }  // namespace

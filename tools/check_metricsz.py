@@ -5,7 +5,15 @@ Checks: every series line parses as `name{labels} value`, every family has
 a preceding # TYPE of a known kind, series values are finite and
 non-negative, histogram bucket counts are cumulative (monotone in le) and
 the +Inf bucket equals _count, _sum/_count exist for every histogram, and
-counter families end in _total. Usage: check_metricsz.py <metricsz.txt>
+counter families end in _total.
+
+Usage: check_metricsz.py <metricsz.txt> [--require <family>]...
+
+--require asserts that a family is present with at least one series; a
+trailing `.` matches per-instance gauge families expanded from a dynamic
+base (e.g. --require fractal_runtime_query_units. accepts
+fractal_runtime_query_units_42) — how the scheduler stage pins the
+per-query gauges the concurrency CLI run must have emitted.
 """
 import math
 import re
@@ -27,7 +35,7 @@ def family_of(name, types):
     return None
 
 
-def main(path):
+def main(path, required):
     with open(path) as f:
         lines = f.read().splitlines()
     assert lines, "metricsz output is empty"
@@ -35,6 +43,7 @@ def main(path):
     buckets = {}  # family -> list of (le, count)
     counts = {}  # family -> _count value
     sums = set()  # families with a _sum line
+    family_series = {}  # family -> number of series seen
     series = 0
     for line in lines:
         if not line.strip():
@@ -53,6 +62,7 @@ def main(path):
         assert name.startswith("fractal_"), f"unprefixed metric: {name}"
         family = family_of(name, types)
         assert family, f"series {name} has no preceding # TYPE"
+        family_series[family] = family_series.get(family, 0) + 1
         for label in (labels or "").split(",") if labels else []:
             assert LABEL_RE.match(label), f"malformed label {label!r} in {line!r}"
         val = float("inf") if value == "+Inf" else float(value)
@@ -86,11 +96,35 @@ def main(path):
         assert les[-1] == float("inf"), f"{family} lacks a +Inf bucket"
         assert cs[-1] == counts[family], (
             f"{family}: +Inf bucket {cs[-1]} != _count {counts[family]}")
+    for want in required:
+        if want.endswith("."):
+            prefix = want[:-1] + "_"
+            matching = [f for f in family_series if f.startswith(prefix)]
+            assert matching, (
+                f"required per-instance family {want!r} has no expansions "
+                f"({prefix}<id> series)")
+        else:
+            assert family_series.get(want, 0) > 0, (
+                f"required family {want!r} missing or has no series")
     assert series > 0, "no series emitted"
     hists = sum(1 for k in types.values() if k == "histogram")
     print(f"metricsz OK: {series} series, {len(types)} families "
-          f"({hists} histograms)")
+          f"({hists} histograms)"
+          + (f", {len(required)} required present" if required else ""))
 
 
 if __name__ == "__main__":
-    main(sys.argv[1])
+    args = sys.argv[1:]
+    required = []
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--require":
+            assert i + 1 < len(args), "--require needs a family name"
+            required.append(args[i + 1])
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    assert len(positional) == 1, __doc__
+    main(positional[0], required)
